@@ -1,0 +1,85 @@
+// Ablation: canonical-form design vs path behavior.
+//
+// The same Max aggregation implemented two ways:
+//   (a) the paper's Section 3.1 formulation — a SymInt and `if (max < e)`,
+//       which keeps two live paths and relies on merging every record;
+//   (b) a SymMax — the user-defined extremum type (Section 4.5 extension
+//       interface) whose canonical form max(x, c) absorbs observations
+//       without branching: one path, no decisions, constant-size summary.
+//
+// The lesson is the paper's own: decision procedures and canonical forms are
+// *the* lever for taming path explosion.
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <tuple>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/symple.h"
+
+namespace symple {
+namespace {
+
+struct IntMaxState {
+  SymInt max = std::numeric_limits<int64_t>::min();
+  auto list_fields() { return std::tie(max); }
+};
+void IntMaxUpdate(IntMaxState& s, const int64_t& e) {
+  if (s.max < e) {
+    s.max = e;
+  }
+}
+
+struct ExtMaxState {
+  SymMax max;
+  auto list_fields() { return std::tie(max); }
+};
+void ExtMaxUpdate(ExtMaxState& s, const int64_t& e) { s.max.Observe(e); }
+
+template <typename State, typename Fn>
+void RunOne(const char* label, Fn update, const std::vector<int64_t>& input) {
+  using Agg = SymbolicAggregator<State, int64_t, Fn>;
+  const auto t0 = std::chrono::steady_clock::now();
+  Agg agg(update);
+  for (int64_t e : input) {
+    agg.Feed(e);
+  }
+  const auto summaries = agg.Finish();
+  const double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  size_t paths = 0;
+  BinaryWriter w;
+  for (const auto& s : summaries) {
+    paths += s.path_count();
+    s.Serialize(w);
+  }
+  std::printf("%-22s %10.1f %12llu %12llu %10zu %12zu\n", label,
+              ms, static_cast<unsigned long long>(agg.stats().runs),
+              static_cast<unsigned long long>(agg.stats().decisions), paths,
+              w.size());
+}
+
+}  // namespace
+}  // namespace symple
+
+int main() {
+  using namespace symple;
+  bench::PrintHeader("Ablation: Max as SymInt branch vs SymMax canonical form");
+  SplitMix64 rng(11);
+  std::vector<int64_t> input;
+  for (int i = 0; i < 2000000; ++i) {
+    input.push_back(rng.Range(-1000000000, 1000000000));
+  }
+  std::printf("%-22s %10s %12s %12s %10s %12s\n", "formulation", "ms", "runs",
+              "decisions", "paths", "bytes");
+  bench::PrintRule(84);
+  RunOne<IntMaxState>("SymInt if(max<e)", &IntMaxUpdate, input);
+  RunOne<ExtMaxState>("SymMax Observe(e)", &ExtMaxUpdate, input);
+  std::printf(
+      "\nReading: the branching formulation runs the update ~2x per record and\n"
+      "consults the decision procedure throughout; the extremum canonical form\n"
+      "never forks, producing a single-path summary in one pass.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: the live-path bound / summary-restart threshold of paper
+// Section 5.2 ("currently set to 8").
+//
+// Sweeps max_live_paths and reports, for path-heavy queries, the number of
+// summaries emitted, the shuffle volume, the exploration effort and map CPU.
+// A tiny bound degrades toward sequential composition (many summaries, bigger
+// shuffle); a huge bound wastes exploration effort on paths that merging
+// would have collapsed anyway. The default of 8 sits at the flat part of the
+// curve — the design point the paper picked.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "queries/all_queries.h"
+#include "runtime/engine.h"
+
+namespace symple {
+namespace {
+
+template <typename Query>
+void Sweep(const char* id, const Dataset& data) {
+  std::printf("\n%s:\n", id);
+  std::printf("%10s %12s %14s %14s %12s\n", "bound", "summaries", "shuffle",
+              "explored", "map cpu ms");
+  bench::PrintRule(68);
+  for (size_t bound : {1, 2, 4, 8, 16, 32}) {
+    EngineOptions options;
+    options.map_slots = 4;
+    options.reduce_slots = 4;
+    options.aggregator.max_live_paths = bound;
+    const auto run = RunSymple<Query>(data, options);
+    std::printf("%10zu %12llu %14s %14llu %12.1f\n", bound,
+                static_cast<unsigned long long>(run.stats.summaries),
+                bench::HumanBytes(run.stats.shuffle_bytes).c_str(),
+                static_cast<unsigned long long>(run.stats.exploration.paths_produced),
+                run.stats.map_cpu_ms);
+  }
+}
+
+}  // namespace
+}  // namespace symple
+
+int main() {
+  using namespace symple;
+  bench::PrintHeader(
+      "Ablation: live-path bound (summary-restart threshold, paper default 8)");
+  Sweep<T1SpamLearning>("T1 (equality splits on a symbolic counter)",
+                        bench::BenchTwitter());
+  Sweep<B3UserSessions>("B3 (session splits per user)", bench::BenchBing());
+  Sweep<G3PullWindowOps>("G3 (pull-window counting)", bench::BenchGithub());
+  std::printf(
+      "\nReading: bound=1 restarts after nearly every record with surviving\n"
+      "ambiguity; 8 (paper default) captures almost all of the shuffle savings;\n"
+      "larger bounds mostly add exploration work.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Shared infrastructure for the evaluation benchmarks.
+//
+// Every bench binary regenerates one table/figure of the paper on synthetic
+// datasets. Dataset sizes scale with the SYMPLE_BENCH_SCALE environment
+// variable (default 1.0); absolute numbers are machine- and scale-dependent,
+// the *shapes* (who wins, by what factor, where the crossovers are) are what
+// reproduces the paper. See EXPERIMENTS.md.
+#ifndef SYMPLE_BENCH_BENCH_UTIL_H_
+#define SYMPLE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "runtime/dataset.h"
+#include "workloads/bing_gen.h"
+#include "workloads/github_gen.h"
+#include "workloads/gps_gen.h"
+#include "workloads/redshift_gen.h"
+#include "workloads/twitter_gen.h"
+#include "workloads/webshop_gen.h"
+
+namespace symple {
+namespace bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("SYMPLE_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline size_t Scaled(size_t n) {
+  return static_cast<size_t>(static_cast<double>(n) * BenchScale());
+}
+
+// Standard bench-scale datasets (segment counts mirror a many-files input).
+
+inline Dataset BenchGithub() {
+  GithubGenParams p;
+  p.num_records = Scaled(250000);
+  p.num_segments = 16;
+  p.num_repos = 8000;
+  // ~1KB records as in the paper's github archive; queries discard the bulk.
+  p.filler_bytes = 512;
+  return GenerateGithubLog(p);
+}
+
+inline Dataset BenchRedshift(bool condensed) {
+  RedshiftGenParams p;
+  p.num_records = Scaled(200000);
+  p.num_segments = 16;
+  // The paper's RedShift regime: records-per-group vastly exceeds the group
+  // count (1.2 TB over 10K advertisers). Scaled down proportionally.
+  p.num_advertisers = 50;
+  p.condensed = condensed;
+  return GenerateRedshiftLog(p);
+}
+
+inline Dataset BenchBing() {
+  BingGenParams p;
+  p.num_records = Scaled(250000);
+  p.num_segments = 16;
+  p.num_users = 20000;
+  return GenerateBingLog(p);
+}
+
+inline Dataset BenchTwitter() {
+  TwitterGenParams p;
+  p.num_records = Scaled(250000);
+  p.num_segments = 16;
+  p.num_hashtags = 20000;
+  return GenerateTwitterLog(p);
+}
+
+// --- table printing helpers ----------------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  for (size_t i = 0; i < title.size(); ++i) {
+    std::printf("=");
+  }
+  std::printf("\n");
+}
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) {
+    std::printf("-");
+  }
+  std::printf("\n");
+}
+
+inline std::string HumanBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1000000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", static_cast<double>(bytes) / 1e9);
+  } else if (bytes >= 1000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", static_cast<double>(bytes) / 1e6);
+  } else if (bytes >= 1000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", static_cast<double>(bytes) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace symple
+
+#endif  // SYMPLE_BENCH_BENCH_UTIL_H_

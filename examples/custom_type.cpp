@@ -1,0 +1,118 @@
+// Extending SYMPLE with a custom symbolic data type (paper Section 4.5,
+// "Other data types"), end to end.
+//
+// Scenario: per sensor, report (a) the highest temperature ever seen and
+// (b) the three highest readings, over a time-ordered telemetry log. Both
+// aggregations use types whose canonical forms absorb observations without
+// branching — SymMax and SymTopK — so the whole query runs symbolically in a
+// single path per chunk with constant-size summaries, while remaining an
+// ordinary imperative UDA to the programmer.
+//
+// Also demonstrates LambdaQuery: the query is assembled from free functions,
+// mirroring the paper's Section 5.3 user-code shape.
+//
+//   $ ./custom_type
+#include <cstdio>
+#include <optional>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/text.h"
+#include "core/sym_topk.h"
+#include "core/symple.h"
+#include "queries/text_row.h"
+#include "runtime/engine.h"
+#include "runtime/lambda_query.h"
+
+namespace {
+
+using namespace symple;
+
+struct SensorState {
+  SymMax peak;
+  SymTopK<3> top3;
+  auto list_fields() { return std::tie(peak, top3); }
+};
+
+struct Reading {
+  int64_t millidegrees = 0;
+};
+
+std::optional<std::pair<int64_t, Reading>> ParseReading(std::string_view line) {
+  FieldCursor cur(line);
+  const auto sensor = cur.Next();
+  const auto value = cur.Next();
+  if (!sensor || !value) {
+    return std::nullopt;
+  }
+  const auto sensor_id = ParseInt64(*sensor);
+  const auto v = ParseInt64(*value);
+  if (!sensor_id || !v) {
+    return std::nullopt;
+  }
+  return std::make_pair(*sensor_id, Reading{*v});
+}
+
+void UpdateReading(SensorState& s, const Reading& r) {
+  s.peak.Observe(r.millidegrees);
+  s.top3.Observe(r.millidegrees);
+}
+
+std::pair<int64_t, std::vector<int64_t>> SensorResult(const SensorState& s,
+                                                      const int64_t&) {
+  return {s.peak.Value(), s.top3.Values()};
+}
+
+void SerializeReading(const Reading& r, BinaryWriter& w) {
+  WriteTextRow(w, {r.millidegrees});
+}
+
+Reading DeserializeReading(BinaryReader& r) { return Reading{ReadTextRow<1>(r)[0]}; }
+
+using SensorQuery = LambdaQuery<"sensor_peaks", &ParseReading, &UpdateReading,
+                                &SensorResult, &SerializeReading, &DeserializeReading>;
+
+}  // namespace
+
+int main() {
+  // Synthesize a telemetry log: 16 sensors, 200k time-ordered readings.
+  SplitMix64 rng(99);
+  std::vector<std::vector<std::string>> chunks(8);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    for (int i = 0; i < 25000; ++i) {
+      const int64_t sensor = static_cast<int64_t>(rng.Below(16));
+      const int64_t reading = 20000 + rng.Range(-5000, 5000) + sensor * 100;
+      chunks[c].push_back(std::to_string(sensor) + "\t" + std::to_string(reading));
+    }
+  }
+  const Dataset data = DatasetFromLines(chunks);
+
+  const auto seq = RunSequential<SensorQuery>(data);
+  const auto sym = RunSymple<SensorQuery>(data);
+
+  std::printf("sensor   peak m°C   top-3 readings\n");
+  for (const auto& [sensor, result] : sym.outputs) {
+    std::printf("%6lld   %9lld   [%lld, %lld, %lld]\n",
+                static_cast<long long>(sensor),
+                static_cast<long long>(result.first),
+                static_cast<long long>(result.second[0]),
+                static_cast<long long>(result.second[1]),
+                static_cast<long long>(result.second[2]));
+  }
+
+  std::printf("\nmatches sequential: %s\n", sym.outputs == seq.outputs ? "yes" : "NO");
+  std::printf("decision points hit: %llu (the canonical forms never fork)\n",
+              static_cast<unsigned long long>(sym.stats.exploration.decisions));
+  std::printf("summary paths: %llu across %llu summaries (always one per chunk)\n",
+              static_cast<unsigned long long>(sym.stats.summary_paths),
+              static_cast<unsigned long long>(sym.stats.summaries));
+  std::printf("shuffle: %.1f KB vs %.1f KB baseline\n",
+              static_cast<double>(sym.stats.shuffle_bytes) / 1e3,
+              static_cast<double>(
+                  RunBaselineMapReduce<SensorQuery>(data).stats.shuffle_bytes) /
+                  1e3);
+  return sym.outputs == seq.outputs ? 0 : 1;
+}

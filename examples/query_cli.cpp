@@ -1,0 +1,183 @@
+// Command-line runner for every evaluation query — the "download and poke at
+// it" entry point. Generates the query's dataset at a chosen scale, runs the
+// chosen engines, prints results summaries and engine statistics.
+//
+//   $ ./query_cli                 # list queries
+//   $ ./query_cli G3              # run G3 on all three engines
+//   $ ./query_cli B1 --records 500000 --segments 32
+//   $ ./query_cli R4 --engine symple
+//   $ ./query_cli G1 --save /tmp/github_ds       # generate + write to disk
+//   $ ./query_cli G1 --load /tmp/github_ds       # run from files on disk
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "queries/all_queries.h"
+#include "runtime/dataset_io.h"
+#include "runtime/engine.h"
+#include "workloads/bing_gen.h"
+#include "workloads/github_gen.h"
+#include "workloads/gps_gen.h"
+#include "workloads/redshift_gen.h"
+#include "workloads/twitter_gen.h"
+#include "workloads/webshop_gen.h"
+
+namespace {
+
+struct Options {
+  std::string query;
+  std::string engine = "all";  // sequential | mapreduce | symple | all
+  size_t records = 120000;
+  size_t segments = 12;
+  std::string save_dir;
+  std::string load_dir;
+};
+
+void PrintStats(const char* label, const symple::EngineStats& stats, bool ok) {
+  std::printf("%-11s wall %7.1f ms | map cpu %7.1f ms | shuffle %9.2f KB | %s\n",
+              label, stats.total_wall_ms, stats.map_cpu_ms,
+              static_cast<double>(stats.shuffle_bytes) / 1e3,
+              ok ? "matches sequential" : "(reference)");
+}
+
+template <typename Query>
+int RunQuery(const Options& options, symple::Dataset data) {
+  using namespace symple;
+  if (!options.load_dir.empty()) {
+    std::printf("loading dataset from %s\n", options.load_dir.c_str());
+    data = LoadDataset(options.load_dir);
+  }
+  if (!options.save_dir.empty()) {
+    SaveDataset(data, options.save_dir);
+    std::printf("dataset written to %s\n", options.save_dir.c_str());
+  }
+  std::printf("query %s on %.1f MB (%llu records, %zu segments)\n", Query::kName,
+              static_cast<double>(data.TotalBytes()) / 1e6,
+              static_cast<unsigned long long>(data.TotalRecords()),
+              data.segment_count());
+
+  const auto seq = RunSequential<Query>(data);
+  PrintStats("sequential", seq.stats, false);
+  if (options.engine == "all" || options.engine == "mapreduce") {
+    const auto mr = RunBaselineMapReduce<Query>(data);
+    PrintStats("mapreduce", mr.stats, mr.outputs == seq.outputs);
+  }
+  if (options.engine == "all" || options.engine == "symple") {
+    const auto sym = RunSymple<Query>(data);
+    PrintStats("symple", sym.stats, sym.outputs == seq.outputs);
+    std::printf("symbolic:   %llu groups, %llu summaries, %llu paths, "
+                "%llu runs, %llu merges, %llu restarts\n",
+                static_cast<unsigned long long>(sym.stats.groups),
+                static_cast<unsigned long long>(sym.stats.summaries),
+                static_cast<unsigned long long>(sym.stats.summary_paths),
+                static_cast<unsigned long long>(sym.stats.exploration.runs),
+                static_cast<unsigned long long>(sym.stats.exploration.paths_merged),
+                static_cast<unsigned long long>(sym.stats.exploration.summary_restarts));
+    if (sym.outputs != seq.outputs) {
+      std::printf("ERROR: SYMPLE diverged from the sequential semantics\n");
+      return 1;
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace symple;
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      options.records = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--segments") == 0 && i + 1 < argc) {
+      options.segments = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      options.engine = argv[++i];
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      options.save_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+      options.load_dir = argv[++i];
+    } else {
+      options.query = argv[i];
+    }
+  }
+  if (options.query.empty()) {
+    std::printf("usage: query_cli <query> [--records N] [--segments N] "
+                "[--engine sequential|mapreduce|symple|all]\n\nqueries:\n");
+    for (const QueryInfo& info : AllQueryInfos()) {
+      std::printf("  %-4s %-9s %s\n", info.id.c_str(), info.dataset.c_str(),
+                  info.description.c_str());
+    }
+    std::printf("  %-4s %-9s %s\n", "Max", "numbers", "global maximum (Section 3.1)");
+    std::printf("  %-4s %-9s %s\n", "Fun", "webshop", "purchase funnel (Figure 1)");
+    std::printf("  %-4s %-9s %s\n", "Gps", "gps", "session counting (Section 4.4)");
+    return 0;
+  }
+
+  GithubGenParams gh;
+  gh.num_records = options.records;
+  gh.num_segments = options.segments;
+  BingGenParams bing;
+  bing.num_records = options.records;
+  bing.num_segments = options.segments;
+  TwitterGenParams tw;
+  tw.num_records = options.records;
+  tw.num_segments = options.segments;
+  RedshiftGenParams rs;
+  rs.num_records = options.records;
+  rs.num_segments = options.segments;
+  WebshopGenParams shop;
+  shop.num_records = options.records;
+  shop.num_segments = options.segments;
+  GpsGenParams gps;
+  gps.num_records = options.records;
+  gps.num_segments = options.segments;
+
+  const std::string& q = options.query;
+  if (q == "G1") {
+    return RunQuery<G1OnlyPushes>(options, GenerateGithubLog(gh));
+  }
+  if (q == "G2") {
+    return RunQuery<G2OpsBeforeDelete>(options, GenerateGithubLog(gh));
+  }
+  if (q == "G3") {
+    return RunQuery<G3PullWindowOps>(options, GenerateGithubLog(gh));
+  }
+  if (q == "G4") {
+    return RunQuery<G4BranchGap>(options, GenerateGithubLog(gh));
+  }
+  if (q == "B1") {
+    return RunQuery<B1GlobalOutages>(options, GenerateBingLog(bing));
+  }
+  if (q == "B2") {
+    return RunQuery<B2AreaOutages>(options, GenerateBingLog(bing));
+  }
+  if (q == "B3") {
+    return RunQuery<B3UserSessions>(options, GenerateBingLog(bing));
+  }
+  if (q == "T1") {
+    return RunQuery<T1SpamLearning>(options, GenerateTwitterLog(tw));
+  }
+  if (q == "R1") {
+    return RunQuery<R1Impressions>(options, GenerateRedshiftLog(rs));
+  }
+  if (q == "R2") {
+    return RunQuery<R2SingleCountry>(options, GenerateRedshiftLog(rs));
+  }
+  if (q == "R3") {
+    return RunQuery<R3AdGaps>(options, GenerateRedshiftLog(rs));
+  }
+  if (q == "R4") {
+    return RunQuery<R4CampaignRuns>(options, GenerateRedshiftLog(rs));
+  }
+  if (q == "Fun") {
+    return RunQuery<FunnelQuery>(options, GenerateWebshopLog(shop));
+  }
+  if (q == "Gps") {
+    return RunQuery<GpsSessionQuery>(options, GenerateGpsLog(gps));
+  }
+  std::printf("unknown query '%s' (run without arguments for the list)\n", q.c_str());
+  return 1;
+}

@@ -1,0 +1,125 @@
+// Copy-on-write element buffer with a non-atomic reference count.
+//
+// Used by SymVector: the live paths of one symbolic exploration share their
+// append-only output storage, cloning lazily on append. A path's State is
+// confined to the map task that owns it (summaries cross threads only as
+// serialized bytes), so the reference count deliberately avoids atomics —
+// copying a path must cost nanoseconds, it happens per record per path.
+//
+// NOT thread-safe: two threads must never hold CowBuffers sharing one Rep.
+#ifndef SYMPLE_COMMON_COW_BUFFER_H_
+#define SYMPLE_COMMON_COW_BUFFER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace symple {
+
+// GCC's -Wuse-after-free cannot see that the reference count protocol makes
+// the delete-then-touch interleavings it reports impossible (a Rep is deleted
+// only by the holder that decremented refs to zero, i.e. the sole remaining
+// owner). Suppress the false positive for this class only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuse-after-free"
+#endif
+
+template <typename T>
+class CowBuffer {
+ public:
+  CowBuffer() = default;
+
+  CowBuffer(const CowBuffer& other) : rep_(other.rep_) {
+    if (rep_ != nullptr) {
+      ++rep_->refs;
+    }
+  }
+
+  CowBuffer& operator=(const CowBuffer& other) {
+    if (this != &other) {
+      Release();
+      rep_ = other.rep_;
+      if (rep_ != nullptr) {
+        ++rep_->refs;
+      }
+    }
+    return *this;
+  }
+
+  CowBuffer(CowBuffer&& other) noexcept : rep_(other.rep_) { other.rep_ = nullptr; }
+
+  CowBuffer& operator=(CowBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      rep_ = other.rep_;
+      other.rep_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~CowBuffer() { Release(); }
+
+  // Element storage, or nullptr when never written. The vector may be longer
+  // than the owner's logical size if a sharing sibling appended.
+  const std::vector<T>* items() const { return rep_ != nullptr ? &rep_->items : nullptr; }
+
+  // Returns exclusively-owned storage truncated/cloned to exactly
+  // `logical_size` elements, ready for appending.
+  std::vector<T>& EnsureExclusive(size_t logical_size) {
+    if (rep_ == nullptr) {
+      rep_ = new Rep();
+      return rep_->items;
+    }
+    if (rep_->refs > 1) {
+      Rep* fresh = new Rep();
+      fresh->items.assign(rep_->items.begin(),
+                          rep_->items.begin() + static_cast<ptrdiff_t>(logical_size));
+      --rep_->refs;
+      rep_ = fresh;
+    } else if (rep_->items.size() != logical_size) {
+      rep_->items.resize(logical_size);  // drop a dead sibling's suffix
+    }
+    return rep_->items;
+  }
+
+  // Takes ownership of a ready-made element vector.
+  void Adopt(std::vector<T>&& items) {
+    Release();
+    rep_ = new Rep{1, std::move(items)};
+  }
+
+  void Reset() {
+    Release();
+    rep_ = nullptr;
+  }
+
+  // True when both views are backed by the same storage (fast equality
+  // prescreen for identical shared contents).
+  bool SharesStorageWith(const CowBuffer& other) const { return rep_ == other.rep_; }
+
+  size_t use_count() const { return rep_ != nullptr ? rep_->refs : 0; }
+
+ private:
+  struct Rep {
+    size_t refs = 1;
+    std::vector<T> items;
+  };
+
+  void Release() {
+    if (rep_ != nullptr && --rep_->refs == 0) {
+      delete rep_;
+    }
+    rep_ = nullptr;
+  }
+
+  Rep* rep_ = nullptr;
+};
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace symple
+
+#endif  // SYMPLE_COMMON_COW_BUFFER_H_

@@ -1,0 +1,149 @@
+#include "common/datetime.h"
+
+#include <time.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+
+namespace symple {
+namespace {
+
+constexpr int64_t kSecondsPerDay = 86400;
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) {
+    return 29;
+  }
+  return kDays[static_cast<size_t>(month - 1)];
+}
+
+// Days from 1970-01-01 to year-month-day using the classic civil-days
+// algorithm (Howard Hinnant's days_from_civil).
+int64_t DaysFromCivil(int year, int month, int day) {
+  year -= month <= 2;
+  const int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(day) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+// Inverse: civil date from days since epoch (civil_from_days).
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp < 10 ? mp + 3 : mp - 9);
+  *year = static_cast<int>(y + (*month <= 2));
+}
+
+// Parses exactly `n` decimal digits starting at text[pos]; returns -1 on any
+// non-digit.
+int ParseDigits(std::string_view text, size_t pos, size_t n) {
+  int value = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const char c = text[pos + i];
+    if (c < '0' || c > '9') {
+      return -1;
+    }
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+int64_t CivilToUnixSeconds(const CivilTime& t) {
+  return DaysFromCivil(t.year, t.month, t.day) * kSecondsPerDay +
+         t.hour * 3600 + t.minute * 60 + t.second;
+}
+
+CivilTime UnixSecondsToCivil(int64_t seconds) {
+  int64_t days = seconds / kSecondsPerDay;
+  int64_t rem = seconds % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    days -= 1;
+  }
+  CivilTime t;
+  CivilFromDays(days, &t.year, &t.month, &t.day);
+  t.hour = static_cast<int>(rem / 3600);
+  t.minute = static_cast<int>((rem % 3600) / 60);
+  t.second = static_cast<int>(rem % 60);
+  return t;
+}
+
+std::optional<int64_t> ParseDateTime(std::string_view text) {
+  // "YYYY-MM-DD hh:mm:ss" is exactly 19 characters.
+  if (text.size() != 19 || text[4] != '-' || text[7] != '-' ||
+      text[10] != ' ' || text[13] != ':' || text[16] != ':') {
+    return std::nullopt;
+  }
+  CivilTime t;
+  t.year = ParseDigits(text, 0, 4);
+  t.month = ParseDigits(text, 5, 2);
+  t.day = ParseDigits(text, 8, 2);
+  t.hour = ParseDigits(text, 11, 2);
+  t.minute = ParseDigits(text, 14, 2);
+  t.second = ParseDigits(text, 17, 2);
+  if (t.year < 0 || t.month < 1 || t.month > 12 || t.day < 1 ||
+      t.day > DaysInMonth(t.year, t.month) || t.hour < 0 || t.hour > 23 ||
+      t.minute < 0 || t.minute > 59 || t.second < 0 || t.second > 59) {
+    return std::nullopt;
+  }
+  return CivilToUnixSeconds(t);
+}
+
+std::optional<int64_t> ParseDateTimeLibc(std::string_view text) {
+  if (text.size() != 19) {
+    return std::nullopt;
+  }
+  char buf[20];
+  std::memcpy(buf, text.data(), 19);
+  buf[19] = '\0';
+  tm parts{};
+  const char* end = strptime(buf, "%Y-%m-%d %H:%M:%S", &parts);
+  if (end == nullptr || *end != '\0') {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(timegm(&parts));
+}
+
+std::optional<int64_t> ParseDateTimeStdlib(std::string_view text) {
+  if (text.size() != 19) {
+    return std::nullopt;
+  }
+  std::istringstream stream{std::string(text)};
+  tm parts{};
+  stream >> std::get_time(&parts, "%Y-%m-%d %H:%M:%S");
+  if (stream.fail()) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(timegm(&parts));
+}
+
+std::string FormatDateTime(int64_t unix_seconds) {
+  const CivilTime t = UnixSecondsToCivil(unix_seconds);
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", t.year,
+                t.month, t.day, t.hour, t.minute, t.second);
+  return std::string(buf);
+}
+
+}  // namespace symple

@@ -1,0 +1,54 @@
+// Minimal civil-time parsing/formatting used by the log-format workloads.
+//
+// The paper observes (Section 6.3) that query R3c is dominated by C-library
+// datetime parsing rather than by symbolic execution. To reproduce that
+// effect honestly, RedShift log records carry textual "YYYY-MM-DD hh:mm:ss"
+// timestamps that the query parsers really parse through this module.
+#ifndef SYMPLE_COMMON_DATETIME_H_
+#define SYMPLE_COMMON_DATETIME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace symple {
+
+// Broken-down UTC civil time. Months and days are 1-based.
+struct CivilTime {
+  int year = 1970;
+  int month = 1;
+  int day = 1;
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+
+  friend bool operator==(const CivilTime&, const CivilTime&) = default;
+};
+
+// Seconds since the Unix epoch, UTC (proleptic Gregorian calendar).
+int64_t CivilToUnixSeconds(const CivilTime& t);
+
+// Inverse of CivilToUnixSeconds.
+CivilTime UnixSecondsToCivil(int64_t seconds);
+
+// Parses "YYYY-MM-DD hh:mm:ss". Returns nullopt on malformed input. This is
+// deliberately a real field-by-field parse (digit validation, range checks)
+// so its cost is representative of strptime-style parsing.
+std::optional<int64_t> ParseDateTime(std::string_view text);
+
+// Formats seconds-since-epoch as "YYYY-MM-DD hh:mm:ss".
+std::string FormatDateTime(int64_t unix_seconds);
+
+// Same parse through POSIX strptime + timegm.
+std::optional<int64_t> ParseDateTimeLibc(std::string_view text);
+
+// Same parse through the standard library's locale-backed std::get_time —
+// roughly a microsecond per call. Query R3 uses this one deliberately: the
+// paper attributes R3c's runtime to "C standard lib datetime parsing", i.e.
+// the obvious library call being the bottleneck. This is that cost.
+std::optional<int64_t> ParseDateTimeStdlib(std::string_view text);
+
+}  // namespace symple
+
+#endif  // SYMPLE_COMMON_DATETIME_H_

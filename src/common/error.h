@@ -1,0 +1,38 @@
+// Error handling primitives for the SYMPLE library.
+//
+// SYMPLE uses exceptions only for programmer errors (API misuse, declared
+// limitations such as symbolic-coefficient overflow). Data-path code is
+// exception free; decision procedures signal infeasibility through return
+// values, never by throwing.
+#ifndef SYMPLE_COMMON_ERROR_H_
+#define SYMPLE_COMMON_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace symple {
+
+// Thrown on API misuse or when a declared engine limitation is hit (for
+// example a UDA whose loop bounds depend on the aggregation state, see
+// Section 5.2 of the paper, or symbolic coefficient overflow in SymInt).
+class SympleError : public std::runtime_error {
+ public:
+  explicit SympleError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Internal invariant check. Unlike assert() this is active in release builds:
+// the engine's soundness depends on these invariants, and the paper requires
+// exact sequential semantics (Section 2.3), so silent corruption is never
+// acceptable.
+#define SYMPLE_CHECK(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      throw ::symple::SympleError(std::string("SYMPLE_CHECK failed: ") +   \
+                                  (msg) + " [" #cond "] at " __FILE__ ":" + \
+                                  std::to_string(__LINE__));               \
+    }                                                                      \
+  } while (false)
+
+}  // namespace symple
+
+#endif  // SYMPLE_COMMON_ERROR_H_

@@ -1,0 +1,52 @@
+// Small deterministic PRNGs used by the workload generators and tests.
+//
+// All SYMPLE workloads are generated from fixed seeds so that every run of
+// the benchmarks and property tests sees byte-identical input data.
+#ifndef SYMPLE_COMMON_RNG_H_
+#define SYMPLE_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace symple {
+
+// SplitMix64 (Steele, Lea, Flood 2014): tiny, fast, and statistically solid
+// enough for synthetic data generation. Not for cryptographic use.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform value in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform value in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t state_;
+};
+
+// Mixes a base seed with a stream id so independent generators (for example
+// one per file segment) are decorrelated but still reproducible.
+inline uint64_t MixSeed(uint64_t base, uint64_t stream) {
+  SplitMix64 rng(base ^ (0xA5A5A5A5DEADBEEFULL + stream * 0x9E3779B97F4A7C15ULL));
+  return rng.Next();
+}
+
+}  // namespace symple
+
+#endif  // SYMPLE_COMMON_RNG_H_

@@ -1,0 +1,29 @@
+#include "common/text.h"
+
+namespace symple {
+
+std::optional<int64_t> ParseInt64(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  bool negative = false;
+  size_t i = 0;
+  if (text[0] == '-') {
+    negative = true;
+    i = 1;
+    if (text.size() == 1) {
+      return std::nullopt;
+    }
+  }
+  int64_t value = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    value = value * 10 + (c - '0');
+  }
+  return negative ? -value : value;
+}
+
+}  // namespace symple

@@ -1,0 +1,55 @@
+// Tab-separated-field helpers shared by the log parsers.
+//
+// Parsing is part of the measured workload (the paper's mappers "read through
+// the datasets and discard most of their fields"), so these helpers are
+// simple, allocation-free scans over string_views.
+#ifndef SYMPLE_COMMON_TEXT_H_
+#define SYMPLE_COMMON_TEXT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace symple {
+
+// Cursor over tab-separated fields of one log line.
+class FieldCursor {
+ public:
+  explicit FieldCursor(std::string_view line) : rest_(line) {}
+
+  // Returns the next field, or nullopt when the line is exhausted.
+  std::optional<std::string_view> Next() {
+    if (done_) {
+      return std::nullopt;
+    }
+    const size_t tab = rest_.find('\t');
+    if (tab == std::string_view::npos) {
+      done_ = true;
+      return rest_;
+    }
+    std::string_view field = rest_.substr(0, tab);
+    rest_.remove_prefix(tab + 1);
+    return field;
+  }
+
+  // Skips n fields; returns false if the line ran out.
+  bool Skip(int n) {
+    for (int i = 0; i < n; ++i) {
+      if (!Next().has_value()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::string_view rest_;
+  bool done_ = false;
+};
+
+// Base-10 signed integer parse; returns nullopt on empty/malformed input.
+std::optional<int64_t> ParseInt64(std::string_view text);
+
+}  // namespace symple
+
+#endif  // SYMPLE_COMMON_TEXT_H_

@@ -1,0 +1,36 @@
+// Textual key encoding for baseline shuffle rows.
+//
+// Hadoop streaming rows are "key<TAB>value" text; the baseline MapReduce
+// engine charges each shuffled record for its key in decimal text, exactly
+// what the paper's pipeline shipped between C++ tasks.
+#ifndef SYMPLE_COMMON_TEXT_KEY_H_
+#define SYMPLE_COMMON_TEXT_KEY_H_
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+template <typename K>
+struct TextKeyCodec;
+
+template <std::integral K>
+struct TextKeyCodec<K> {
+  static void Write(BinaryWriter& w, const K& key) {
+    w.WriteString(std::to_string(key));
+  }
+  static void Skip(BinaryReader& r) { (void)r.ReadString(); }
+};
+
+template <>
+struct TextKeyCodec<std::string> {
+  static void Write(BinaryWriter& w, const std::string& key) { w.WriteString(key); }
+  static void Skip(BinaryReader& r) { (void)r.ReadString(); }
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_COMMON_TEXT_KEY_H_

@@ -1,0 +1,57 @@
+// Fixed-size worker pool used to run simulated mapper/reducer tasks.
+//
+// The runtime substrate (src/runtime) models each Hadoop map task as one unit
+// of work submitted to this pool; the pool size plays the role of the number
+// of machines/cores available (Section 6.2's "1/2/4 mappers" axis).
+#ifndef SYMPLE_COMMON_THREAD_POOL_H_
+#define SYMPLE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace symple {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  // Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw; an escaping exception terminates
+  // the process (mapper code reports failures through its result object).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Convenience: runs `tasks[i]()` for all i on `num_threads` workers and waits
+// for completion.
+void RunParallel(size_t num_threads, std::vector<std::function<void()>> tasks);
+
+}  // namespace symple
+
+#endif  // SYMPLE_COMMON_THREAD_POOL_H_

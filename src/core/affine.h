@@ -1,0 +1,108 @@
+// Affine value forms shared by the symbolic data types.
+//
+// Because SYMPLE's type restrictions guarantee every symbolic expression
+// mentions a single symbolic variable (paper Section 4.3), every
+// integer-like symbolic value is an affine form a*x + b over that variable.
+// SymInt stores one directly; a bound SymEnum is the degenerate a == 0 case;
+// SymVector elements snapshot them. This header defines the form plus the
+// checked arithmetic all of them share.
+#ifndef SYMPLE_CORE_AFFINE_H_
+#define SYMPLE_CORE_AFFINE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/error.h"
+
+namespace symple {
+
+// a*x + b over some field's symbolic input variable; a == 0 means the value
+// is the concrete constant b.
+struct AffineForm {
+  int64_t a = 0;
+  int64_t b = 0;
+
+  bool IsConcrete() const { return a == 0; }
+
+  friend bool operator==(const AffineForm&, const AffineForm&) = default;
+};
+
+// Checked int64 arithmetic. Symbolic coefficients must stay exactly
+// representable: silently wrapping a transfer function would violate the
+// paper's sound-and-precise requirement (Section 2.3), so overflow throws.
+inline int64_t CheckedAdd(int64_t x, int64_t y) {
+  int64_t r = 0;
+  if (__builtin_add_overflow(x, y, &r)) {
+    throw SympleError("SymInt coefficient overflow in addition");
+  }
+  return r;
+}
+
+inline int64_t CheckedSub(int64_t x, int64_t y) {
+  int64_t r = 0;
+  if (__builtin_sub_overflow(x, y, &r)) {
+    throw SympleError("SymInt coefficient overflow in subtraction");
+  }
+  return r;
+}
+
+inline int64_t CheckedMul(int64_t x, int64_t y) {
+  int64_t r = 0;
+  if (__builtin_mul_overflow(x, y, &r)) {
+    throw SympleError("SymInt coefficient overflow in multiplication");
+  }
+  return r;
+}
+
+inline int64_t CheckedNeg(int64_t x) {
+  if (x == std::numeric_limits<int64_t>::min()) {
+    throw SympleError("SymInt coefficient overflow in negation");
+  }
+  return -x;
+}
+
+// Composition of affine forms: outer(inner(x)). outer.a*(inner.a*x+inner.b)
+// + outer.b, with overflow checking.
+inline AffineForm ComposeAffine(const AffineForm& outer, const AffineForm& inner) {
+  AffineForm out;
+  out.a = CheckedMul(outer.a, inner.a);
+  out.b = CheckedAdd(CheckedMul(outer.a, inner.b), outer.b);
+  return out;
+}
+
+// Evaluation at a concrete point.
+inline int64_t EvalAffine(const AffineForm& f, int64_t x) {
+  return CheckedAdd(CheckedMul(f.a, x), f.b);
+}
+
+// Resolves a field index of the *earlier* path in a composition to that
+// field's transfer function in affine form. Built by sym_struct.h over the
+// user's State tuple; consumed by SymVector when rewriting symbolic elements
+// through the earlier segment (paper Section 4.5).
+class FieldResolver {
+ public:
+  virtual ~FieldResolver() = default;
+  virtual AffineForm Resolve(uint32_t field_index) const = 0;
+};
+
+inline std::string DebugStringAffine(const AffineForm& f, uint32_t field_index) {
+  if (f.IsConcrete()) {
+    return std::to_string(f.b);
+  }
+  std::string out;
+  if (f.a != 1) {
+    out += std::to_string(f.a) + "*";
+  }
+  out += "x" + std::to_string(field_index);
+  if (f.b > 0) {
+    out += "+" + std::to_string(f.b);
+  } else if (f.b < 0) {
+    out += std::to_string(f.b);
+  }
+  return out;
+}
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_AFFINE_H_

@@ -1,0 +1,229 @@
+// Aggregators: the engines that run a UDA's Update function over a record
+// stream, either concretely (sequential baseline / reducer semantics) or
+// symbolically (mapper-side partial evaluation, paper Section 5.1–5.2).
+#ifndef SYMPLE_CORE_AGGREGATOR_H_
+#define SYMPLE_CORE_AGGREGATOR_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "core/exec_context.h"
+#include "core/summary.h"
+#include "core/sym_struct.h"
+
+namespace symple {
+
+struct AggregatorOptions {
+  // Total live-path bound: when the summary under construction exceeds this
+  // many paths, it is emitted and exploration restarts from a fresh unknown
+  // state (the paper's bound, "currently set to 8", Section 5.2). This trades
+  // parallelism for sequential efficiency and is the graceful fallback for
+  // UDAs with little symbolic parallelism.
+  size_t max_live_paths = 8;
+
+  // Hard bound on paths explored from one (path, record) pair. Exceeding it
+  // aborts with the paper's warning: the UDA likely has a loop that depends
+  // on the aggregation state.
+  size_t max_paths_per_record = 256;
+
+  // Hard bound on decision points within a single run of the update function
+  // (catches state-dependent loops before they finish even one run).
+  size_t max_decisions_per_run = 4096;
+
+  // Path merging (Section 3.5). Disabled only by the ablation benchmarks.
+  bool enable_merging = true;
+
+  // Paper behavior: attempt merging whenever the live-path count exceeds the
+  // previously reached maximum. When false, merge after every record
+  // (ablation knob; more merge passes, fewer live paths).
+  bool merge_only_at_highwater = true;
+};
+
+// Runs the UDA concretely: this is both the sequential baseline and the
+// semantics a reducer recovers via summary application. Update is any
+// callable (State&, const Event&).
+template <typename State, typename Event, typename UpdateFn>
+class ConcreteAggregator {
+ public:
+  explicit ConcreteAggregator(UpdateFn update) : update_(std::move(update)) {}
+
+  void Feed(const Event& e) { update_(state_, e); }
+
+  const State& state() const { return state_; }
+  State& state() { return state_; }
+
+ private:
+  UpdateFn update_;
+  State state_{};  // the initial aggregation state is the default-constructed State
+};
+
+// Runs the UDA symbolically over one chunk, producing the ordered list of
+// symbolic summaries for that chunk (usually one; more after restarts).
+template <typename State, typename Event, typename UpdateFn>
+class SymbolicAggregator {
+ public:
+  explicit SymbolicAggregator(UpdateFn update, AggregatorOptions options = {})
+      : update_(std::move(update)), options_(options) {
+    SYMPLE_CHECK(options_.max_live_paths >= 1, "max_live_paths must be >= 1");
+    ctx_.set_max_decisions_per_run(options_.max_decisions_per_run);
+    StartFreshSegment();
+  }
+
+  // Processes one record: explores every feasible path of Update from every
+  // live path, then merges and applies the explosion controls.
+  void Feed(const Event& e) {
+    // Fast path: one live path and the record incurs no decision (by far the
+    // most common case across the evaluation queries) — no scratch buffers.
+    if (live_paths_.size() == 1) {
+      ChoiceVector& choices = ctx_.choices();
+      choices.Clear();
+      State copy = live_paths_.front();
+      {
+        ScopedExecContext scope(&ctx_);
+        update_(copy, e);
+      }
+      ++ctx_.stats().runs;
+      ++ctx_.stats().paths_produced;
+      if (choices.empty()) {
+        live_paths_.front() = std::move(copy);
+        return;
+      }
+      // The record forked: collect this first path, then continue exploring.
+      scratch_paths_.clear();
+      scratch_paths_.push_back(std::move(copy));
+      if (choices.Advance()) {
+        ExplorePathsFrom(live_paths_.front(), e, scratch_paths_,
+                         /*continue_exploration=*/true);
+      }
+      live_paths_.swap(scratch_paths_);
+    } else {
+      scratch_paths_.clear();
+      for (const State& path : live_paths_) {
+        ExplorePathsFrom(path, e, scratch_paths_);
+      }
+      live_paths_.swap(scratch_paths_);
+    }
+
+    if (options_.enable_merging &&
+        (!options_.merge_only_at_highwater || live_paths_.size() > highwater_)) {
+      ctx_.stats().paths_merged += MergeStatePaths(live_paths_);
+      if (live_paths_.size() > highwater_) {
+        highwater_ = live_paths_.size();
+      }
+    }
+    if (live_paths_.size() > options_.max_live_paths) {
+      EmitCurrentSummary();
+      StartFreshSegment();
+      ++ctx_.stats().summary_restarts;
+    }
+  }
+
+  // Finalizes and returns the ordered summaries for this chunk. The
+  // aggregator must not be fed afterwards.
+  std::vector<Summary<State>> Finish() {
+    EmitCurrentSummary();
+    return std::move(summaries_);
+  }
+
+  const ExplorationStats& stats() const { return ctx_.stats(); }
+  size_t live_path_count() const { return live_paths_.size(); }
+
+ private:
+  void StartFreshSegment() {
+    State fresh{};
+    MakeSymbolicState(fresh);
+    live_paths_.clear();
+    live_paths_.push_back(std::move(fresh));
+    highwater_ = 1;
+  }
+
+  // Explores all remaining feasible paths of Update from `path`. With
+  // continue_exploration the caller already ran (and kept) the first path and
+  // advanced the choice vector.
+  void ExplorePathsFrom(const State& path, const Event& e, std::vector<State>& out,
+                        bool continue_exploration = false) {
+    ChoiceVector& choices = ctx_.choices();
+    if (!continue_exploration) {
+      choices.Clear();
+    }
+    size_t produced = continue_exploration ? 1 : 0;
+    for (;;) {
+      State copy = path;
+      choices.Rewind();
+      {
+        ScopedExecContext scope(&ctx_);
+        update_(copy, e);
+      }
+      ++ctx_.stats().runs;
+      SYMPLE_CHECK(choices.FullyConsumed(),
+                   "update function did not replay its recorded choices; "
+                   "UDA exploration must be deterministic per record");
+      out.push_back(std::move(copy));
+      ++ctx_.stats().paths_produced;
+      if (++produced > options_.max_paths_per_record) {
+        throw SympleError(
+            "path explosion while processing a single record; the UDA "
+            "potentially has a loop that depends on the aggregation state");
+      }
+      if (!choices.Advance()) {
+        break;
+      }
+    }
+  }
+
+  void EmitCurrentSummary() {
+    summaries_.emplace_back(std::move(live_paths_));
+    live_paths_.clear();
+  }
+
+  UpdateFn update_;
+  AggregatorOptions options_;
+  ExecContext ctx_;
+  std::vector<State> live_paths_;
+  std::vector<State> scratch_paths_;  // reused across Feed calls
+  std::vector<Summary<State>> summaries_;
+  size_t highwater_ = 1;
+};
+
+// Convenience: applies ordered summaries to a concrete initial state,
+// recovering the sequential result (the reducer's job). Returns false when a
+// summary rejects the state (invalid/corrupt summary).
+template <typename State>
+bool ApplySummaries(const std::vector<Summary<State>>& ordered, State& state) {
+  for (const Summary<State>& s : ordered) {
+    if (!s.ApplyTo(state)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Reduces ordered summaries into one by associative pairwise composition
+// (paper Section 3.6: "one can further parallelize this computation as
+// function composition is associative"). The halving shape is the one a
+// parallel tree reduction would use; here it also exercises summary⊙summary
+// composition end to end.
+template <typename State>
+Summary<State> ComposeAll(const std::vector<Summary<State>>& ordered) {
+  SYMPLE_CHECK(!ordered.empty(), "ComposeAll needs at least one summary");
+  std::vector<Summary<State>> level = ordered;
+  while (level.size() > 1) {
+    std::vector<Summary<State>> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      // later ∘ earlier: level[i] precedes level[i+1] in input order.
+      next.push_back(Summary<State>::Compose(level[i + 1], level[i]));
+    }
+    if (level.size() % 2 == 1) {
+      next.push_back(std::move(level.back()));
+    }
+    level = std::move(next);
+  }
+  return std::move(level.front());
+}
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_AGGREGATOR_H_

@@ -1,0 +1,52 @@
+#include "core/choice_vector.h"
+
+#include "common/error.h"
+
+namespace symple {
+
+uint32_t ChoiceVector::Next(uint32_t arity) {
+  SYMPLE_CHECK(arity >= 2, "a decision point needs at least two outcomes");
+  if (cursor_ < digits_.size()) {
+    const Digit& d = digits_[cursor_];
+    SYMPLE_CHECK(d.arity == arity,
+                 "decision arity changed between runs; UDA exploration is "
+                 "non-deterministic");
+    ++cursor_;
+    return d.value;
+  }
+  digits_.push_back(Digit{0, arity});
+  ++cursor_;
+  return 0;
+}
+
+bool ChoiceVector::Advance() {
+  // Pop trailing maxed-out digits, then increment the last remaining one.
+  while (!digits_.empty() && digits_.back().value + 1 == digits_.back().arity) {
+    digits_.pop_back();
+  }
+  if (digits_.empty()) {
+    cursor_ = 0;
+    return false;
+  }
+  ++digits_.back().value;
+  cursor_ = 0;
+  return true;
+}
+
+void ChoiceVector::Clear() {
+  digits_.clear();
+  cursor_ = 0;
+}
+
+std::string ChoiceVector::DebugString() const {
+  std::string out;
+  for (size_t i = 0; i < digits_.size(); ++i) {
+    if (i > 0) {
+      out += '.';
+    }
+    out += std::to_string(digits_[i].value);
+  }
+  return out;
+}
+
+}  // namespace symple

@@ -1,0 +1,72 @@
+// Choice vector for lexicographic path enumeration (paper Section 5.1).
+//
+// A feasible path through one invocation of a UDA's Update function is
+// encoded as a sequence of branch outcomes. The paper uses binary digits; we
+// generalize to mixed-radix digits so that a single decision point can have
+// more than two feasible outcomes (SymInt disequality splits an interval into
+// up to three sub-intervals).
+//
+// Protocol per exploration round:
+//   Rewind();                       // position cursor at the start
+//   ... Next(arity) consumed by Sym types during the run ...
+//   bool more = Advance();          // odometer-increment to the next path
+//
+// Next(arity) replays recorded digits while the cursor is inside the vector
+// and appends digit 0 once it runs past the end (the "always take the first
+// feasible outcome on fresh ground" rule). Advance() pops maxed-out trailing
+// digits and increments the last non-maxed one, which is exactly the
+// lexicographically next path; it returns false when every digit is maxed
+// out, i.e. the whole space has been explored.
+#ifndef SYMPLE_CORE_CHOICE_VECTOR_H_
+#define SYMPLE_CORE_CHOICE_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace symple {
+
+class ChoiceVector {
+ public:
+  // Resets the replay cursor to the beginning of the recorded digits.
+  void Rewind() { cursor_ = 0; }
+
+  // Consumes the next decision with `arity` feasible outcomes (arity >= 2)
+  // and returns the outcome index in [0, arity). Replays the recorded digit
+  // if one exists, otherwise records a 0.
+  //
+  // The arity of a replayed decision must match the arity recorded for it:
+  // exploration is deterministic given the input record, so the same decision
+  // point always offers the same outcomes.
+  uint32_t Next(uint32_t arity);
+
+  // Moves to the lexicographically next path. Returns false when exploration
+  // is complete. Must be called after a full run (cursor at or past the end).
+  bool Advance();
+
+  // Discards all recorded digits (used when starting a new record or a fresh
+  // symbolic segment).
+  void Clear();
+
+  // True if the last run consumed every recorded digit (sanity invariant: a
+  // run must replay the full prefix it is asked to replay).
+  bool FullyConsumed() const { return cursor_ == digits_.size(); }
+
+  size_t size() const { return digits_.size(); }
+  bool empty() const { return digits_.empty(); }
+
+  // Debug form such as "0.2.1" (digit values joined by dots).
+  std::string DebugString() const;
+
+ private:
+  struct Digit {
+    uint32_t value;
+    uint32_t arity;
+  };
+  std::vector<Digit> digits_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_CHOICE_VECTOR_H_

@@ -1,0 +1,31 @@
+#include "core/exec_context.h"
+
+#include "common/error.h"
+
+namespace symple {
+namespace {
+
+thread_local ExecContext* g_current_context = nullptr;
+
+}  // namespace
+
+ExecContext* ExecContext::Current() { return g_current_context; }
+
+uint32_t ExecContext::Choose(uint32_t arity) {
+  if (choices_.size() >= max_decisions_per_run_ && choices_.FullyConsumed()) {
+    throw SympleError(
+        "symbolic execution exceeded the per-run decision bound; the UDA "
+        "potentially has a loop that depends on the aggregation state");
+  }
+  ++stats_.decisions;
+  return choices_.Next(arity);
+}
+
+ScopedExecContext::ScopedExecContext(ExecContext* ctx)
+    : previous_(g_current_context) {
+  g_current_context = ctx;
+}
+
+ScopedExecContext::~ScopedExecContext() { g_current_context = previous_; }
+
+}  // namespace symple

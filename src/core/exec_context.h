@@ -1,0 +1,87 @@
+// Execution context that drives symbolic path exploration.
+//
+// The paper implements symbolic exploration "by judicious use of operator
+// overloading" (Section 5.1) with no compiler support. The link between an
+// overloaded operator deep inside user code and the engine exploring paths is
+// this context: while a symbolic run is active, a thread-local pointer names
+// the active ExecContext, and any Sym-type operator that encounters a branch
+// where both outcomes are feasible asks it for the outcome to follow.
+//
+// When no context is installed, Sym types run in *concrete mode*: values must
+// be fully concrete and operators behave exactly like the underlying C++
+// types. This is how the very same UDA code also serves as the sequential
+// baseline and as the reducer-side evaluator.
+#ifndef SYMPLE_CORE_EXEC_CONTEXT_H_
+#define SYMPLE_CORE_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+#include "core/choice_vector.h"
+
+namespace symple {
+
+// Counters the engine exposes to benchmarks and tests.
+struct ExplorationStats {
+  uint64_t runs = 0;              // update-function executions
+  uint64_t decisions = 0;         // both-feasible branch points hit
+  uint64_t paths_produced = 0;    // feasible paths recorded
+  uint64_t paths_merged = 0;      // paths eliminated by merging
+  uint64_t summary_restarts = 0;  // fresh-state restarts (Section 5.2)
+
+  ExplorationStats& operator+=(const ExplorationStats& o) {
+    runs += o.runs;
+    decisions += o.decisions;
+    paths_produced += o.paths_produced;
+    paths_merged += o.paths_merged;
+    summary_restarts += o.summary_restarts;
+    return *this;
+  }
+};
+
+class ExecContext {
+ public:
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  // Returns the context installed on this thread, or nullptr in concrete mode.
+  static ExecContext* Current();
+
+  // Consumed by Sym types at a decision point with `arity` feasible outcomes.
+  // Throws SympleError when a single run exceeds the decision bound — the
+  // symptom of a loop whose trip count depends on the aggregation state
+  // (paper Section 5.2's halt-with-warning case). Without this bound such a
+  // loop would grow the choice vector forever inside one run.
+  uint32_t Choose(uint32_t arity);
+
+  // Decision bound per run; configured by the aggregator.
+  void set_max_decisions_per_run(size_t n) { max_decisions_per_run_ = n; }
+
+  ChoiceVector& choices() { return choices_; }
+  ExplorationStats& stats() { return stats_; }
+  const ExplorationStats& stats() const { return stats_; }
+
+ private:
+  friend class ScopedExecContext;
+
+  ChoiceVector choices_;
+  ExplorationStats stats_;
+  size_t max_decisions_per_run_ = 4096;
+};
+
+// RAII installer for the thread-local current context.
+class ScopedExecContext {
+ public:
+  explicit ScopedExecContext(ExecContext* ctx);
+  ~ScopedExecContext();
+
+  ScopedExecContext(const ScopedExecContext&) = delete;
+  ScopedExecContext& operator=(const ScopedExecContext&) = delete;
+
+ private:
+  ExecContext* previous_;
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_EXEC_CONTEXT_H_

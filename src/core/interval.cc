@@ -1,0 +1,157 @@
+#include "core/interval.h"
+
+#include "common/error.h"
+
+namespace symple {
+namespace {
+
+using Int128 = __int128;
+
+constexpr int64_t kInt64Min = std::numeric_limits<int64_t>::min();
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
+
+// Converts a mathematically exact upper bound into int64 space. A bound above
+// int64 max is no constraint at all; a bound below int64 min excludes every
+// representable value, which the caller detects through the empty interval.
+Interval UpperBounded(Int128 ub, const Interval& domain) {
+  if (ub > static_cast<Int128>(kInt64Max)) {
+    return domain;
+  }
+  if (ub < static_cast<Int128>(kInt64Min)) {
+    return Interval::Empty();
+  }
+  return Intersect(domain, Interval{kInt64Min, static_cast<int64_t>(ub)});
+}
+
+// Mirror image for lower bounds.
+Interval LowerBounded(Int128 lb, const Interval& domain) {
+  if (lb < static_cast<Int128>(kInt64Min)) {
+    return domain;
+  }
+  if (lb > static_cast<Int128>(kInt64Max)) {
+    return Interval::Empty();
+  }
+  return Intersect(domain, Interval{static_cast<int64_t>(lb), kInt64Max});
+}
+
+Int128 FloorDiv(Int128 num, Int128 den) {
+  Int128 q = num / den;
+  if ((num % den != 0) && ((num < 0) != (den < 0))) {
+    --q;
+  }
+  return q;
+}
+
+Int128 CeilDiv(Int128 num, Int128 den) {
+  Int128 q = num / den;
+  if ((num % den != 0) && ((num < 0) == (den < 0))) {
+    ++q;
+  }
+  return q;
+}
+
+}  // namespace
+
+uint64_t Interval::Size() const {
+  if (IsEmpty()) {
+    return 0;
+  }
+  const Int128 n = static_cast<Int128>(hi) - static_cast<Int128>(lo) + 1;
+  if (n > static_cast<Int128>(std::numeric_limits<uint64_t>::max())) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(n);
+}
+
+std::string Interval::DebugString() const {
+  if (IsEmpty()) {
+    return "[]";
+  }
+  std::string out = "[";
+  out += lo == kInt64Min ? "-inf" : std::to_string(lo);
+  out += ", ";
+  out += hi == kInt64Max ? "+inf" : std::to_string(hi);
+  out += "]";
+  return out;
+}
+
+Interval Intersect(const Interval& a, const Interval& b) {
+  return Interval{a.lo > b.lo ? a.lo : b.lo, a.hi < b.hi ? a.hi : b.hi};
+}
+
+std::optional<Interval> UnionExact(const Interval& a, const Interval& b) {
+  if (a.IsEmpty()) {
+    return b;
+  }
+  if (b.IsEmpty()) {
+    return a;
+  }
+  // The union is an interval iff the two overlap or are adjacent. Adjacency
+  // is checked without overflow by comparing through __int128.
+  const Int128 lo = a.lo < b.lo ? a.lo : b.lo;
+  const Int128 hi = a.hi > b.hi ? a.hi : b.hi;
+  const Int128 gap_ok_left = static_cast<Int128>(a.hi) + 1 >= b.lo;
+  const Int128 gap_ok_right = static_cast<Int128>(b.hi) + 1 >= a.lo;
+  if (gap_ok_left && gap_ok_right) {
+    return Interval{static_cast<int64_t>(lo), static_cast<int64_t>(hi)};
+  }
+  return std::nullopt;
+}
+
+Interval Hull(const Interval& a, const Interval& b) {
+  if (a.IsEmpty()) {
+    return b;
+  }
+  if (b.IsEmpty()) {
+    return a;
+  }
+  return Interval{a.lo < b.lo ? a.lo : b.lo, a.hi > b.hi ? a.hi : b.hi};
+}
+
+Interval SolveAffineLe(int64_t a, int64_t b, int64_t c, const Interval& domain) {
+  SYMPLE_CHECK(a != 0, "SolveAffineLe requires a symbolic (nonzero) coefficient");
+  const Int128 rhs = static_cast<Int128>(c) - static_cast<Int128>(b);
+  if (a > 0) {
+    // x <= floor((c - b) / a)
+    return UpperBounded(FloorDiv(rhs, a), domain);
+  }
+  // a < 0: x >= ceil((c - b) / a)
+  return LowerBounded(CeilDiv(rhs, a), domain);
+}
+
+Interval SolveAffineGe(int64_t a, int64_t b, int64_t c, const Interval& domain) {
+  SYMPLE_CHECK(a != 0, "SolveAffineGe requires a symbolic (nonzero) coefficient");
+  const Int128 rhs = static_cast<Int128>(c) - static_cast<Int128>(b);
+  if (a > 0) {
+    // x >= ceil((c - b) / a)
+    return LowerBounded(CeilDiv(rhs, a), domain);
+  }
+  // a < 0: x <= floor((c - b) / a)
+  return UpperBounded(FloorDiv(rhs, a), domain);
+}
+
+Interval SolveAffineEq(int64_t a, int64_t b, int64_t c, const Interval& domain) {
+  SYMPLE_CHECK(a != 0, "SolveAffineEq requires a symbolic (nonzero) coefficient");
+  const Int128 rhs = static_cast<Int128>(c) - static_cast<Int128>(b);
+  if (rhs % a != 0) {
+    return Interval::Empty();
+  }
+  const Int128 x = rhs / a;
+  if (x < static_cast<Int128>(kInt64Min) || x > static_cast<Int128>(kInt64Max)) {
+    return Interval::Empty();
+  }
+  return Intersect(domain, Interval::Point(static_cast<int64_t>(x)));
+}
+
+Interval AffinePreimage(int64_t a, int64_t b, const Interval& range,
+                        const Interval& domain) {
+  SYMPLE_CHECK(a != 0, "AffinePreimage requires a symbolic (nonzero) coefficient");
+  if (range.IsEmpty() || domain.IsEmpty()) {
+    return Interval::Empty();
+  }
+  // lo <= a*x + b <= hi  ==  the conjunction of a Ge and a Le constraint.
+  const Interval ge = SolveAffineGe(a, b, range.lo, domain);
+  return SolveAffineLe(a, b, range.hi, ge);
+}
+
+}  // namespace symple

@@ -1,0 +1,71 @@
+// Closed integer intervals over int64 — the canonical constraint form of
+// SymInt (paper Section 4.3: "lb <= x <= ub for some constants lb, ub").
+//
+// All decision procedures on SymInt reduce to constant-time interval
+// operations defined here: intersection (branch refinement), exact union
+// (path merging, Section 3.5), and preimage under an affine map (summary
+// composition, Section 3.6).
+#ifndef SYMPLE_CORE_INTERVAL_H_
+#define SYMPLE_CORE_INTERVAL_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace symple {
+
+struct Interval {
+  // Inclusive bounds. An interval with lo > hi is empty.
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+
+  static constexpr Interval Full() { return Interval{}; }
+  static constexpr Interval Empty() { return Interval{1, 0}; }
+  static constexpr Interval Point(int64_t v) { return Interval{v, v}; }
+
+  bool IsEmpty() const { return lo > hi; }
+  bool IsFull() const {
+    return lo == std::numeric_limits<int64_t>::min() &&
+           hi == std::numeric_limits<int64_t>::max();
+  }
+  bool Contains(int64_t v) const { return lo <= v && v <= hi; }
+  bool IsPoint() const { return lo == hi; }
+
+  // Number of values, saturating at uint64 max for the full interval.
+  uint64_t Size() const;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+
+  std::string DebugString() const;
+};
+
+// Set intersection (always representable).
+Interval Intersect(const Interval& a, const Interval& b);
+
+// Exact set union: returns nullopt when the union of two non-empty disjoint,
+// non-adjacent intervals is not itself an interval. Merging paths is only
+// sound when the union is exact (paper Section 3.5).
+std::optional<Interval> UnionExact(const Interval& a, const Interval& b);
+
+// Smallest interval containing both (convex hull). Used only where
+// over-approximation is acceptable (never for path constraints).
+Interval Hull(const Interval& a, const Interval& b);
+
+// Solutions x of  a*x + b <= c  intersected with `domain`. `a` must be
+// nonzero. Exact integer arithmetic via __int128; no rounding errors.
+Interval SolveAffineLe(int64_t a, int64_t b, int64_t c, const Interval& domain);
+
+// Solutions of a*x + b >= c.
+Interval SolveAffineGe(int64_t a, int64_t b, int64_t c, const Interval& domain);
+
+// Solutions of a*x + b == c (a point or empty).
+Interval SolveAffineEq(int64_t a, int64_t b, int64_t c, const Interval& domain);
+
+// Preimage of `range` under x -> a*x + b restricted to `domain`; a != 0.
+Interval AffinePreimage(int64_t a, int64_t b, const Interval& range,
+                        const Interval& domain);
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_INTERVAL_H_

@@ -1,0 +1,73 @@
+#include "core/pred_registry.h"
+
+#include <mutex>
+#include <vector>
+
+#include "common/error.h"
+
+namespace symple {
+namespace {
+
+struct PredEntry {
+  std::string name;
+  bool (*fn)(const void*, const void*);
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<PredEntry>& Registry() {
+  static std::vector<PredEntry> entries;
+  return entries;
+}
+
+}  // namespace
+
+PredId RegisterPred(std::string_view name, bool (*fn)(const void*, const void*)) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<PredEntry>& entries = Registry();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].name == name) {
+      if (entries[i].fn != fn) {
+        throw SympleError("predicate name registered twice with different "
+                          "functions: " + std::string(name));
+      }
+      return static_cast<PredId>(i);
+    }
+  }
+  entries.push_back(PredEntry{std::string(name), fn});
+  return static_cast<PredId>(entries.size() - 1);
+}
+
+bool (*LookupPred(PredId id))(const void*, const void*) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<PredEntry>& entries = Registry();
+  if (id >= entries.size()) {
+    throw SympleError("unknown predicate id " + std::to_string(id));
+  }
+  return entries[id].fn;
+}
+
+PredId FindPred(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<PredEntry>& entries = Registry();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].name == name) {
+      return static_cast<PredId>(i);
+    }
+  }
+  return kInvalidPredId;
+}
+
+std::string PredName(PredId id) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<PredEntry>& entries = Registry();
+  if (id >= entries.size()) {
+    return "<invalid>";
+  }
+  return entries[id].name;
+}
+
+}  // namespace symple

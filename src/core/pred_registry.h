@@ -1,0 +1,48 @@
+// Registry of black-box predicates used by SymPred (paper Section 4.4).
+//
+// A SymPred's path constraint is a trace of (argument, outcome) pairs that
+// must be re-evaluated when the symbolic value is resolved during summary
+// composition — possibly on a different machine than the one that recorded
+// the trace. Function pointers do not survive serialization, so predicates
+// are registered once under a stable name and traces carry the registry id.
+//
+// Registration is expected at process start-up (typically from a namespace-
+// scope initializer next to the predicate definition); lookups afterwards are
+// lock-free reads of an append-only table.
+#ifndef SYMPLE_CORE_PRED_REGISTRY_H_
+#define SYMPLE_CORE_PRED_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace symple {
+
+using PredId = uint32_t;
+
+inline constexpr PredId kInvalidPredId = 0xFFFFFFFFu;
+
+// Registers `fn` (a type-erased bool(const void* sym_value, const void* arg))
+// under `name`. Registering the same name twice with the same pointer is
+// idempotent; with a different pointer it throws SympleError. Thread-safe.
+//
+// Users never call this directly: SymPred<T>::Register wraps it with typed
+// glue. The id is stable for the lifetime of the process and identical across
+// processes as long as registration order is deterministic — which it is for
+// namespace-scope registrations within one binary. For the in-process runtime
+// simulation this is exactly the "same binary on every node" deployment model
+// of the paper's Hadoop pipeline.
+PredId RegisterPred(std::string_view name, bool (*fn)(const void*, const void*));
+
+// Looks up the erased function for an id; throws SympleError on a bad id.
+bool (*LookupPred(PredId id))(const void*, const void*);
+
+// Looks up an id by name; returns kInvalidPredId when not registered.
+PredId FindPred(std::string_view name);
+
+// Name for diagnostics.
+std::string PredName(PredId id);
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_PRED_REGISTRY_H_

@@ -1,0 +1,136 @@
+// Symbolic summaries (paper Section 3.2) and their composition (Section 3.6).
+//
+// A summary is a set of paths {PC_i(x) => s = TF_i(x)} that is *valid*:
+// the path constraints are pairwise disjoint and jointly cover every input.
+// Validity holds by construction — exploration partitions the input space at
+// every branch and merging only unions constraints exactly — and is verified
+// empirically by the test suite.
+#ifndef SYMPLE_CORE_SUMMARY_H_
+#define SYMPLE_CORE_SUMMARY_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "core/sym_struct.h"
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+// Pairwise path merging to a fixpoint. Returns the number of paths
+// eliminated. O(n^2) per pass, which is fine under the live-path bound.
+template <typename State>
+size_t MergeStatePaths(std::vector<State>& paths) {
+  size_t merged = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < paths.size() && !changed; ++i) {
+      for (size_t j = i + 1; j < paths.size(); ++j) {
+        if (TryMergePaths(paths[i], paths[j])) {
+          paths.erase(paths.begin() + static_cast<ptrdiff_t>(j));
+          ++merged;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+template <typename State>
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::vector<State> paths) : paths_(std::move(paths)) {}
+
+  const std::vector<State>& paths() const { return paths_; }
+  size_t path_count() const { return paths_.size(); }
+  bool empty() const { return paths_.empty(); }
+
+  size_t MergePass() { return MergeStatePaths(paths_); }
+
+  // Summary composition: `later ∘ earlier` as a cross product of path pairs
+  // with infeasible pairs eliminated and a final merge pass (Section 3.6).
+  // Function composition is associative, so reducers may fold summaries
+  // sequentially or tree-reduce them.
+  static Summary Compose(const Summary& later, const Summary& earlier) {
+    std::vector<State> composed;
+    for (const State& pl : later.paths_) {
+      for (const State& pe : earlier.paths_) {
+        if (std::optional<State> p = ComposePath(pl, pe); p.has_value()) {
+          composed.push_back(std::move(*p));
+        }
+      }
+    }
+    SYMPLE_CHECK(!composed.empty(),
+                 "composition of two valid summaries cannot be empty");
+    Summary out(std::move(composed));
+    out.MergePass();
+    return out;
+  }
+
+  // Applies this summary to a concrete aggregation state: finds the (unique,
+  // by validity) path whose constraint the state satisfies and replaces the
+  // state with that path's output. Returns false when no path accepts the
+  // state, which indicates a corrupted or non-valid summary.
+  bool ApplyTo(State& concrete) const {
+    for (const State& path : paths_) {
+      if (std::optional<State> out = ComposePath(path, concrete); out.has_value()) {
+        concrete = std::move(*out);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Counts how many paths accept the given concrete state. A valid summary
+  // yields exactly 1 for every input; tests sweep inputs through this.
+  size_t CountAccepting(const State& concrete) const {
+    size_t n = 0;
+    for (const State& path : paths_) {
+      if (ComposePath(path, concrete).has_value()) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  void Serialize(BinaryWriter& w) const {
+    w.WriteVarUint(paths_.size());
+    for (const State& path : paths_) {
+      SerializeState(path, w);
+    }
+  }
+
+  void Deserialize(BinaryReader& r) {
+    const uint64_t n = r.ReadVarUint();
+    SYMPLE_CHECK(n <= r.remaining(), "summary path count exceeds buffer");
+    paths_.clear();
+    paths_.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      State s;
+      DeserializeState(s, r);
+      paths_.push_back(std::move(s));
+    }
+  }
+
+  std::string DebugString() const {
+    std::string out;
+    for (size_t i = 0; i < paths_.size(); ++i) {
+      out += "path " + std::to_string(i) + ": " + StateDebugString(paths_[i]) + "\n";
+    }
+    return out;
+  }
+
+ private:
+  std::vector<State> paths_;
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_SUMMARY_H_

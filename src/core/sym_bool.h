@@ -1,0 +1,44 @@
+// SymBool — symbolic booleans (paper Section 4.2).
+//
+// "SymBool is an instance of SymEnum over the bounded set {true, false} with
+// the appropriate operator overloading with boolean constants." The branch
+// point is `explicit operator bool()`: plain `if (flag)`, `!flag`, and
+// short-circuiting `flag && expr` in UDA code all funnel through it, which is
+// exactly where symbolic execution forks.
+#ifndef SYMPLE_CORE_SYM_BOOL_H_
+#define SYMPLE_CORE_SYM_BOOL_H_
+
+#include <cstdint>
+
+#include "core/sym_enum.h"
+
+namespace symple {
+
+class SymBool : public SymEnum<uint8_t, 2> {
+ public:
+  constexpr SymBool() : SymEnum(static_cast<uint8_t>(0)) {}
+  constexpr SymBool(bool value)  // NOLINT(runtime/explicit)
+      : SymEnum(static_cast<uint8_t>(value ? 1 : 0)) {}
+
+  SymBool& operator=(bool value) {
+    SymEnum::operator=(static_cast<uint8_t>(value ? 1 : 0));
+    return *this;
+  }
+
+  // The branch point. Non-const: deciding an unbound boolean refines the
+  // path constraint of the current path.
+  explicit operator bool() { return BranchEq(1); }
+
+  bool operator!() { return BranchEq(0); }
+
+  bool operator==(bool value) { return BranchEq(value ? 1 : 0); }
+  bool operator!=(bool value) { return BranchEq(value ? 0 : 1); }
+  friend bool operator==(bool value, SymBool& s) { return s == value; }
+  friend bool operator!=(bool value, SymBool& s) { return s != value; }
+
+  bool BoolValue() const { return Value() != 0; }
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_SYM_BOOL_H_

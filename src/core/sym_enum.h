@@ -1,0 +1,217 @@
+// SymEnum — symbolic bounded-domain values (paper Section 4.1).
+//
+// Canonical form:
+//
+//     x ∈ S   =>   v == (bound ? c : x)
+//
+// S is a bit-set over the enum's domain, `bound` says whether an assignment
+// has fixed the value to the constant c, and x is the unknown initial value.
+// Supported operations: equality/inequality against constants and assignment
+// from constants; two SymEnums cannot be compared (that would create a
+// two-variable constraint outside the canonical form).
+//
+// Domains are limited to 64 values so S fits one machine word and every
+// decision procedure is a couple of bit operations — this is the "(small)
+// constant time" the paper relies on.
+#ifndef SYMPLE_CORE_SYM_ENUM_H_
+#define SYMPLE_CORE_SYM_ENUM_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "common/error.h"
+#include "core/affine.h"
+#include "core/exec_context.h"
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+// E: enum class (or integral type) whose underlying values lie in [0, N).
+template <typename E, uint32_t N>
+class SymEnum {
+  static_assert(N >= 1 && N <= 64, "SymEnum domains must fit a 64-bit set");
+  static_assert(std::is_enum_v<E> || std::is_integral_v<E>,
+                "SymEnum requires an enum or integral domain type");
+
+ public:
+  using DomainType = E;
+  static constexpr uint32_t kDomainSize = N;
+
+  // Default: bound to the domain's zero value.
+  constexpr SymEnum() = default;
+
+  // Implicit from a constant, mirroring `SymBool b = false;` in the paper.
+  constexpr SymEnum(E value)  // NOLINT(runtime/explicit)
+      : set_(kFullSet), bound_(true), c_(ToIndex(value)) {}
+
+  // --- symbolic segment protocol ---------------------------------------------
+
+  void MakeSymbolic(uint32_t field_index) {
+    set_ = kFullSet;
+    bound_ = false;
+    c_ = 0;
+    field_ = field_index;
+    Normalize();  // N == 1 collapses immediately
+  }
+
+  // Compact wire form: one byte packs bound (bit 6) and, since domains are at
+  // most 64 values, the constant c (bits 0-5); then the set and field index.
+  void Serialize(BinaryWriter& w) const {
+    w.WriteByte(static_cast<uint8_t>((bound_ ? 0x40 : 0) | (c_ & 0x3F)));
+    w.WriteVarUint(set_);
+    w.WriteVarUint(field_);
+  }
+
+  void Deserialize(BinaryReader& r) {
+    const uint8_t packed = r.ReadByte();
+    bound_ = (packed & 0x40) != 0;
+    c_ = packed & 0x3F;
+    set_ = r.ReadVarUint();
+    field_ = static_cast<uint32_t>(r.ReadVarUint());
+  }
+
+  bool SameTransferFunction(const SymEnum& o) const {
+    return bound_ == o.bound_ && (!bound_ || c_ == o.c_);
+  }
+
+  bool ConstraintEquals(const SymEnum& o) const { return set_ == o.set_; }
+
+  // Set union is always exact (Section 4.1 "Merging Path Constraints").
+  bool TryUnionConstraint(const SymEnum& o) {
+    set_ |= o.set_;
+    return true;
+  }
+
+  bool ComposeThrough(const SymEnum& earlier, const FieldResolver& /*resolver*/) {
+    if (earlier.bound_) {
+      if ((set_ & Bit(earlier.c_)) == 0) {
+        return false;  // the constant produced earlier violates our constraint
+      }
+      if (!bound_) {
+        bound_ = true;
+        c_ = earlier.c_;
+      }
+      set_ = earlier.set_;
+      field_ = earlier.field_;
+      return true;
+    }
+    const uint64_t composed = earlier.set_ & set_;
+    if (composed == 0) {
+      return false;
+    }
+    set_ = composed;
+    field_ = earlier.field_;
+    Normalize();
+    return true;
+  }
+
+  AffineForm AsAffineForm() const {
+    if (bound_) {
+      return AffineForm{0, static_cast<int64_t>(c_)};
+    }
+    return AffineForm{1, 0};
+  }
+
+  std::string DebugString() const {
+    std::string out = "{";
+    bool first = true;
+    for (uint32_t i = 0; i < N; ++i) {
+      if ((set_ & Bit(i)) != 0) {
+        if (!first) {
+          out += ",";
+        }
+        out += std::to_string(i);
+        first = false;
+      }
+    }
+    out += "} => ";
+    out += bound_ ? std::to_string(c_) : ("x" + std::to_string(field_));
+    return out;
+  }
+
+  // --- value accessors -------------------------------------------------------
+
+  bool is_concrete() const { return bound_; }
+
+  E Value() const {
+    SYMPLE_CHECK(bound_, "SymEnum::Value() on a symbolic value");
+    return static_cast<E>(c_);
+  }
+
+  uint64_t constraint_set() const { return set_; }
+  uint32_t field_index() const { return field_; }
+
+  // --- operations ------------------------------------------------------------
+
+  SymEnum& operator=(E value) {
+    bound_ = true;
+    c_ = ToIndex(value);
+    return *this;
+  }
+
+  bool operator==(E value) { return BranchEq(ToIndex(value)); }
+  bool operator!=(E value) { return !BranchEq(ToIndex(value)); }
+  friend bool operator==(E value, SymEnum& s) { return s == value; }
+  friend bool operator!=(E value, SymEnum& s) { return s != value; }
+
+  bool operator==(const SymEnum&) = delete;
+  bool operator!=(const SymEnum&) = delete;
+
+ protected:
+  // Decision procedure of Section 4.1: comparing an unbound value against c
+  // splits S into S∩{c} and S\{c}; empty sides are infeasible.
+  bool BranchEq(uint32_t c) {
+    if (bound_) {
+      return c_ == c;
+    }
+    SYMPLE_CHECK(ExecContext::Current() != nullptr,
+                 "symbolic SymEnum used outside a symbolic execution");
+    const uint64_t eq_set = set_ & Bit(c);
+    const uint64_t neq_set = set_ & ~Bit(c);
+    if (eq_set == 0) {
+      return false;
+    }
+    if (neq_set == 0) {
+      // Only equality is feasible; the domain was already the singleton {c}
+      // (Normalize keeps this case bound, so this is unreachable in practice).
+      Normalize();
+      return true;
+    }
+    const bool take_eq = ExecContext::Current()->Choose(2) == 0;
+    set_ = take_eq ? eq_set : neq_set;
+    Normalize();
+    return take_eq;
+  }
+
+  // An unbound value over a singleton domain is the constant: binding it
+  // standardizes the transfer function so path merging recognizes equal TFs
+  // regardless of how the paths arrived at them.
+  void Normalize() {
+    if (!bound_ && std::popcount(set_) == 1) {
+      bound_ = true;
+      c_ = static_cast<uint32_t>(std::countr_zero(set_));
+    }
+  }
+
+  static constexpr uint64_t kFullSet = N == 64 ? ~0ull : (1ull << N) - 1;
+
+  static constexpr uint64_t Bit(uint32_t i) { return 1ull << i; }
+
+  static uint32_t ToIndex(E value) {
+    const auto raw = static_cast<int64_t>(value);
+    SYMPLE_CHECK(raw >= 0 && raw < static_cast<int64_t>(N),
+                 "enum constant outside the SymEnum domain");
+    return static_cast<uint32_t>(raw);
+  }
+
+  uint64_t set_ = kFullSet;
+  bool bound_ = true;
+  uint32_t c_ = 0;
+  uint32_t field_ = 0;
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_SYM_ENUM_H_

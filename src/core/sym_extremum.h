@@ -1,0 +1,143 @@
+// SymMax / SymMin — a user-defined symbolic data type built on the extension
+// interface of paper Section 4.5 ("Other data types"): a canonical form, an
+// efficient decision procedure (here: none needed at all), a merge function,
+// and serialization.
+//
+// Canonical form:
+//
+//     v = bound ? k : max(x, c)        (min mirrors it)
+//
+// where x is the unknown input. The key property is closure under both the
+// update operation and composition:
+//
+//     Observe(e):   max(x, c)  ->  max(x, max(c, e))       (no branch!)
+//     compose:      max(max(x, c1), c2) = max(x, max(c1, c2))
+//
+// so an extremum UDA explores exactly ONE path per chunk and its summary is a
+// single constant — compare the Section 3.1 Max-as-SymInt formulation, whose
+// `if (max < e)` branch keeps two live paths. The ablation benchmark
+// bench_ablation_extremum quantifies the difference. This is the "canonical
+// form design determines path behavior" insight made concrete.
+#ifndef SYMPLE_CORE_SYM_EXTREMUM_H_
+#define SYMPLE_CORE_SYM_EXTREMUM_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/error.h"
+#include "core/affine.h"
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+// kIsMax true -> running maximum; false -> running minimum.
+template <bool kIsMax>
+class SymExtremum {
+ public:
+  // Identity element: never observed anything.
+  static constexpr int64_t kIdentity = kIsMax ? std::numeric_limits<int64_t>::min()
+                                              : std::numeric_limits<int64_t>::max();
+
+  // Default: concrete identity (the initial aggregation state).
+  constexpr SymExtremum() = default;
+  constexpr SymExtremum(int64_t value) : bound_(true), k_(value) {}  // NOLINT
+
+  // --- the update operation -----------------------------------------------------
+
+  // Folds a concrete observation into the running extremum. Never branches:
+  // this is the whole point of the canonical form.
+  void Observe(int64_t value) {
+    if (bound_) {
+      k_ = Better(k_, value);
+    } else {
+      c_ = Better(c_, value);
+    }
+  }
+
+  // --- symbolic segment protocol --------------------------------------------------
+
+  void MakeSymbolic(uint32_t field_index) {
+    bound_ = false;
+    c_ = kIdentity;
+    k_ = kIdentity;
+    field_ = field_index;
+  }
+
+  void Serialize(BinaryWriter& w) const {
+    w.WriteBool(bound_);
+    w.WriteVarInt(bound_ ? k_ : c_);
+    w.WriteVarUint(field_);
+  }
+
+  void Deserialize(BinaryReader& r) {
+    bound_ = r.ReadBool();
+    (bound_ ? k_ : c_) = r.ReadVarInt();
+    field_ = static_cast<uint32_t>(r.ReadVarUint());
+  }
+
+  bool SameTransferFunction(const SymExtremum& o) const {
+    return bound_ == o.bound_ && (bound_ ? k_ == o.k_ : c_ == o.c_);
+  }
+
+  // Never constrained: Observe cannot branch, so the whole input space flows
+  // through one path.
+  bool ConstraintEquals(const SymExtremum&) const { return true; }
+  bool TryUnionConstraint(const SymExtremum&) { return true; }
+
+  bool ComposeThrough(const SymExtremum& earlier, const FieldResolver& /*resolver*/) {
+    if (earlier.bound_) {
+      const int64_t input = earlier.k_;
+      k_ = bound_ ? k_ : Better(input, c_);
+      bound_ = true;
+    } else if (!bound_) {
+      c_ = Better(c_, earlier.c_);
+    }
+    field_ = earlier.field_;
+    return true;
+  }
+
+  AffineForm AsAffineForm() const {
+    throw SympleError("SymExtremum values have no affine form");
+  }
+
+  std::string DebugString() const {
+    if (bound_) {
+      return (kIsMax ? "max:" : "min:") + std::to_string(k_);
+    }
+    return (kIsMax ? "max(x," : "min(x,") + std::to_string(c_) + ")";
+  }
+
+  // --- accessors --------------------------------------------------------------------
+
+  bool is_concrete() const { return bound_; }
+
+  int64_t Value() const {
+    SYMPLE_CHECK(bound_, "SymExtremum::Value() on a symbolic value");
+    return k_;
+  }
+
+  // The partial extremum of values observed this segment (identity if none).
+  int64_t partial() const { return bound_ ? k_ : c_; }
+
+ private:
+  static int64_t Better(int64_t a, int64_t b) {
+    if constexpr (kIsMax) {
+      return a > b ? a : b;
+    } else {
+      return a < b ? a : b;
+    }
+  }
+
+  bool bound_ = true;
+  int64_t k_ = kIdentity;  // concrete value when bound
+  int64_t c_ = kIdentity;  // observed partial extremum when symbolic
+  uint32_t field_ = 0;
+};
+
+using SymMax = SymExtremum<true>;
+using SymMin = SymExtremum<false>;
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_SYM_EXTREMUM_H_

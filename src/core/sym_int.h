@@ -1,0 +1,351 @@
+// SymInt — the symbolic integer data type (paper Section 4.3).
+//
+// Canonical form: four values (lb, ub, a, b) meaning
+//
+//     lb <= x <= ub   =>   value == a * x + b
+//
+// where x is the field's unknown initial value at the start of the current
+// symbolic segment. a == 0 makes the value the concrete constant b (the
+// interval constraint is still carried: the path was explored under it and
+// summary composition must check it).
+//
+// Supported operations: addition, subtraction and multiplication with
+// concrete integers, and comparisons against concrete integers. Operations
+// between two SymInts are deleted — this is the conscious design decision
+// that keeps every constraint single-variable and every decision procedure
+// constant-time instead of requiring an integer-linear solver.
+//
+// Comparison operators are the branch points of symbolic execution: when both
+// outcomes are feasible they consult the active ExecContext's choice vector,
+// refine this variable's interval to the chosen side, and return a plain
+// bool, so ordinary `if` statements in UDA code transparently fork paths.
+#ifndef SYMPLE_CORE_SYM_INT_H_
+#define SYMPLE_CORE_SYM_INT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+#include "core/affine.h"
+#include "core/exec_context.h"
+#include "core/interval.h"
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+class SymInt {
+ public:
+  // Default: concrete zero, unconstrained domain.
+  constexpr SymInt() = default;
+
+  // Implicit from a concrete integer, so `SymInt count = 0;` reads like the
+  // paper's examples.
+  constexpr SymInt(int64_t value) : value_{0, value} {}  // NOLINT(runtime/explicit)
+
+  // --- symbolic segment protocol (used by sym_struct.h) ---------------------
+
+  // Reinitializes this field as the unknown input variable of a fresh
+  // symbolic segment.
+  void MakeSymbolic(uint32_t field_index) {
+    value_ = AffineForm{1, 0};
+    domain_ = Interval::Full();
+    field_ = field_index;
+  }
+
+  // Compact wire form (Section 2.3 requires cheap network transfer): a flag
+  // byte elides the common cases — unbounded interval ends (whose zigzag
+  // varints would cost 10 bytes each), a in {0, 1}, and b == 0.
+  void Serialize(BinaryWriter& w) const {
+    uint8_t flags = 0;
+    flags |= domain_.lo == std::numeric_limits<int64_t>::min() ? kLoIsMin : 0;
+    flags |= domain_.hi == std::numeric_limits<int64_t>::max() ? kHiIsMax : 0;
+    flags |= value_.a == 0 ? kAIsZero : (value_.a == 1 ? kAIsOne : 0);
+    flags |= value_.b == 0 ? kBIsZero : 0;
+    w.WriteByte(flags);
+    if ((flags & (kAIsZero | kAIsOne)) == 0) {
+      w.WriteVarInt(value_.a);
+    }
+    if ((flags & kBIsZero) == 0) {
+      w.WriteVarInt(value_.b);
+    }
+    if ((flags & kLoIsMin) == 0) {
+      w.WriteVarInt(domain_.lo);
+    }
+    if ((flags & kHiIsMax) == 0) {
+      w.WriteVarInt(domain_.hi);
+    }
+    w.WriteVarUint(field_);
+  }
+
+  void Deserialize(BinaryReader& r) {
+    const uint8_t flags = r.ReadByte();
+    if ((flags & kAIsZero) != 0) {
+      value_.a = 0;
+    } else if ((flags & kAIsOne) != 0) {
+      value_.a = 1;
+    } else {
+      value_.a = r.ReadVarInt();
+    }
+    value_.b = (flags & kBIsZero) != 0 ? 0 : r.ReadVarInt();
+    domain_.lo = (flags & kLoIsMin) != 0 ? std::numeric_limits<int64_t>::min()
+                                         : r.ReadVarInt();
+    domain_.hi = (flags & kHiIsMax) != 0 ? std::numeric_limits<int64_t>::max()
+                                         : r.ReadVarInt();
+    field_ = static_cast<uint32_t>(r.ReadVarUint());
+  }
+
+  // Transfer functions are equal when the affine forms coincide.
+  bool SameTransferFunction(const SymInt& o) const { return value_ == o.value_; }
+
+  bool ConstraintEquals(const SymInt& o) const { return domain_ == o.domain_; }
+
+  // Path merging (paper Section 3.5 / Section 4.3 "Merging Path
+  // Constraints"): same transfer function and interval union representable.
+  bool TryUnionConstraint(const SymInt& o) {
+    const std::optional<Interval> merged = UnionExact(domain_, o.domain_);
+    if (!merged.has_value()) {
+      return false;
+    }
+    domain_ = *merged;
+    return true;
+  }
+
+  // Summary composition (paper Section 3.6): `*this` is the later segment's
+  // path, `earlier` the one feeding it. On success `*this` becomes the
+  // composed path over the earlier segment's input variable; returns false
+  // when the pair is infeasible. The resolver argument is part of the shared
+  // field protocol; SymInt does not reference other fields.
+  bool ComposeThrough(const SymInt& earlier, const FieldResolver& /*resolver*/) {
+    if (earlier.value_.IsConcrete()) {
+      if (!domain_.Contains(earlier.value_.b)) {
+        return false;
+      }
+      value_ = AffineForm{0, EvalAffine(value_, earlier.value_.b)};
+      domain_ = earlier.domain_;
+      field_ = earlier.field_;
+      return true;
+    }
+    const Interval composed_domain =
+        AffinePreimage(earlier.value_.a, earlier.value_.b, domain_, earlier.domain_);
+    if (composed_domain.IsEmpty()) {
+      return false;
+    }
+    value_ = ComposeAffine(value_, earlier.value_);
+    domain_ = composed_domain;
+    field_ = earlier.field_;
+    NormalizePoint();
+    return true;
+  }
+
+  // Affine view of this field's transfer function, for SymVector rewriting.
+  AffineForm AsAffineForm() const { return value_; }
+
+  std::string DebugString() const {
+    return domain_.DebugString() + " => " + DebugStringAffine(value_, field_);
+  }
+
+  // --- value accessors -------------------------------------------------------
+
+  bool is_concrete() const { return value_.IsConcrete(); }
+
+  // Concrete value; throws when the value still depends on the unknown input.
+  int64_t Value() const {
+    SYMPLE_CHECK(is_concrete(), "SymInt::Value() on a symbolic value");
+    return value_.b;
+  }
+
+  const Interval& domain() const { return domain_; }
+  const AffineForm& affine() const { return value_; }
+  uint32_t field_index() const { return field_; }
+
+  // --- arithmetic (SymInt op concrete only) ----------------------------------
+
+  SymInt& operator=(int64_t v) {
+    value_ = AffineForm{0, v};
+    return *this;
+  }
+
+  SymInt& operator+=(int64_t v) {
+    value_.b = CheckedAdd(value_.b, v);
+    return *this;
+  }
+  SymInt& operator-=(int64_t v) {
+    value_.b = CheckedSub(value_.b, v);
+    return *this;
+  }
+  SymInt& operator*=(int64_t v) {
+    value_.a = CheckedMul(value_.a, v);
+    value_.b = CheckedMul(value_.b, v);
+    return *this;
+  }
+
+  SymInt& operator++() { return *this += 1; }
+  SymInt& operator--() { return *this -= 1; }
+  SymInt operator++(int) {
+    SymInt old = *this;
+    *this += 1;
+    return old;
+  }
+  SymInt operator--(int) {
+    SymInt old = *this;
+    *this -= 1;
+    return old;
+  }
+
+  friend SymInt operator+(SymInt s, int64_t v) { return s += v; }
+  friend SymInt operator+(int64_t v, SymInt s) { return s += v; }
+  friend SymInt operator-(SymInt s, int64_t v) { return s -= v; }
+  friend SymInt operator*(SymInt s, int64_t v) { return s *= v; }
+  friend SymInt operator*(int64_t v, SymInt s) { return s *= v; }
+  friend SymInt operator-(int64_t v, const SymInt& s) {
+    SymInt out = s;
+    out.value_.a = CheckedNeg(out.value_.a);
+    out.value_.b = CheckedSub(v, s.value_.b);
+    return out;
+  }
+  SymInt operator-() const { return 0 - *this; }
+
+  // Mixed-type arithmetic with another SymInt is intentionally impossible:
+  // the canonical form is single-variable (paper Section 4.3).
+  SymInt& operator+=(const SymInt&) = delete;
+  SymInt& operator-=(const SymInt&) = delete;
+  SymInt& operator*=(const SymInt&) = delete;
+  friend SymInt operator+(const SymInt&, const SymInt&) = delete;
+  friend SymInt operator-(const SymInt&, const SymInt&) = delete;
+  friend SymInt operator*(const SymInt&, const SymInt&) = delete;
+
+  // --- comparisons (branch points) -------------------------------------------
+
+  bool operator<(int64_t c) { return BranchLessEq(c, /*strict=*/true); }
+  bool operator<=(int64_t c) { return BranchLessEq(c, /*strict=*/false); }
+  bool operator>(int64_t c) { return !BranchLessEq(c, /*strict=*/false); }
+  bool operator>=(int64_t c) { return !BranchLessEq(c, /*strict=*/true); }
+  bool operator==(int64_t c) { return BranchEq(c); }
+  bool operator!=(int64_t c) { return !BranchEq(c); }
+
+  friend bool operator<(int64_t c, SymInt& s) { return s > c; }
+  friend bool operator<=(int64_t c, SymInt& s) { return s >= c; }
+  friend bool operator>(int64_t c, SymInt& s) { return s < c; }
+  friend bool operator>=(int64_t c, SymInt& s) { return s <= c; }
+  friend bool operator==(int64_t c, SymInt& s) { return s == c; }
+  friend bool operator!=(int64_t c, SymInt& s) { return s != c; }
+
+  bool operator<(const SymInt&) = delete;
+  bool operator<=(const SymInt&) = delete;
+  bool operator>(const SymInt&) = delete;
+  bool operator>=(const SymInt&) = delete;
+  bool operator==(const SymInt&) = delete;
+  bool operator!=(const SymInt&) = delete;
+
+ private:
+  // Decides `value <? c` (strict) or `value <=? c`. Decision procedure of
+  // Section 4.3: the branch splits [lb, ub] into two sub-intervals; empty
+  // sides are pruned without consuming a choice digit.
+  bool BranchLessEq(int64_t c, bool strict) {
+    if (strict) {
+      // value < c  ==  value <= c - 1; underflow means always-false.
+      if (c == std::numeric_limits<int64_t>::min()) {
+        return false;
+      }
+      c -= 1;
+    }
+    if (value_.IsConcrete()) {
+      return value_.b <= c;
+    }
+    RequireContext();
+    const Interval then_dom = SolveAffineLe(value_.a, value_.b, c, domain_);
+    const Interval else_dom =
+        c == std::numeric_limits<int64_t>::max()
+            ? Interval::Empty()
+            : SolveAffineGe(value_.a, value_.b, c + 1, domain_);
+    return TakeBinaryBranch(then_dom, else_dom);
+  }
+
+  // Decides `value ==? c`. Equality splits the interval into up to three
+  // feasible pieces ({< c}, {== c}, {> c} in x-space), hence the generalized
+  // n-ary choice digit.
+  bool BranchEq(int64_t c) {
+    if (value_.IsConcrete()) {
+      return value_.b == c;
+    }
+    RequireContext();
+    const Interval eq_dom = SolveAffineEq(value_.a, value_.b, c, domain_);
+    const Interval lt_dom =
+        c == std::numeric_limits<int64_t>::min()
+            ? Interval::Empty()
+            : SolveAffineLe(value_.a, value_.b, c - 1, domain_);
+    const Interval gt_dom =
+        c == std::numeric_limits<int64_t>::max()
+            ? Interval::Empty()
+            : SolveAffineGe(value_.a, value_.b, c + 1, domain_);
+
+    // Fixed outcome order: eq, lt, gt (only feasible ones participate).
+    Interval feasible[3];
+    bool outcome_eq[3];
+    uint32_t n = 0;
+    if (!eq_dom.IsEmpty()) {
+      feasible[n] = eq_dom;
+      outcome_eq[n++] = true;
+    }
+    if (!lt_dom.IsEmpty()) {
+      feasible[n] = lt_dom;
+      outcome_eq[n++] = false;
+    }
+    if (!gt_dom.IsEmpty()) {
+      feasible[n] = gt_dom;
+      outcome_eq[n++] = false;
+    }
+    SYMPLE_CHECK(n >= 1, "branch partition lost the whole domain");
+    uint32_t pick = 0;
+    if (n > 1) {
+      pick = ExecContext::Current()->Choose(n);
+    }
+    domain_ = feasible[pick];
+    NormalizePoint();
+    return outcome_eq[pick];
+  }
+
+  bool TakeBinaryBranch(const Interval& then_dom, const Interval& else_dom) {
+    const bool then_feasible = !then_dom.IsEmpty();
+    const bool else_feasible = !else_dom.IsEmpty();
+    SYMPLE_CHECK(then_feasible || else_feasible,
+                 "branch partition lost the whole domain");
+    bool take_then = then_feasible;
+    if (then_feasible && else_feasible) {
+      // Digit 0 explores the then branch first, as in the paper.
+      take_then = ExecContext::Current()->Choose(2) == 0;
+    }
+    domain_ = take_then ? then_dom : else_dom;
+    NormalizePoint();
+    return take_then;
+  }
+
+  // A symbolic value whose domain collapsed to a point is concrete; folding
+  // it eagerly makes later branches free and path merging more effective
+  // (mirrors the SymEnum bound-singleton normalization).
+  void NormalizePoint() {
+    if (!value_.IsConcrete() && domain_.IsPoint()) {
+      value_ = AffineForm{0, EvalAffine(value_, domain_.lo)};
+    }
+  }
+
+  static void RequireContext() {
+    SYMPLE_CHECK(ExecContext::Current() != nullptr,
+                 "symbolic SymInt used outside a symbolic execution (did you "
+                 "run a UDA concretely on symbolic state?)");
+  }
+
+  static constexpr uint8_t kLoIsMin = 1 << 0;
+  static constexpr uint8_t kHiIsMax = 1 << 1;
+  static constexpr uint8_t kAIsZero = 1 << 2;
+  static constexpr uint8_t kAIsOne = 1 << 3;
+  static constexpr uint8_t kBIsZero = 1 << 4;
+
+  AffineForm value_{0, 0};
+  Interval domain_ = Interval::Full();
+  uint32_t field_ = 0;
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_SYM_INT_H_

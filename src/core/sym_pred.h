@@ -1,0 +1,244 @@
+// SymPred — black-box predicates over otherwise-opaque state (paper §4.4).
+//
+// A SymPred<T> is a placeholder for a possibly-symbolic value of type T with
+// two operations: SetValue (binding to a concrete T) and EvalPred (evaluating
+// a pre-registered predicate between the held value and a concrete argument).
+// When the held value is still the unknown input, EvalPred blindly explores
+// both outcomes; the sequence of (argument, outcome) pairs recorded while
+// unbound *is* the path constraint, re-checked against the concrete value
+// during summary composition.
+//
+// The paper's windowed-dependence observation applies: UDAs that bind the
+// SymPred on every record (window size one — all evaluation queries do) incur
+// at most a 2x path blowup per segment.
+#ifndef SYMPLE_CORE_SYM_PRED_H_
+#define SYMPLE_CORE_SYM_PRED_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "core/affine.h"
+#include "core/exec_context.h"
+#include "core/pred_registry.h"
+#include "core/value_codec.h"
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+// Typed registration glue: wraps a typed predicate into the type-erased
+// registry. Register at namespace scope, next to the predicate:
+//
+//   bool DistanceLessThanBound(const GpsCoord& sym, const GpsCoord& val);
+//   const PredId kDistPred =
+//       RegisterTypedPred<GpsCoord, &DistanceLessThanBound>("gps.dist_lt");
+template <typename T, bool (*Fn)(const T&, const T&)>
+bool ErasedPred(const void* sym, const void* arg) {
+  return Fn(*static_cast<const T*>(sym), *static_cast<const T*>(arg));
+}
+
+template <typename T, bool (*Fn)(const T&, const T&)>
+PredId RegisterTypedPred(std::string_view name) {
+  return RegisterPred(name, &ErasedPred<T, Fn>);
+}
+
+template <typename T>
+class SymPred {
+ public:
+  // T must be regular (copyable, equality-comparable) and have a ValueCodec.
+  SymPred() = default;
+  explicit SymPred(PredId pred) : pred_(pred), fn_(LookupPred(pred)) {}
+  explicit SymPred(std::string_view pred_name) : pred_(FindPred(pred_name)) {
+    SYMPLE_CHECK(pred_ != kInvalidPredId,
+                 "SymPred constructed with unregistered predicate name");
+    fn_ = LookupPred(pred_);
+  }
+
+  // --- the two user operations ------------------------------------------------
+
+  void SetValue(const T& value) {
+    bound_ = true;
+    value_ = value;
+  }
+
+  // Evaluates pred(held value, arg). While the held value is symbolic both
+  // outcomes are explored (subject to consistency with earlier evaluations of
+  // an identical argument on this path).
+  bool EvalPred(const T& arg) {
+    SYMPLE_CHECK(fn_ != nullptr, "SymPred has no registered predicate");
+    if (bound_) {
+      return fn_(&value_, &arg);
+    }
+    SYMPLE_CHECK(ExecContext::Current() != nullptr,
+                 "symbolic SymPred used outside a symbolic execution");
+    for (const TraceEntry& entry : trace_) {
+      if (entry.arg == arg) {
+        return entry.outcome;  // same unknown, same argument: same outcome
+      }
+    }
+    const bool outcome = ExecContext::Current()->Choose(2) == 0;
+    trace_.push_back(TraceEntry{arg, outcome});
+    return outcome;
+  }
+
+  // --- symbolic segment protocol ----------------------------------------------
+
+  void MakeSymbolic(uint32_t field_index) {
+    bound_ = false;
+    value_ = T{};
+    trace_.clear();
+    field_ = field_index;
+  }
+
+  void Serialize(BinaryWriter& w) const {
+    w.WriteVarUint(pred_);
+    w.WriteBool(bound_);
+    if (bound_) {
+      ValueCodec<T>::Write(w, value_);
+    }
+    w.WriteVarUint(trace_.size());
+    for (const TraceEntry& entry : trace_) {
+      ValueCodec<T>::Write(w, entry.arg);
+      w.WriteBool(entry.outcome);
+    }
+    w.WriteVarUint(field_);
+  }
+
+  void Deserialize(BinaryReader& r) {
+    pred_ = static_cast<PredId>(r.ReadVarUint());
+    fn_ = LookupPred(pred_);
+    bound_ = r.ReadBool();
+    value_ = bound_ ? ValueCodec<T>::Read(r) : T{};
+    trace_.clear();
+    const uint64_t n = r.ReadVarUint();
+    SYMPLE_CHECK(n <= r.remaining(), "SymPred trace count exceeds buffer");
+    trace_.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      T arg = ValueCodec<T>::Read(r);
+      const bool outcome = r.ReadBool();
+      trace_.push_back(TraceEntry{std::move(arg), outcome});
+    }
+    field_ = static_cast<uint32_t>(r.ReadVarUint());
+  }
+
+  bool SameTransferFunction(const SymPred& o) const {
+    return bound_ == o.bound_ && (!bound_ || value_ == o.value_);
+  }
+
+  bool ConstraintEquals(const SymPred& o) const {
+    if (pred_ != o.pred_ || trace_.size() != o.trace_.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < trace_.size(); ++i) {
+      if (!(trace_[i].arg == o.trace_[i].arg) ||
+          trace_[i].outcome != o.trace_[i].outcome) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Disjunctions of predicate traces have no canonical form, so constraints
+  // merge only when identical.
+  bool TryUnionConstraint(const SymPred& o) { return ConstraintEquals(o); }
+
+  bool ComposeThrough(const SymPred& earlier, const FieldResolver& /*resolver*/) {
+    SYMPLE_CHECK(pred_ == earlier.pred_ || trace_.empty() || earlier.pred_ == kInvalidPredId,
+                 "composing SymPred segments with different predicates");
+    if (earlier.bound_) {
+      // The unknown is now known: check our recorded outcomes against it.
+      for (const TraceEntry& entry : trace_) {
+        if (fn_(&earlier.value_, &entry.arg) != entry.outcome) {
+          return false;
+        }
+      }
+      if (!bound_) {
+        bound_ = true;
+        value_ = earlier.value_;
+      }
+      trace_ = earlier.trace_;
+      pred_ = earlier.pred_;
+      field_ = earlier.field_;
+      return true;
+    }
+    // Both segments symbolic: concatenate traces, rejecting contradictory
+    // outcomes on identical arguments (same unknown input).
+    for (const TraceEntry& late : trace_) {
+      for (const TraceEntry& early : earlier.trace_) {
+        if (late.arg == early.arg && late.outcome != early.outcome) {
+          return false;
+        }
+      }
+    }
+    std::vector<TraceEntry> combined = earlier.trace_;
+    for (const TraceEntry& late : trace_) {
+      bool duplicate = false;
+      for (const TraceEntry& early : earlier.trace_) {
+        if (late.arg == early.arg) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        combined.push_back(late);
+      }
+    }
+    trace_ = std::move(combined);
+    pred_ = earlier.pred_;
+    field_ = earlier.field_;
+    return true;
+  }
+
+  AffineForm AsAffineForm() const {
+    throw SympleError("SymPred values cannot be referenced from SymVector "
+                      "elements (no affine form)");
+  }
+
+  std::string DebugString() const {
+    std::string out = "pred:" + PredName(pred_) + " trace[";
+    for (size_t i = 0; i < trace_.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += trace_[i].outcome ? "T" : "F";
+    }
+    out += bound_ ? "] bound" : "] unbound";
+    return out;
+  }
+
+  // --- accessors ---------------------------------------------------------------
+
+  bool is_concrete() const { return bound_; }
+
+  const T& Value() const {
+    SYMPLE_CHECK(bound_, "SymPred::Value() on a symbolic value");
+    return value_;
+  }
+
+  size_t trace_size() const { return trace_.size(); }
+  PredId pred_id() const { return pred_; }
+
+ private:
+  struct TraceEntry {
+    T arg;
+    bool outcome;
+  };
+
+  PredId pred_ = kInvalidPredId;
+  // Cached registry lookup: EvalPred is on the per-record hot path and must
+  // not take the registry lock.
+  bool (*fn_)(const void*, const void*) = nullptr;
+  // Default-constructed SymPreds are *bound* to T{}: the initial aggregation
+  // state (default State) must be fully concrete so the reducer can fold
+  // summaries onto it. MakeSymbolic unbinds.
+  bool bound_ = true;
+  T value_{};
+  std::vector<TraceEntry> trace_;
+  uint32_t field_ = 0;
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_SYM_PRED_H_

@@ -1,0 +1,279 @@
+// State-struct protocol (paper Section 5.3).
+//
+// A SYMPLE aggregation state is a user struct whose fields are all symbolic
+// data types plus a `list_fields()` member returning a tuple of references to
+// those fields (C++ has no static reflection; this is the paper's
+// programmer-supplied substitute). The helpers here fold the per-field
+// protocol over that tuple to provide whole-state operations:
+//
+//   MakeSymbolicState  — begin a fresh symbolic segment (assigns field ids)
+//   SerializeState     — compact canonical form for network transfer
+//   TryMergePaths      — path merging (Section 3.5)
+//   ComposePath        — path-level summary composition (Section 3.6); this
+//                        is also how a summary is applied to a concrete state
+//                        (a concrete state is simply a path whose fields are
+//                        all concrete)
+//
+// A *path* is a State value: each field carries both its transfer function
+// and its own single-variable constraint, and the path constraint is their
+// conjunction. Two paths are disjoint iff some field's constraints are
+// disjoint, because distinct fields constrain independent variables.
+#ifndef SYMPLE_CORE_SYM_STRUCT_H_
+#define SYMPLE_CORE_SYM_STRUCT_H_
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "common/error.h"
+#include "core/affine.h"
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+// A nested symbolic struct (paper Section 4.5 "Symbolic Struct"): any struct
+// exposing list_fields() can itself be used as a field of another state; the
+// whole-state operations recurse through it transparently.
+template <typename T>
+concept SymStructType = requires(T t) { t.list_fields(); };
+
+// The per-field protocol every leaf symbolic data type implements. This is
+// the paper's Section 5.3 static verification: a State struct whose
+// list_fields() exposes anything else (a plain int, a std::string, ...) is
+// rejected at compile time with a pointed diagnostic.
+template <typename F>
+concept SymFieldType = requires(F f, const F cf, BinaryWriter w, BinaryReader r,
+                                const FieldResolver& resolver) {
+  f.MakeSymbolic(uint32_t{0});
+  cf.Serialize(w);
+  f.Deserialize(r);
+  { cf.SameTransferFunction(cf) } -> std::convertible_to<bool>;
+  { cf.ConstraintEquals(cf) } -> std::convertible_to<bool>;
+  { f.TryUnionConstraint(cf) } -> std::convertible_to<bool>;
+  { f.ComposeThrough(cf, resolver) } -> std::convertible_to<bool>;
+  { cf.is_concrete() } -> std::convertible_to<bool>;
+  { cf.DebugString() } -> std::convertible_to<std::string>;
+};
+
+namespace internal {
+
+// Applies fn(field) to every *leaf* symbolic field of s, in declaration
+// order, recursing through nested symbolic structs.
+template <typename Field, typename Fn>
+void VisitLeaf(Field& field, Fn& fn) {
+  if constexpr (SymStructType<Field>) {
+    std::apply([&](auto&... inner) { (VisitLeaf(inner, fn), ...); },
+               field.list_fields());
+  } else {
+    static_assert(SymFieldType<std::remove_cv_t<Field>>,
+                  "every field of a SYMPLE aggregation state must be a "
+                  "symbolic data type (SymInt, SymBool, SymEnum, SymPred, "
+                  "SymVector, ...) or a nested struct of them");
+    fn(field);
+  }
+}
+
+template <typename State, typename Fn>
+void ForEachField(State& s, Fn&& fn) {
+  std::apply([&](auto&... fields) { (VisitLeaf(fields, fn), ...); }, s.list_fields());
+}
+
+// Pairwise leaf visitation over two states of the same type.
+template <typename FieldA, typename FieldB, typename Fn>
+void VisitLeafPair(FieldA& a, FieldB& b, Fn& fn) {
+  static_assert(std::is_same_v<std::remove_cv_t<FieldA>, std::remove_cv_t<FieldB>>);
+  if constexpr (SymStructType<FieldA>) {
+    auto ta = a.list_fields();
+    auto tb = b.list_fields();
+    constexpr size_t kN = std::tuple_size_v<decltype(ta)>;
+    [&]<size_t... I>(std::index_sequence<I...>) {
+      (VisitLeafPair(std::get<I>(ta), std::get<I>(tb), fn), ...);
+    }(std::make_index_sequence<kN>{});
+  } else {
+    fn(a, b);
+  }
+}
+
+template <typename State, typename Fn>
+void ForEachFieldPair(State& a, State& b, Fn&& fn) {
+  auto ta = a.list_fields();
+  auto tb = b.list_fields();
+  constexpr size_t kN = std::tuple_size_v<decltype(ta)>;
+  static_assert(kN == std::tuple_size_v<decltype(tb)>);
+  [&]<size_t... I>(std::index_sequence<I...>) {
+    (VisitLeafPair(std::get<I>(ta), std::get<I>(tb), fn), ...);
+  }(std::make_index_sequence<kN>{});
+}
+
+// list_fields() is non-const by convention (it returns mutable references);
+// read-only whole-state operations go through this cast.
+template <typename State>
+State& Mutable(const State& s) {
+  return const_cast<State&>(s);
+}
+
+}  // namespace internal
+
+// Number of leaf symbolic fields (recursing through nested structs).
+template <typename State>
+size_t StateFieldCount(State& s) {
+  size_t n = 0;
+  internal::ForEachField(s, [&n](auto&) { ++n; });
+  return n;
+}
+
+// Reinitializes every field as the unknown input of a fresh symbolic
+// segment, assigning field indices in declaration order.
+template <typename State>
+void MakeSymbolicState(State& s) {
+  uint32_t index = 0;
+  internal::ForEachField(s, [&](auto& field) { field.MakeSymbolic(index++); });
+}
+
+template <typename State>
+void SerializeState(const State& s, BinaryWriter& w) {
+  internal::ForEachField(internal::Mutable(s),
+                         [&](auto& field) { field.Serialize(w); });
+}
+
+template <typename State>
+void DeserializeState(State& s, BinaryReader& r) {
+  internal::ForEachField(s, [&](auto& field) { field.Deserialize(r); });
+}
+
+template <typename State>
+std::string StateDebugString(const State& s) {
+  std::string out = "{";
+  bool first = true;
+  internal::ForEachField(internal::Mutable(s), [&](auto& field) {
+    if (!first) {
+      out += "; ";
+    }
+    out += field.DebugString();
+    first = false;
+  });
+  return out + "}";
+}
+
+// True when both paths compute identical transfer functions in every field.
+template <typename State>
+bool SameTransferFunctions(const State& a, const State& b) {
+  bool same = true;
+  internal::ForEachFieldPair(
+      internal::Mutable(a), internal::Mutable(b),
+      [&](const auto& fa, const auto& fb) { same = same && fa.SameTransferFunction(fb); });
+  return same;
+}
+
+// True when both paths carry identical constraints in every field.
+template <typename State>
+bool SameConstraints(const State& a, const State& b) {
+  bool same = true;
+  internal::ForEachFieldPair(
+      internal::Mutable(a), internal::Mutable(b),
+      [&](const auto& fa, const auto& fb) { same = same && fa.ConstraintEquals(fb); });
+  return same;
+}
+
+// Path merging (Section 3.5): two paths merge when every field has the same
+// transfer function and the union of their path constraints is representable.
+// Since the path constraint is a product of single-variable constraints, the
+// union is exact when at most one field's constraint differs and that field
+// can union its two constraints. On success `a` becomes the merged path.
+template <typename State>
+bool TryMergePaths(State& a, const State& b) {
+  if (!SameTransferFunctions(a, b)) {
+    return false;
+  }
+  int differing = 0;
+  internal::ForEachFieldPair(a, internal::Mutable(b),
+                             [&](const auto& fa, const auto& fb) {
+                               if (!fa.ConstraintEquals(fb)) {
+                                 ++differing;
+                               }
+                             });
+  if (differing == 0) {
+    return true;  // identical paths; keeping `a` merges them
+  }
+  if (differing > 1) {
+    return false;  // union of boxes differing in >1 dimension is not a box
+  }
+  bool merged = true;
+  internal::ForEachFieldPair(a, internal::Mutable(b),
+                             [&](auto& fa, const auto& fb) {
+                               if (!fa.ConstraintEquals(fb)) {
+                                 merged = fa.TryUnionConstraint(fb);
+                               }
+                             });
+  return merged;
+}
+
+namespace internal {
+
+// FieldResolver over a state's fields, used during composition to rewrite
+// SymVector elements through the earlier segment's transfer functions.
+template <typename State>
+class StateFieldResolver final : public FieldResolver {
+ public:
+  explicit StateFieldResolver(const State& s) : state_(s) {}
+
+  AffineForm Resolve(uint32_t field_index) const override {
+    AffineForm out{};
+    bool found = false;
+    uint32_t i = 0;
+    ForEachField(Mutable(state_), [&](auto& field) {
+      if (i == field_index) {
+        out = field.AsAffineForm();
+        found = true;
+      }
+      ++i;
+    });
+    SYMPLE_CHECK(found, "SymVector element references an unknown field index");
+    return out;
+  }
+
+ private:
+  const State& state_;
+};
+
+}  // namespace internal
+
+// Path-level summary composition (Section 3.6): returns later ∘ earlier, the
+// path over the earlier segment's input variables, or nullopt when the pair
+// is infeasible.
+//
+// Applying a summary to a concrete state is the special case where `earlier`
+// is fully concrete: feasibility then degenerates to "does the concrete state
+// satisfy the later path's constraint", and the result is concrete.
+template <typename State>
+std::optional<State> ComposePath(const State& later, const State& earlier) {
+  State out = later;
+  const internal::StateFieldResolver<State> resolver(earlier);
+  bool feasible = true;
+  internal::ForEachFieldPair(out, internal::Mutable(earlier),
+                             [&](auto& fo, const auto& fe) {
+                               feasible = feasible && fo.ComposeThrough(fe, resolver);
+                             });
+  if (!feasible) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+// True when every field of `s` holds a concrete value (no dependence on the
+// unknown segment input remains).
+template <typename State>
+bool StateIsConcrete(const State& s) {
+  bool concrete = true;
+  internal::ForEachField(internal::Mutable(s),
+                         [&](const auto& field) { concrete = concrete && field.is_concrete(); });
+  return concrete;
+}
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_SYM_STRUCT_H_

@@ -1,0 +1,146 @@
+// SymTopK — a second user-defined data type on the Section 4.5 extension
+// interface: tracks the K largest values observed, symbolically.
+//
+// Canonical form:
+//
+//     v = TopK(x ∪ M)
+//
+// where x is the unknown input multiset-view of the state and M is the local
+// multiset of candidates kept this segment. Two observations make this a
+// *closed* canonical form with no branching:
+//
+//   * Observe(e):  TopK(x ∪ M) ∪ {e}  collapses to  TopK(x ∪ TopK(M ∪ {e}))
+//     — only the K largest local candidates can ever survive, regardless of
+//     what x turns out to contain, so M is itself truncated to K elements.
+//   * compose:     TopK(TopK(x ∪ M1) ∪ M2) = TopK(x ∪ TopK(M1 ∪ M2)).
+//
+// Like SymMax (the K = 1 special case) this demonstrates that aggregations
+// with the right algebra need no path exploration at all: a top-K UDA runs
+// symbolically in a single path with an O(K) summary.
+#ifndef SYMPLE_CORE_SYM_TOPK_H_
+#define SYMPLE_CORE_SYM_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/affine.h"
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+template <size_t K>
+class SymTopK {
+  static_assert(K >= 1, "SymTopK needs a positive K");
+
+ public:
+  SymTopK() = default;
+
+  // --- the update operation -----------------------------------------------------
+
+  // Folds one concrete observation in; keeps candidates sorted descending and
+  // truncated to K. Never branches.
+  void Observe(int64_t value) {
+    const auto at = std::lower_bound(candidates_.begin(), candidates_.end(), value,
+                                     std::greater<int64_t>());
+    if (at == candidates_.end() && candidates_.size() >= K) {
+      return;  // smaller than every kept candidate and the buffer is full
+    }
+    candidates_.insert(at, value);
+    if (candidates_.size() > K) {
+      candidates_.pop_back();
+    }
+  }
+
+  // --- symbolic segment protocol --------------------------------------------------
+
+  void MakeSymbolic(uint32_t field_index) {
+    bound_ = false;
+    candidates_.clear();
+    field_ = field_index;
+  }
+
+  void Serialize(BinaryWriter& w) const {
+    w.WriteBool(bound_);
+    w.WriteVarUint(candidates_.size());
+    for (int64_t v : candidates_) {
+      w.WriteVarInt(v);
+    }
+    w.WriteVarUint(field_);
+  }
+
+  void Deserialize(BinaryReader& r) {
+    bound_ = r.ReadBool();
+    const uint64_t n = r.ReadVarUint();
+    SYMPLE_CHECK(n <= K, "SymTopK candidate count exceeds K");
+    candidates_.clear();
+    candidates_.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      candidates_.push_back(r.ReadVarInt());
+    }
+    field_ = static_cast<uint32_t>(r.ReadVarUint());
+  }
+
+  bool SameTransferFunction(const SymTopK& o) const {
+    return bound_ == o.bound_ && candidates_ == o.candidates_;
+  }
+
+  // Observe never branches, so no constraint ever forms.
+  bool ConstraintEquals(const SymTopK&) const { return true; }
+  bool TryUnionConstraint(const SymTopK&) { return true; }
+
+  bool ComposeThrough(const SymTopK& earlier, const FieldResolver& /*resolver*/) {
+    if (!bound_) {
+      // TopK(x ∪ TopK(M1 ∪ M2)): merge the earlier candidates into ours.
+      for (int64_t v : earlier.candidates_) {
+        Observe(v);
+      }
+      bound_ = earlier.bound_;
+    }
+    // If we were already bound (a constant function) the input is irrelevant.
+    field_ = earlier.field_;
+    return true;
+  }
+
+  AffineForm AsAffineForm() const {
+    throw SympleError("SymTopK values have no affine form");
+  }
+
+  std::string DebugString() const {
+    std::string out = bound_ ? "topk:[" : "topk(x)+[";
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += std::to_string(candidates_[i]);
+    }
+    return out + "]";
+  }
+
+  // --- accessors --------------------------------------------------------------------
+
+  bool is_concrete() const { return bound_; }
+
+  // The K (or fewer) largest values, descending; requires a concrete state.
+  const std::vector<int64_t>& Values() const {
+    SYMPLE_CHECK(bound_, "SymTopK::Values() on a symbolic value");
+    return candidates_;
+  }
+
+  // Local candidates of this segment (symbolic or concrete), for tests.
+  const std::vector<int64_t>& candidates() const { return candidates_; }
+
+ private:
+  // bound_: the value no longer depends on the unknown input (the reducer's
+  // initial state, or a composition that started from one).
+  bool bound_ = true;
+  std::vector<int64_t> candidates_;  // descending, at most K
+  uint32_t field_ = 0;
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_SYM_TOPK_H_

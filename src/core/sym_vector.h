@@ -1,0 +1,275 @@
+// SymVector — append-only output vectors (paper Section 4.5).
+//
+// Inspired by Cilk reducer hyperobjects: each symbolic segment appends to a
+// local vector, and segments are stitched in input order at summary
+// composition. Elements may themselves be symbolic (for example a SymInt
+// count appended as `x + 5`); composition rewrites such elements through the
+// earlier segment's transfer function and concretizes them as soon as the
+// referenced unknown resolves.
+//
+// T is the concrete element type. Symbolic elements are supported when T is
+// an integral type (they snapshot the affine form of a SymInt/SymEnum field).
+//
+// Representation: append-only semantics make the storage a natural
+// copy-on-write structure. Live paths of one exploration differ only in a
+// short suffix (usually not at all), so paths share one element buffer and
+// clone lazily on append. Without this, copying a path would copy the whole
+// accumulated output — quadratic for result-heavy UDAs.
+#ifndef SYMPLE_CORE_SYM_VECTOR_H_
+#define SYMPLE_CORE_SYM_VECTOR_H_
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/cow_buffer.h"
+#include "common/error.h"
+#include "core/affine.h"
+#include "core/sym_enum.h"
+#include "core/sym_int.h"
+#include "core/value_codec.h"
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+template <typename T>
+class SymVector {
+ public:
+  SymVector() = default;
+
+  // --- append operations (the only mutators, per the paper) -------------------
+
+  void push_back(const T& value) { Append(Element::Concrete(value)); }
+
+  // Appends the current value of a SymInt; stays symbolic if the SymInt does.
+  void push_back(const SymInt& value)
+    requires std::integral<T>
+  {
+    const AffineForm f = value.AsAffineForm();
+    if (f.IsConcrete()) {
+      Append(Element::Concrete(static_cast<T>(f.b)));
+    } else {
+      Append(Element::Symbolic(f, value.field_index()));
+    }
+  }
+
+  // Appends the current value of a SymEnum (as its underlying integer);
+  // stays symbolic if the SymEnum is unbound.
+  template <typename E, uint32_t N>
+  void push_back(const SymEnum<E, N>& value)
+    requires std::integral<T>
+  {
+    const AffineForm f = value.AsAffineForm();
+    if (f.IsConcrete()) {
+      Append(Element::Concrete(static_cast<T>(f.b)));
+    } else {
+      Append(Element::Symbolic(f, value.field_index()));
+    }
+  }
+
+  // --- symbolic segment protocol ----------------------------------------------
+
+  void MakeSymbolic(uint32_t field_index) {
+    elems_.Reset();  // a fresh segment has no local appends yet
+    size_ = 0;
+    field_ = field_index;
+  }
+
+  void Serialize(BinaryWriter& w) const {
+    w.WriteVarUint(size_);
+    for (const Element& e : View()) {
+      w.WriteBool(e.symbolic);
+      if (e.symbolic) {
+        w.WriteVarInt(e.form.a);
+        w.WriteVarInt(e.form.b);
+        w.WriteVarUint(e.ref_field);
+      } else {
+        ValueCodec<T>::Write(w, e.value);
+      }
+    }
+    w.WriteVarUint(field_);
+  }
+
+  void Deserialize(BinaryReader& r) {
+    const uint64_t n = r.ReadVarUint();
+    // Every element costs at least one byte on the wire: reject corrupted
+    // counts before trusting them with an allocation.
+    SYMPLE_CHECK(n <= r.remaining(), "SymVector element count exceeds buffer");
+    std::vector<Element> elems;
+    elems.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      Element e;
+      e.symbolic = r.ReadBool();
+      if (e.symbolic) {
+        e.form.a = r.ReadVarInt();
+        e.form.b = r.ReadVarInt();
+        e.ref_field = static_cast<uint32_t>(r.ReadVarUint());
+      } else {
+        e.value = ValueCodec<T>::Read(r);
+      }
+      elems.push_back(std::move(e));
+    }
+    elems_.Adopt(std::move(elems));
+    size_ = n;
+    field_ = static_cast<uint32_t>(r.ReadVarUint());
+  }
+
+  bool SameTransferFunction(const SymVector& o) const {
+    if (size_ != o.size_) {
+      return false;
+    }
+    if (elems_.SharesStorageWith(o.elems_)) {
+      return true;  // shared buffer, same length: identical contents
+    }
+    const auto a = View();
+    const auto b = o.View();
+    for (size_t i = 0; i < size_; ++i) {
+      if (!a[i].Equals(b[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Vectors carry no constraint of their own.
+  bool ConstraintEquals(const SymVector&) const { return true; }
+  bool TryUnionConstraint(const SymVector&) { return true; }
+
+  bool ComposeThrough(const SymVector& earlier, const FieldResolver& resolver) {
+    std::vector<Element> combined;
+    const auto prefix = earlier.View();
+    combined.reserve(prefix.size() + size_);
+    combined.insert(combined.end(), prefix.begin(), prefix.end());
+    for (const Element& e : View()) {
+      if (!e.symbolic) {
+        combined.push_back(e);
+        continue;
+      }
+      const AffineForm inner = resolver.Resolve(e.ref_field);
+      const AffineForm composed = ComposeAffine(e.form, inner);
+      if (composed.IsConcrete()) {
+        combined.push_back(Element::Concrete(ConcreteFromInt(composed.b)));
+      } else {
+        combined.push_back(Element::Symbolic(composed, e.ref_field));
+      }
+    }
+    size_ = combined.size();
+    elems_.Adopt(std::move(combined));
+    field_ = earlier.field_;
+    return true;
+  }
+
+  AffineForm AsAffineForm() const {
+    throw SympleError("SymVector fields cannot be referenced from other "
+                      "SymVector elements");
+  }
+
+  std::string DebugString() const {
+    std::string out = "vec[";
+    const auto view = View();
+    for (size_t i = 0; i < view.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      if (view[i].symbolic) {
+        out += DebugStringAffine(view[i].form, view[i].ref_field);
+      } else if constexpr (std::integral<T>) {
+        out += std::to_string(static_cast<int64_t>(view[i].value));
+      } else {
+        out += "<val>";
+      }
+    }
+    return out + "]";
+  }
+
+  // --- accessors ----------------------------------------------------------------
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool is_concrete() const {
+    for (const Element& e : View()) {
+      if (e.symbolic) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Concrete contents; throws if any element is still symbolic.
+  std::vector<T> Values() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (const Element& e : View()) {
+      SYMPLE_CHECK(!e.symbolic, "SymVector::Values() with symbolic elements");
+      out.push_back(e.value);
+    }
+    return out;
+  }
+
+ private:
+  struct Element {
+    bool symbolic = false;
+    T value{};           // valid when !symbolic
+    AffineForm form{};   // valid when symbolic
+    uint32_t ref_field = 0;
+
+    static Element Concrete(T v) {
+      Element e;
+      e.symbolic = false;
+      e.value = std::move(v);
+      return e;
+    }
+    static Element Symbolic(AffineForm f, uint32_t field) {
+      Element e;
+      e.symbolic = true;
+      e.form = f;
+      e.ref_field = field;
+      return e;
+    }
+    bool Equals(const Element& o) const {
+      if (symbolic != o.symbolic) {
+        return false;
+      }
+      if (symbolic) {
+        return form == o.form && ref_field == o.ref_field;
+      }
+      return value == o.value;
+    }
+  };
+
+  static T ConcreteFromInt(int64_t v) {
+    if constexpr (std::integral<T>) {
+      return static_cast<T>(v);
+    } else {
+      throw SympleError("symbolic SymVector element over a non-integral type");
+    }
+  }
+
+  // The first size_ elements of the buffer are this vector's contents; the
+  // buffer may be shared with other paths (and may be longer than size_ if a
+  // sibling appended after we were copied).
+  std::span<const Element> View() const {
+    const std::vector<Element>* items = elems_.items();
+    if (items == nullptr) {
+      return {};
+    }
+    return std::span<const Element>(items->data(), size_);
+  }
+
+  // Copy-on-write append.
+  void Append(Element e) {
+    elems_.EnsureExclusive(size_).push_back(std::move(e));
+    ++size_;
+  }
+
+  CowBuffer<Element> elems_;
+  size_t size_ = 0;
+  uint32_t field_ = 0;
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_SYM_VECTOR_H_

@@ -1,0 +1,35 @@
+// Umbrella header for the SYMPLE core library.
+//
+// Pull this in to write a UDA:
+//
+//   #include "core/symple.h"
+//
+//   struct State {
+//     symple::SymBool srch_found = false;
+//     symple::SymInt count = 0;
+//     symple::SymVector<int64_t> ret;
+//     auto list_fields() { return std::tie(srch_found, count, ret); }
+//   };
+//
+//   void Update(State& s, const Event& e) { ... ordinary C++ control flow ... }
+//
+// and run it through ConcreteAggregator (sequential semantics) or
+// SymbolicAggregator + Summary composition (symbolic parallelism), or at a
+// higher level through the engines in runtime/engine.h.
+#ifndef SYMPLE_CORE_SYMPLE_H_
+#define SYMPLE_CORE_SYMPLE_H_
+
+#include "core/aggregator.h"
+#include "core/exec_context.h"
+#include "core/pred_registry.h"
+#include "core/summary.h"
+#include "core/sym_bool.h"
+#include "core/sym_enum.h"
+#include "core/sym_extremum.h"
+#include "core/sym_int.h"
+#include "core/sym_pred.h"
+#include "core/sym_topk.h"
+#include "core/sym_struct.h"
+#include "core/sym_vector.h"
+
+#endif  // SYMPLE_CORE_SYMPLE_H_

@@ -1,0 +1,61 @@
+// Serialization trait for user value types carried inside SymPred traces and
+// SymVector elements.
+//
+// Specialize ValueCodec<T> for custom types (see the GPS coordinate type in
+// src/queries/gps_query.h for an example). Integral types and std::string are
+// provided here.
+#ifndef SYMPLE_CORE_VALUE_CODEC_H_
+#define SYMPLE_CORE_VALUE_CODEC_H_
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+template <typename T>
+struct ValueCodec;  // specialize: static Write(BinaryWriter&, const T&) / static T Read(BinaryReader&)
+
+template <std::signed_integral T>
+struct ValueCodec<T> {
+  static void Write(BinaryWriter& w, const T& v) { w.WriteVarInt(v); }
+  static T Read(BinaryReader& r) { return static_cast<T>(r.ReadVarInt()); }
+};
+
+template <std::unsigned_integral T>
+struct ValueCodec<T> {
+  static void Write(BinaryWriter& w, const T& v) { w.WriteVarUint(v); }
+  static T Read(BinaryReader& r) { return static_cast<T>(r.ReadVarUint()); }
+};
+
+template <>
+struct ValueCodec<std::string> {
+  static void Write(BinaryWriter& w, const std::string& v) { w.WriteString(v); }
+  static std::string Read(BinaryReader& r) { return r.ReadString(); }
+};
+
+template <>
+struct ValueCodec<double> {
+  static void Write(BinaryWriter& w, const double& v) { w.WriteDouble(v); }
+  static double Read(BinaryReader& r) { return r.ReadDouble(); }
+};
+
+template <typename A, typename B>
+struct ValueCodec<std::pair<A, B>> {
+  static void Write(BinaryWriter& w, const std::pair<A, B>& v) {
+    ValueCodec<A>::Write(w, v.first);
+    ValueCodec<B>::Write(w, v.second);
+  }
+  static std::pair<A, B> Read(BinaryReader& r) {
+    A a = ValueCodec<A>::Read(r);
+    B b = ValueCodec<B>::Read(r);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_VALUE_CODEC_H_

@@ -1,0 +1,14 @@
+// Umbrella header: every evaluation query plus the pedagogical UDAs.
+#ifndef SYMPLE_QUERIES_ALL_QUERIES_H_
+#define SYMPLE_QUERIES_ALL_QUERIES_H_
+
+#include "queries/bing_queries.h"
+#include "queries/funnel_query.h"
+#include "queries/github_queries.h"
+#include "queries/gps_query.h"
+#include "queries/max_query.h"
+#include "queries/query_info.h"
+#include "queries/redshift_queries.h"
+#include "queries/twitter_queries.h"
+
+#endif  // SYMPLE_QUERIES_ALL_QUERIES_H_

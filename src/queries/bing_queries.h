@@ -1,0 +1,179 @@
+// The Bing query-log queries B1-B3 (paper Table 1).
+//
+//   B1  global outages: more than 2 minutes with no successful query by any
+//       user (a single group — symbolic parallelism is the *only* source of
+//       parallelism here, the paper's most extreme case)
+//   B2  the same outage detection per geographic area
+//   B3  number of queries per session per user (< 2 minutes between queries;
+//       many groups — the paper's case where SYMPLE cannot help)
+#ifndef SYMPLE_QUERIES_BING_QUERIES_H_
+#define SYMPLE_QUERIES_BING_QUERIES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/text.h"
+#include "core/symple.h"
+#include "queries/text_row.h"
+
+namespace symple {
+
+inline constexpr int64_t kOutageGapSeconds = 120;
+
+struct BingEvent {
+  int64_t ts = 0;
+  bool success = false;
+};
+
+// key_field: 0 -> constant key (B1), 1 -> user (B3), 2 -> area (B2).
+template <int KeyField>
+std::optional<std::pair<int64_t, BingEvent>> ParseBingLine(std::string_view line) {
+  FieldCursor cur(line);
+  const auto ts = cur.Next();
+  const auto user = cur.Next();
+  const auto area = cur.Next();
+  const auto status = cur.Next();
+  if (!ts || !user || !area || !status) {
+    return std::nullopt;
+  }
+  const auto ts_v = ParseInt64(*ts);
+  if (!ts_v) {
+    return std::nullopt;
+  }
+  int64_t key = 0;
+  if constexpr (KeyField == 1) {
+    const auto user_id = ParseInt64(*user);
+    if (!user_id) {
+      return std::nullopt;
+    }
+    key = *user_id;
+  } else if constexpr (KeyField == 2) {
+    // Area field looks like "A17".
+    const auto area_id = ParseInt64(area->substr(1));
+    if (!area_id) {
+      return std::nullopt;
+    }
+    key = *area_id;
+  }
+  return std::make_pair(key, BingEvent{*ts_v, *status == "ok"});
+}
+
+inline void SerializeBingEvent(const BingEvent& e, BinaryWriter& w) {
+  WriteTextRow(w, {e.ts, e.success ? 1 : 0});
+}
+inline BingEvent DeserializeBingEvent(BinaryReader& r) {
+  const auto row = ReadTextRow<2>(r);
+  return BingEvent{row[0], row[1] != 0};
+}
+
+// Shared outage-detection state: remembers the last successful-query
+// timestamp; when a success arrives more than the gap after the previous one,
+// the recovery timestamp is reported.
+struct OutageState {
+  SymBool seen = false;
+  SymInt last_ok = 0;
+  SymVector<int64_t> recoveries;
+  auto list_fields() { return std::tie(seen, last_ok, recoveries); }
+};
+
+inline void OutageUpdate(OutageState& s, const BingEvent& e) {
+  if (!e.success) {
+    return;
+  }
+  if (s.seen && s.last_ok < e.ts - kOutageGapSeconds) {
+    s.recoveries.push_back(e.ts);
+  }
+  s.seen = true;
+  s.last_ok = e.ts;
+}
+
+// --- B1: global outages ---------------------------------------------------------
+
+struct B1GlobalOutages {
+  using Key = int64_t;  // constant 0: one group
+  using Event = BingEvent;
+  using State = OutageState;
+  using Output = std::vector<int64_t>;
+
+  static constexpr const char* kName = "B1";
+
+  static std::optional<std::pair<Key, Event>> Parse(std::string_view line) {
+    return ParseBingLine<0>(line);
+  }
+  static void Update(State& s, const Event& e) { OutageUpdate(s, e); }
+  static Output Result(const State& s, const Key&) { return s.recoveries.Values(); }
+  static void SerializeEvent(const Event& e, BinaryWriter& w) {
+    SerializeBingEvent(e, w);
+  }
+  static Event DeserializeEvent(BinaryReader& r) { return DeserializeBingEvent(r); }
+};
+
+// --- B2: outages per geographic area ---------------------------------------------
+
+struct B2AreaOutages {
+  using Key = int64_t;  // area id (~tens of groups)
+  using Event = BingEvent;
+  using State = OutageState;
+  using Output = std::vector<int64_t>;
+
+  static constexpr const char* kName = "B2";
+
+  static std::optional<std::pair<Key, Event>> Parse(std::string_view line) {
+    return ParseBingLine<2>(line);
+  }
+  static void Update(State& s, const Event& e) { OutageUpdate(s, e); }
+  static Output Result(const State& s, const Key&) { return s.recoveries.Values(); }
+  static void SerializeEvent(const Event& e, BinaryWriter& w) {
+    SerializeBingEvent(e, w);
+  }
+  static Event DeserializeEvent(BinaryReader& r) { return DeserializeBingEvent(r); }
+};
+
+// --- B3: queries per session per user --------------------------------------------
+
+struct B3UserSessions {
+  using Key = int64_t;  // user id (many groups)
+  using Event = BingEvent;
+  struct State {
+    SymBool seen = false;
+    SymInt last_ts = 0;
+    SymInt count = 0;
+    SymVector<int64_t> sessions;
+    auto list_fields() { return std::tie(seen, last_ts, count, sessions); }
+  };
+  // Closed sessions plus the count of the still-open trailing session.
+  using Output = std::pair<std::vector<int64_t>, int64_t>;
+
+  static constexpr const char* kName = "B3";
+
+  static std::optional<std::pair<Key, Event>> Parse(std::string_view line) {
+    return ParseBingLine<1>(line);
+  }
+
+  static void Update(State& s, const Event& e) {
+    if (s.seen && s.last_ts < e.ts - kOutageGapSeconds) {
+      s.sessions.push_back(s.count);  // session boundary: close previous
+      s.count = 0;
+    }
+    s.count++;
+    s.seen = true;
+    s.last_ts = e.ts;
+  }
+
+  static Output Result(const State& s, const Key&) {
+    return {s.sessions.Values(), s.count.Value()};
+  }
+
+  static void SerializeEvent(const Event& e, BinaryWriter& w) {
+    SerializeBingEvent(e, w);
+  }
+  static Event DeserializeEvent(BinaryReader& r) { return DeserializeBingEvent(r); }
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_QUERIES_BING_QUERIES_H_

@@ -1,0 +1,106 @@
+// The purchase-funnel UDA — the paper's Figure 1.
+//
+// Per user, report the items that were (i) searched for, (ii) followed by
+// more than ten review reads, and (iii) eventually purchased. The Update body
+// below is line-for-line the code of Figure 1 modulo the event accessors.
+//
+// Input: webshop log lines (see workloads/webshop_gen.h).
+#ifndef SYMPLE_QUERIES_FUNNEL_QUERY_H_
+#define SYMPLE_QUERIES_FUNNEL_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/text.h"
+#include "core/symple.h"
+#include "queries/text_row.h"
+
+namespace symple {
+
+struct FunnelQuery {
+  using Key = int64_t;  // user id
+  struct Event {
+    uint8_t kind = 0;  // 0 search, 1 review, 2 purchase, 3 click
+    int64_t item = 0;
+  };
+  struct State {
+    SymBool srch_found = false;
+    SymInt count = 0;
+    SymVector<int64_t> ret;
+    auto list_fields() { return std::tie(srch_found, count, ret); }
+  };
+  using Output = std::vector<int64_t>;
+
+  static constexpr const char* kName = "Funnel";
+
+  static std::optional<std::pair<Key, Event>> Parse(std::string_view line) {
+    FieldCursor cur(line);
+    cur.Skip(1);  // timestamp unused by this UDA
+    const auto user = cur.Next();
+    const auto kind = cur.Next();
+    const auto item = cur.Next();
+    if (!user || !kind || !item) {
+      return std::nullopt;
+    }
+    const std::optional<int64_t> user_id = ParseInt64(*user);
+    const std::optional<int64_t> item_id = ParseInt64(*item);
+    if (!user_id || !item_id) {
+      return std::nullopt;
+    }
+    Event e;
+    e.item = *item_id;
+    if (*kind == "search") {
+      e.kind = 0;
+    } else if (*kind == "review") {
+      e.kind = 1;
+    } else if (*kind == "purchase") {
+      e.kind = 2;
+    } else {
+      e.kind = 3;
+    }
+    return std::make_pair(*user_id, e);
+  }
+
+  static void Update(State& s, const Event& e) {
+    // look for a search event
+    if (!s.srch_found && e.kind == 0) {
+      // start counting reviews
+      s.srch_found = true;
+      s.count = 0;
+    }
+    // count reviews
+    if (s.srch_found && e.kind == 1) {
+      s.count++;
+    }
+    // on a purchase event
+    if (s.srch_found && e.kind == 2) {
+      // report if count > 10
+      if (s.count > 10) {
+        s.ret.push_back(e.item);
+      }
+      // look for the next search
+      s.srch_found = false;
+    }
+  }
+
+  static Output Result(const State& s, const Key&) { return s.ret.Values(); }
+
+  static void SerializeEvent(const Event& e, BinaryWriter& w) {
+    WriteTextRow(w, {e.kind, e.item});
+  }
+  static Event DeserializeEvent(BinaryReader& r) {
+    const auto row = ReadTextRow<2>(r);
+    Event e;
+    e.kind = static_cast<uint8_t>(row[0]);
+    e.item = row[1];
+    return e;
+  }
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_QUERIES_FUNNEL_QUERY_H_

@@ -1,0 +1,123 @@
+// GPS session counting — the paper's Section 4.4 SymPred example.
+//
+// Splits each user's GPS event sequence into sessions (contiguous runs where
+// every event is within a bounded distance of the previous one) and reports
+// the event count of every closed session. The distance check is nonlinear,
+// so it runs as a black-box SymPred: the first event of every chunk blindly
+// explores both outcomes, and the recorded (argument, outcome) trace is
+// checked against the resolved previous coordinate at composition time.
+#ifndef SYMPLE_QUERIES_GPS_QUERY_H_
+#define SYMPLE_QUERIES_GPS_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/text.h"
+#include "core/symple.h"
+#include "queries/text_row.h"
+
+namespace symple {
+
+struct GpsCoord {
+  int64_t lat_microdeg = 0;
+  int64_t lon_microdeg = 0;
+
+  friend bool operator==(const GpsCoord&, const GpsCoord&) = default;
+};
+
+template <>
+struct ValueCodec<GpsCoord> {
+  static void Write(BinaryWriter& w, const GpsCoord& v) {
+    w.WriteVarInt(v.lat_microdeg);
+    w.WriteVarInt(v.lon_microdeg);
+  }
+  static GpsCoord Read(BinaryReader& r) {
+    GpsCoord v;
+    v.lat_microdeg = r.ReadVarInt();
+    v.lon_microdeg = r.ReadVarInt();
+    return v;
+  }
+};
+
+// Squared planar distance below the session bound — deliberately nonlinear,
+// beyond what interval decision procedures can reason about.
+inline constexpr int64_t kGpsSessionBoundMicrodeg = 50000;
+
+inline bool GpsDistanceLessThanBound(const GpsCoord& sym, const GpsCoord& val) {
+  const double dlat = static_cast<double>(sym.lat_microdeg - val.lat_microdeg);
+  const double dlon = static_cast<double>(sym.lon_microdeg - val.lon_microdeg);
+  const double bound = static_cast<double>(kGpsSessionBoundMicrodeg);
+  return dlat * dlat + dlon * dlon < bound * bound;
+}
+
+inline const PredId kGpsSessionPred =
+    RegisterTypedPred<GpsCoord, &GpsDistanceLessThanBound>("gps.distance_lt_bound");
+
+struct GpsSessionQuery {
+  using Key = int64_t;  // user id
+  struct Event {
+    GpsCoord coord;
+  };
+  struct State {
+    SymInt count = 0;
+    SymVector<int64_t> counts;
+    SymPred<GpsCoord> prev{kGpsSessionPred};
+    SymBool seen = false;
+    auto list_fields() { return std::tie(count, counts, prev, seen); }
+  };
+  using Output = std::vector<int64_t>;
+
+  static constexpr const char* kName = "GpsSessions";
+
+  static std::optional<std::pair<Key, Event>> Parse(std::string_view line) {
+    FieldCursor cur(line);
+    cur.Skip(1);  // timestamp unused
+    const auto user = cur.Next();
+    const auto lat = cur.Next();
+    const auto lon = cur.Next();
+    if (!user || !lat || !lon) {
+      return std::nullopt;
+    }
+    const auto user_id = ParseInt64(*user);
+    const auto lat_v = ParseInt64(*lat);
+    const auto lon_v = ParseInt64(*lon);
+    if (!user_id || !lat_v || !lon_v) {
+      return std::nullopt;
+    }
+    return std::make_pair(*user_id, Event{GpsCoord{*lat_v, *lon_v}});
+  }
+
+  static void Update(State& s, const Event& e) {
+    // The paper's CountEventsInSessions, with a `seen` guard so that the very
+    // first event of the whole stream starts (rather than closes) a session.
+    if (s.seen && s.prev.EvalPred(e.coord)) {
+      // same session
+      s.count++;
+    } else {
+      if (s.seen) {
+        s.counts.push_back(s.count);  // close the previous session
+      }
+      s.count = 1;
+      s.seen = true;
+    }
+    s.prev.SetValue(e.coord);
+  }
+
+  static Output Result(const State& s, const Key&) { return s.counts.Values(); }
+
+  static void SerializeEvent(const Event& e, BinaryWriter& w) {
+    WriteTextRow(w, {e.coord.lat_microdeg, e.coord.lon_microdeg});
+  }
+  static Event DeserializeEvent(BinaryReader& r) {
+    const auto row = ReadTextRow<2>(r);
+    return Event{GpsCoord{row[0], row[1]}};
+  }
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_QUERIES_GPS_QUERY_H_

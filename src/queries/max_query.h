@@ -1,0 +1,64 @@
+// The Max UDA — the paper's Section 3.1 running example.
+//
+// "Obviously, Max is an associative operation and is thus readily
+// parallelizable. However, this is not apparent when the computation is
+// presented imperatively as shown [here]. SYMPLE can automatically
+// parallelize this function."
+//
+// Input lines: a single integer per line. One global group.
+#ifndef SYMPLE_QUERIES_MAX_QUERY_H_
+#define SYMPLE_QUERIES_MAX_QUERY_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#include "common/text.h"
+#include "core/symple.h"
+#include "queries/text_row.h"
+
+namespace symple {
+
+struct MaxQuery {
+  using Key = int64_t;  // single global group (key 0)
+  struct Event {
+    int64_t value = 0;
+  };
+  struct State {
+    SymInt max = std::numeric_limits<int64_t>::min();
+    auto list_fields() { return std::tie(max); }
+  };
+  using Output = int64_t;
+
+  static constexpr const char* kName = "Max";
+
+  static std::optional<std::pair<Key, Event>> Parse(std::string_view line) {
+    const std::optional<int64_t> v = ParseInt64(line);
+    if (!v.has_value()) {
+      return std::nullopt;
+    }
+    return std::make_pair(int64_t{0}, Event{*v});
+  }
+
+  static void Update(State& s, const Event& e) {
+    if (s.max < e.value) {
+      s.max = e.value;
+    }
+  }
+
+  static Output Result(const State& s, const Key&) { return s.max.Value(); }
+
+  static void SerializeEvent(const Event& e, BinaryWriter& w) {
+    WriteTextRow(w, {e.value});
+  }
+  static Event DeserializeEvent(BinaryReader& r) {
+    return Event{ReadTextRow<1>(r)[0]};
+  }
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_QUERIES_MAX_QUERY_H_

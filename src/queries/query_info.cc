@@ -1,0 +1,44 @@
+#include "queries/query_info.h"
+
+namespace symple {
+
+const std::vector<QueryInfo>& AllQueryInfos() {
+  static const std::vector<QueryInfo> kInfos = {
+      {"G1", "github", "Return all repositories with only push commands",
+       "per-repo (~4K)", true, false, false, false},
+      {"G2", "github",
+       "All operations on a repository directly preceding a delete operation",
+       "per-repo (~4K)", true, false, false, true},
+      {"G3", "github",
+       "Number of operations executed on a repository between pull open and close",
+       "per-repo (~4K)", true, true, false, true},
+      {"G4", "github",
+       "The time between branch deletion and branch creation in a repository",
+       "per-repo (~4K)", true, true, false, true},
+      {"B1", "Bing",
+       "Outages: more than 2 minutes with no successful query by any user", "1",
+       true, true, false, true},
+      {"B2", "Bing", "Outages per geographic area of the query (local outages)",
+       "per-area (~40)", true, true, false, true},
+      {"B3", "Bing",
+       "Number of queries in a session per user (< 2 minutes between queries)",
+       "per-user (many)", true, true, false, true},
+      {"T1", "Twitter",
+       "Spam learning speed: queries not marked as spam, followed by at least 5 "
+       "queries marked as spam per hashtag",
+       "per-hashtag (many)", true, true, false, true},
+      {"R1", "RedShift", "Number of impressions per advertiser", "per-adv (~1K)",
+       false, true, false, false},
+      {"R2", "RedShift", "List of advertisers operating only in a single country",
+       "per-adv (~1K)", true, false, false, false},
+      {"R3", "RedShift",
+       "Cases for advertiser when their ads were not showing for more than 1 hour",
+       "per-adv (~1K)", true, true, false, true},
+      {"R4", "RedShift",
+       "Lengths of runs for which only a single campaign by an advertiser is shown",
+       "per-adv (~1K)", true, true, true, true},
+  };
+  return kInfos;
+}
+
+}  // namespace symple

@@ -1,0 +1,27 @@
+// Static metadata about the evaluation queries, used by the Table 1
+// benchmark to regenerate the paper's query inventory.
+#ifndef SYMPLE_QUERIES_QUERY_INFO_H_
+#define SYMPLE_QUERIES_QUERY_INFO_H_
+
+#include <string>
+#include <vector>
+
+namespace symple {
+
+struct QueryInfo {
+  std::string id;           // "G1" ... "R4"
+  std::string dataset;      // "github", "Bing", "Twitter", "RedShift"
+  std::string description;  // one-line query statement
+  std::string groups;       // group-count regime at generator defaults
+  bool uses_enum = false;   // SymEnum / SymBool
+  bool uses_int = false;    // SymInt
+  bool uses_pred = false;   // SymPred
+  bool uses_vector = false; // SymVector
+};
+
+// All 12 evaluation queries, in Table 1 order.
+const std::vector<QueryInfo>& AllQueryInfos();
+
+}  // namespace symple
+
+#endif  // SYMPLE_QUERIES_QUERY_INFO_H_

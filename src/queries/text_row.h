@@ -1,0 +1,54 @@
+// Textual shuffle rows for the baseline MapReduce engine.
+//
+// The paper's EMR pipeline streams data between C++ map/reduce tasks through
+// Hadoop streaming (Section 6.3): what crosses the shuffle is tab-separated
+// *text*. The baseline's per-record shuffle cost therefore reflects decimal
+// text, and the reducer really re-parses it — both effects the evaluation
+// depends on. (SYMPLE summaries use the compact binary canonical forms.)
+#ifndef SYMPLE_QUERIES_TEXT_ROW_H_
+#define SYMPLE_QUERIES_TEXT_ROW_H_
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "common/error.h"
+#include "common/text.h"
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+// Writes the fields as one tab-separated decimal text row.
+inline void WriteTextRow(BinaryWriter& w, std::initializer_list<int64_t> fields) {
+  std::string row;
+  bool first = true;
+  for (int64_t f : fields) {
+    if (!first) {
+      row += '\t';
+    }
+    row += std::to_string(f);
+    first = false;
+  }
+  w.WriteString(row);
+}
+
+// Reads a row of exactly N decimal fields.
+template <size_t N>
+std::array<int64_t, N> ReadTextRow(BinaryReader& r) {
+  const std::string row = r.ReadString();
+  FieldCursor cur(row);
+  std::array<int64_t, N> out{};
+  for (size_t i = 0; i < N; ++i) {
+    const auto field = cur.Next();
+    SYMPLE_CHECK(field.has_value(), "truncated shuffle text row");
+    const auto value = ParseInt64(*field);
+    SYMPLE_CHECK(value.has_value(), "malformed shuffle text row");
+    out[i] = *value;
+  }
+  return out;
+}
+
+}  // namespace symple
+
+#endif  // SYMPLE_QUERIES_TEXT_ROW_H_

@@ -1,0 +1,108 @@
+// The Twitter query T1 (paper Table 1).
+//
+//   T1  spam learning speed: per hashtag, the number of tweets not marked as
+//       spam before the first run of at least 5 consecutive spam tweets.
+//
+// Groups by hashtag (string key, many groups). The consecutive-spam counter
+// only needs values 0..5 plus a "reported" absorbing state, so it is encoded
+// as a saturating SymEnum — the paper's observation that SymEnums encode
+// finite-state machines (Section 7, data-parallel FSMs). An unbound counter
+// forks at most once per chunk into the enum's states and is concrete
+// afterwards, unlike a SymInt whose repeated `== 5` checks would keep
+// splitting intervals. The non-spam count stays a SymInt: it is never
+// compared, only incremented and reported, so it never forks at all.
+#ifndef SYMPLE_QUERIES_TWITTER_QUERIES_H_
+#define SYMPLE_QUERIES_TWITTER_QUERIES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#include "common/text.h"
+#include "core/symple.h"
+#include "queries/text_row.h"
+
+namespace symple {
+
+struct T1SpamLearning {
+  using Key = std::string;  // hashtag
+  struct Event {
+    bool spam = false;
+  };
+  // Consecutive-spam state machine: 0..4 = current run length, 5 = reported
+  // (absorbing).
+  static constexpr uint8_t kReported = 5;
+  struct State {
+    SymEnum<uint8_t, 6> run = static_cast<uint8_t>(0);
+    SymInt nonspam_count = 0;
+    SymVector<int64_t> results;
+    auto list_fields() { return std::tie(run, nonspam_count, results); }
+  };
+  // Count of non-spam tweets before the first >=5 spam burst, or -1 if the
+  // hashtag never had such a burst.
+  using Output = int64_t;
+
+  static constexpr const char* kName = "T1";
+
+  static std::optional<std::pair<Key, Event>> Parse(std::string_view line) {
+    // Targeted extraction from the JSON tweet (created_at/user are unused).
+    const size_t tag_at = line.find("\"hashtag\":\"");
+    if (tag_at == std::string_view::npos) {
+      return std::nullopt;
+    }
+    const size_t tag_begin = tag_at + 11;
+    const size_t tag_end = line.find('"', tag_begin);
+    const size_t spam_at = line.find("\"spam\":", tag_end);
+    if (tag_end == std::string_view::npos || spam_at == std::string_view::npos ||
+        spam_at + 7 >= line.size()) {
+      return std::nullopt;
+    }
+    const char spam = line[spam_at + 7];
+    if (spam != '0' && spam != '1') {
+      return std::nullopt;
+    }
+    return std::make_pair(std::string(line.substr(tag_begin, tag_end - tag_begin)),
+                          Event{spam == '1'});
+  }
+
+  static void Update(State& s, const Event& e) {
+    if (e.spam) {
+      // Advance the FSM; reaching the 5th consecutive spam reports the count
+      // of non-spam tweets seen so far and saturates.
+      if (s.run == static_cast<uint8_t>(0)) {
+        s.run = static_cast<uint8_t>(1);
+      } else if (s.run == static_cast<uint8_t>(1)) {
+        s.run = static_cast<uint8_t>(2);
+      } else if (s.run == static_cast<uint8_t>(2)) {
+        s.run = static_cast<uint8_t>(3);
+      } else if (s.run == static_cast<uint8_t>(3)) {
+        s.run = static_cast<uint8_t>(4);
+      } else if (s.run == static_cast<uint8_t>(4)) {
+        s.results.push_back(s.nonspam_count);
+        s.run = kReported;
+      }
+    } else if (s.run != kReported) {
+      s.run = static_cast<uint8_t>(0);
+      s.nonspam_count++;
+    }
+  }
+
+  static Output Result(const State& s, const Key&) {
+    const auto values = s.results.Values();
+    return values.empty() ? -1 : values.front();
+  }
+
+  static void SerializeEvent(const Event& e, BinaryWriter& w) {
+    WriteTextRow(w, {e.spam ? 1 : 0});
+  }
+  static Event DeserializeEvent(BinaryReader& r) {
+    return Event{ReadTextRow<1>(r)[0] != 0};
+  }
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_QUERIES_TWITTER_QUERIES_H_

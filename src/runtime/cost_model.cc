@@ -1,0 +1,63 @@
+#include "runtime/cost_model.h"
+
+#include <algorithm>
+
+namespace symple {
+
+ClusterConfig ClusterConfig::AmazonEmr(int nodes) {
+  // m3.xlarge instances: 4 vCPUs; S3 streaming through the paper's custom
+  // http+gzip pipeline saturates around the per-instance network share.
+  ClusterConfig c;
+  c.nodes = nodes;
+  c.cores_per_node = 4;
+  c.read_mbps_per_node = 80;
+  // Effective Hadoop shuffle throughput per node including spill, merge-sort
+  // passes and the HTTP fetch — far below the NIC line rate.
+  c.net_mbps_per_node = 12;
+  c.job_overhead_s = 30;
+  c.reducers = nodes;
+  return c;
+}
+
+ClusterConfig ClusterConfig::LargeSharedCluster() {
+  // 380 machines x 16 cores, HDFS-local reads, 50 reducers (Section 6.4).
+  ClusterConfig c;
+  c.nodes = 380;
+  c.cores_per_node = 16;
+  c.read_mbps_per_node = 200;
+  c.net_mbps_per_node = 15;  // effective shuffle throughput, as above
+  c.job_overhead_s = 60;
+  c.reducers = 50;
+  return c;
+}
+
+LatencyBreakdown EstimateLatency(const EngineStats& stats, const ClusterConfig& config,
+                                 double cpu_scale, double bytes_scale) {
+  LatencyBreakdown out;
+  const double input_mb = static_cast<double>(stats.input_bytes) * bytes_scale / 1e6;
+  const double shuffle_mb = static_cast<double>(stats.shuffle_bytes) * bytes_scale / 1e6;
+  const double map_cpu_s = stats.map_cpu_ms * cpu_scale / 1e3;
+  const double reduce_cpu_s = stats.reduce_cpu_ms * cpu_scale / 1e3;
+  const double groups = static_cast<double>(std::max<uint64_t>(stats.groups, 1));
+
+  const double read_s = input_mb / (config.read_mbps_per_node * config.nodes);
+  const double map_compute_s = map_cpu_s / config.map_slots();
+  out.map_s = config.job_overhead_s + std::max(read_s, map_compute_s);
+
+  const double net_total = config.net_mbps_per_node * config.nodes;
+  const double egress_s = shuffle_mb / net_total;
+  // Ingest is bottlenecked by how many reducers actually receive data: a key
+  // is handled by one reducer, so at most `groups` reducers participate.
+  const double active_reducers =
+      std::min<double>(config.reducers, groups);
+  const double ingest_s = shuffle_mb / (config.net_mbps_per_node * active_reducers);
+  out.shuffle_s = egress_s + ingest_s;
+
+  // Reduce compute parallelism is likewise capped by the number of groups.
+  const double reduce_slots =
+      std::min<double>(config.reducers * config.cores_per_node, groups);
+  out.reduce_s = reduce_cpu_s / std::max(reduce_slots, 1.0);
+  return out;
+}
+
+}  // namespace symple

@@ -1,0 +1,95 @@
+// Input datasets for the runtime substrate.
+//
+// A dataset is a list of *segments* — the distributed file chunks of the
+// paper's Section 2.1. Each segment is one raw text blob of newline-separated
+// records, processed by exactly one map task; segment order defines the
+// global record order (segment index = mapper_id, line index within the
+// segment = record_id, Section 5.4).
+//
+// Segments are raw bytes, not pre-split lines, on purpose: every engine —
+// sequential, baseline MapReduce, SYMPLE — must discover record boundaries by
+// scanning the input, exactly like a real mapper streaming a file. Reported
+// throughput is therefore bytes genuinely processed.
+#ifndef SYMPLE_RUNTIME_DATASET_H_
+#define SYMPLE_RUNTIME_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symple {
+
+// Iterates the '\n'-separated lines of one segment blob.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view blob) : rest_(blob) {}
+
+  // Returns the next line (without its newline), or nullopt at end of blob.
+  std::optional<std::string_view> Next() {
+    if (rest_.empty()) {
+      return std::nullopt;
+    }
+    const size_t nl = rest_.find('\n');
+    if (nl == std::string_view::npos) {
+      std::string_view line = rest_;
+      rest_ = {};
+      return line;
+    }
+    std::string_view line = rest_.substr(0, nl);
+    rest_.remove_prefix(nl + 1);
+    return line;
+  }
+
+ private:
+  std::string_view rest_;
+};
+
+struct Dataset {
+  // segments[mapper_id] is one newline-separated text blob.
+  std::vector<std::string> segments;
+
+  size_t segment_count() const { return segments.size(); }
+
+  uint64_t TotalRecords() const {
+    uint64_t n = 0;
+    for (const std::string& seg : segments) {
+      LineCursor cur(seg);
+      while (cur.Next().has_value()) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  // Raw input volume as a mapper would stream it.
+  uint64_t TotalBytes() const {
+    uint64_t n = 0;
+    for (const std::string& seg : segments) {
+      n += seg.size();
+    }
+    return n;
+  }
+};
+
+// Builds a single-segment-per-chunk dataset from explicit lines (test and
+// example helper).
+inline Dataset DatasetFromLines(const std::vector<std::vector<std::string>>& chunks) {
+  Dataset ds;
+  ds.segments.reserve(chunks.size());
+  for (const auto& chunk : chunks) {
+    std::string blob;
+    for (const std::string& line : chunk) {
+      blob += line;
+      blob += '\n';
+    }
+    ds.segments.push_back(std::move(blob));
+  }
+  return ds;
+}
+
+}  // namespace symple
+
+#endif  // SYMPLE_RUNTIME_DATASET_H_

@@ -1,0 +1,58 @@
+#include "runtime/dataset_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace symple {
+
+void SaveDataset(const Dataset& data, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  SYMPLE_CHECK(!ec, "cannot create dataset directory " + directory);
+  for (size_t s = 0; s < data.segments.size(); ++s) {
+    char name[40];
+    std::snprintf(name, sizeof(name), "segment-%05zu.log", s);
+    const std::filesystem::path path = std::filesystem::path(directory) / name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    SYMPLE_CHECK(out.good(), "cannot open " + path.string() + " for writing");
+    out.write(data.segments[s].data(),
+              static_cast<std::streamsize>(data.segments[s].size()));
+    SYMPLE_CHECK(out.good(), "short write to " + path.string());
+  }
+}
+
+Dataset LoadDataset(const std::string& directory) {
+  std::vector<std::filesystem::path> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(directory, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("segment-", 0) == 0 && name.size() > 4 &&
+        name.substr(name.size() - 4) == ".log") {
+      paths.push_back(entry.path());
+    }
+  }
+  SYMPLE_CHECK(!ec, "cannot read dataset directory " + directory);
+  SYMPLE_CHECK(!paths.empty(), "no segment-*.log files in " + directory);
+  std::sort(paths.begin(), paths.end());
+
+  Dataset data;
+  data.segments.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    SYMPLE_CHECK(in.good(), "cannot open " + path.string());
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::string blob(static_cast<size_t>(size), '\0');
+    in.read(blob.data(), size);
+    SYMPLE_CHECK(in.good() || in.eof(), "short read from " + path.string());
+    data.segments.push_back(std::move(blob));
+  }
+  return data;
+}
+
+}  // namespace symple

@@ -1,0 +1,23 @@
+// Dataset persistence: write segments as files (one per map task, like the
+// input directories of the paper's Hadoop jobs) and stream them back.
+#ifndef SYMPLE_RUNTIME_DATASET_IO_H_
+#define SYMPLE_RUNTIME_DATASET_IO_H_
+
+#include <string>
+
+#include "runtime/dataset.h"
+
+namespace symple {
+
+// Writes one file per segment into `directory` (created if missing), named
+// segment-00000.log, segment-00001.log, ... in mapper order. Throws
+// SympleError on I/O failure.
+void SaveDataset(const Dataset& data, const std::string& directory);
+
+// Loads every segment-*.log from `directory`, in name order (which is mapper
+// order). Throws SympleError when the directory has no segment files.
+Dataset LoadDataset(const std::string& directory);
+
+}  // namespace symple
+
+#endif  // SYMPLE_RUNTIME_DATASET_IO_H_

@@ -1,0 +1,492 @@
+// The groupby-aggregate engines.
+//
+// Three executions of the same query, mirroring Section 6.2's configurations:
+//
+//   RunSequential         — single thread, concrete UDA ("Sequential").
+//   RunBaselineMapReduce  — hand-optimized MapReduce baseline: groupby in the
+//                           mappers (emitting only the UDA-used fields), UDA
+//                           executed concretely in the reducers. All grouped
+//                           records cross the shuffle.
+//   RunSymple             — the SYMPLE engine: groupby *and* symbolic UDA in
+//                           the mappers; only symbolic summaries cross the
+//                           shuffle; reducers compose them in order.
+//
+// All three run the *same* user Update function: concretely when no
+// ExecContext is installed, symbolically inside SymbolicAggregator.
+//
+// A query is a stateless traits struct:
+//
+//   struct MyQuery {
+//     using Key    = ...;   // ordered (<) + ValueCodec
+//     using Event  = ...;   // the fields the UDA consumes
+//     using State  = ...;   // symbolic aggregation state (list_fields())
+//     using Output = ...;   // per-group result
+//     static constexpr const char* kName;
+//     static std::optional<std::pair<Key, Event>> Parse(std::string_view line);
+//     static void Update(State&, const Event&);
+//     static Output Result(const State&, const Key&);
+//     static void SerializeEvent(const Event&, BinaryWriter&);
+//     static Event DeserializeEvent(BinaryReader&);
+//   };
+//
+// The shuffle is real: packets are serialized byte buffers, sorted by
+// (key, mapper_id, record_id) exactly as Section 5.4 prescribes, and the
+// reported shuffle_bytes is their total size.
+#ifndef SYMPLE_RUNTIME_ENGINE_H_
+#define SYMPLE_RUNTIME_ENGINE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/text_key.h"
+#include "core/aggregator.h"
+#include "core/summary.h"
+#include "core/value_codec.h"
+#include "runtime/dataset.h"
+#include "runtime/engine_stats.h"
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+// How a SYMPLE reducer combines a key's ordered summaries (Section 3.6).
+enum class ReduceMode {
+  // Fold each summary onto the concrete state in input order:
+  // Sn(...S3(S2(C1))). One pass, no summary-summary composition.
+  kSequentialFold,
+  // Pairwise tree composition first (function composition is associative),
+  // then a single application. This is the shape a further-parallelized
+  // reduce would use.
+  kTreeCompose,
+};
+
+struct EngineOptions {
+  // Worker threads executing map tasks (the paper's "mappers" axis in
+  // Figure 4). Each dataset segment is one map task regardless.
+  size_t map_slots = 4;
+  // Worker threads executing reduce tasks.
+  size_t reduce_slots = 4;
+  // Summary combination strategy at the reducer (SYMPLE engine only).
+  ReduceMode reduce_mode = ReduceMode::kSequentialFold;
+  // Symbolic exploration knobs (SYMPLE engine only).
+  AggregatorOptions aggregator;
+};
+
+template <typename Query>
+struct RunResult {
+  std::map<typename Query::Key, typename Query::Output> outputs;
+  EngineStats stats;
+};
+
+namespace internal {
+
+inline double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+// Per-thread CPU time. Task CPU must be measured with the thread clock, not
+// wall time: when worker threads outnumber cores, wall time per task inflates
+// with time slicing and would misreport the Figure 7 CPU-usage metric.
+inline double ThreadCpuMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 + static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+// One mapper-output record: everything a packet costs on the wire is inside
+// `blob` (key, ids, payload), so shuffle accounting is exact.
+template <typename Key>
+struct ShufflePacket {
+  Key key{};
+  uint32_t mapper_id = 0;
+  uint64_t record_id = 0;  // first record id covered by this packet
+  std::vector<uint8_t> blob;
+
+  // Ordering of Section 5.4: lexicographic by key, then mapper, then record.
+  friend bool operator<(const ShufflePacket& a, const ShufflePacket& b) {
+    if (a.key != b.key) {
+      return a.key < b.key;
+    }
+    if (a.mapper_id != b.mapper_id) {
+      return a.mapper_id < b.mapper_id;
+    }
+    return a.record_id < b.record_id;
+  }
+};
+
+template <typename Key>
+uint64_t PacketBytes(const ShufflePacket<Key>& p) {
+  // Key + ids ship inside the packet header; measure them via serialization.
+  BinaryWriter header;
+  ValueCodec<Key>::Write(header, p.key);
+  header.WriteVarUint(p.mapper_id);
+  header.WriteVarUint(p.record_id);
+  header.WriteVarUint(p.blob.size());
+  return header.size() + p.blob.size();
+}
+
+}  // namespace internal
+
+// --- Sequential baseline ------------------------------------------------------
+
+template <typename Query>
+RunResult<Query> RunSequential(const Dataset& data) {
+  using Key = typename Query::Key;
+  using State = typename Query::State;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult<Query> result;
+  result.stats.input_bytes = data.TotalBytes();
+
+  std::unordered_map<Key, State> states;
+  for (const std::string& segment : data.segments) {
+    LineCursor cursor(segment);
+    while (const auto line = cursor.Next()) {
+      ++result.stats.input_records;
+      auto rec = Query::Parse(*line);
+      if (!rec.has_value()) {
+        continue;
+      }
+      ++result.stats.parsed_records;
+      Query::Update(states[rec->first], rec->second);
+    }
+  }
+  for (auto& [key, state] : states) {
+    result.outputs.emplace(key, Query::Result(state, key));
+  }
+  result.stats.groups = states.size();
+  result.stats.total_wall_ms = internal::MsSince(t0);
+  result.stats.map_wall_ms = result.stats.total_wall_ms;
+  result.stats.map_cpu_ms = result.stats.total_wall_ms;
+  return result;
+}
+
+// --- Shared map/shuffle/reduce scaffolding ------------------------------------
+
+namespace internal {
+
+// Runs `map_task(mapper_id)` for every segment on `slots` workers, collecting
+// packets and per-task stats. MapTask: (mapper_id) -> pair<packets, TaskStats>.
+struct TaskStats {
+  double cpu_ms = 0;
+  uint64_t parsed = 0;
+  ExplorationStats exploration;
+  uint64_t summaries = 0;
+  uint64_t summary_paths = 0;
+};
+
+template <typename Key, typename MapTaskFn>
+std::vector<ShufflePacket<Key>> RunMapPhase(size_t num_segments, size_t slots,
+                                            MapTaskFn map_task, EngineStats* stats) {
+  std::vector<std::vector<ShufflePacket<Key>>> per_mapper(num_segments);
+  std::vector<TaskStats> task_stats(num_segments);
+  {
+    ThreadPool pool(slots);
+    for (size_t m = 0; m < num_segments; ++m) {
+      pool.Submit([m, &per_mapper, &task_stats, &map_task] {
+        const double cpu0 = ThreadCpuMs();
+        per_mapper[m] = map_task(static_cast<uint32_t>(m), &task_stats[m]);
+        task_stats[m].cpu_ms = ThreadCpuMs() - cpu0;
+      });
+    }
+    pool.Wait();
+  }
+  std::vector<ShufflePacket<Key>> packets;
+  for (size_t m = 0; m < num_segments; ++m) {
+    stats->map_cpu_ms += task_stats[m].cpu_ms;
+    stats->parsed_records += task_stats[m].parsed;
+    stats->exploration += task_stats[m].exploration;
+    stats->summaries += task_stats[m].summaries;
+    stats->summary_paths += task_stats[m].summary_paths;
+    for (auto& p : per_mapper[m]) {
+      stats->shuffle_bytes += PacketBytes(p);
+      packets.push_back(std::move(p));
+    }
+  }
+  return packets;
+}
+
+// Sorts packets (the shuffle) and hands each key's ordered packet run to
+// `reduce_key(key, first, last)` on `slots` workers.
+template <typename Key, typename ReduceKeyFn>
+void RunShuffleAndReduce(std::vector<ShufflePacket<Key>>&& packets, size_t slots,
+                         ReduceKeyFn reduce_key, EngineStats* stats) {
+  const auto t_shuffle = std::chrono::steady_clock::now();
+  std::sort(packets.begin(), packets.end());
+  stats->shuffle_wall_ms = MsSince(t_shuffle);
+
+  // Key runs.
+  std::vector<std::pair<size_t, size_t>> runs;
+  for (size_t i = 0; i < packets.size();) {
+    size_t j = i + 1;
+    while (j < packets.size() && packets[j].key == packets[i].key) {
+      ++j;
+    }
+    runs.emplace_back(i, j);
+    i = j;
+  }
+  stats->groups = runs.size();
+
+  const auto t_reduce = std::chrono::steady_clock::now();
+  std::vector<double> task_cpu(slots, 0);
+  {
+    ThreadPool pool(slots);
+    // Static partition of key runs over reduce slots (a key's packets must be
+    // processed by a single reducer, like a Hadoop partition).
+    for (size_t r = 0; r < slots; ++r) {
+      pool.Submit([r, slots, &runs, &packets, &reduce_key, &task_cpu] {
+        const double cpu0 = ThreadCpuMs();
+        for (size_t k = r; k < runs.size(); k += slots) {
+          reduce_key(packets[runs[k].first].key, &packets[runs[k].first],
+                     &packets[runs[k].second]);
+        }
+        task_cpu[r] = ThreadCpuMs() - cpu0;
+      });
+    }
+    pool.Wait();
+  }
+  stats->reduce_wall_ms = MsSince(t_reduce);
+  for (double ms : task_cpu) {
+    stats->reduce_cpu_ms += ms;
+  }
+}
+
+// One baseline map task: parse + groupby one segment, emitting textual
+// per-record rows batched per (mapper, key). Shared by the threaded and the
+// forked-process engines.
+template <typename Query>
+std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
+    const std::string& segment, uint32_t mapper_id, TaskStats* ts) {
+  using Key = typename Query::Key;
+  struct GroupBuffer {
+    BinaryWriter rows;
+    uint64_t first_record = 0;
+    uint64_t count = 0;
+  };
+  std::unordered_map<Key, GroupBuffer> groups;
+  LineCursor cursor(segment);
+  uint64_t rid = 0;
+  while (const auto line = cursor.Next()) {
+    const uint64_t record_id = rid++;
+    auto rec = Query::Parse(*line);
+    if (!rec.has_value()) {
+      continue;
+    }
+    ++ts->parsed;
+    auto [it, inserted] = groups.try_emplace(rec->first);
+    GroupBuffer& buf = it->second;
+    if (inserted) {
+      buf.first_record = record_id;
+    }
+    ++buf.count;
+    TextKeyCodec<Key>::Write(buf.rows, rec->first);
+    Query::SerializeEvent(rec->second, buf.rows);
+  }
+  std::vector<ShufflePacket<Key>> out;
+  out.reserve(groups.size());
+  for (auto& [key, buf] : groups) {
+    ShufflePacket<Key> p;
+    p.key = key;
+    p.mapper_id = mapper_id;
+    p.record_id = buf.first_record;
+    BinaryWriter w;
+    w.WriteVarUint(buf.count);
+    w.WriteBytes(buf.rows.buffer().data(), buf.rows.size());
+    p.blob = w.TakeBuffer();
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// One SYMPLE map task: parse + groupby + symbolic UDA over one segment,
+// emitting ordered serialized summaries per (mapper, key).
+template <typename Query>
+std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
+    const std::string& segment, uint32_t mapper_id, const AggregatorOptions& options,
+    TaskStats* ts) {
+  using Key = typename Query::Key;
+  using State = typename Query::State;
+  using UpdateFn = void (*)(State&, const typename Query::Event&);
+  using Aggregator = SymbolicAggregator<State, typename Query::Event, UpdateFn>;
+  struct GroupAgg {
+    explicit GroupAgg(const AggregatorOptions& agg_options)
+        : agg(&Query::Update, agg_options) {}
+    Aggregator agg;
+    uint64_t first_record = 0;
+  };
+  std::unordered_map<Key, GroupAgg> groups;
+  LineCursor cursor(segment);
+  uint64_t rid = 0;
+  while (const auto line = cursor.Next()) {
+    const uint64_t record_id = rid++;
+    auto rec = Query::Parse(*line);
+    if (!rec.has_value()) {
+      continue;
+    }
+    ++ts->parsed;
+    auto [it, inserted] = groups.try_emplace(rec->first, options);
+    if (inserted) {
+      it->second.first_record = record_id;
+    }
+    it->second.agg.Feed(rec->second);
+  }
+  std::vector<ShufflePacket<Key>> out;
+  out.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    ts->exploration += group.agg.stats();
+    std::vector<Summary<State>> summaries = group.agg.Finish();
+    ts->summaries += summaries.size();
+    ShufflePacket<Key> p;
+    p.key = key;
+    p.mapper_id = mapper_id;
+    p.record_id = group.first_record;
+    BinaryWriter w;
+    w.WriteVarUint(summaries.size());
+    for (const Summary<State>& s : summaries) {
+      ts->summary_paths += s.path_count();
+      s.Serialize(w);
+    }
+    p.blob = w.TakeBuffer();
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace internal
+
+// --- Hand-optimized MapReduce baseline ------------------------------------------
+
+template <typename Query>
+RunResult<Query> RunBaselineMapReduce(const Dataset& data,
+                                      const EngineOptions& options = {}) {
+  using Key = typename Query::Key;
+  using Event = typename Query::Event;
+  using State = typename Query::State;
+  using Packet = internal::ShufflePacket<Key>;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult<Query> result;
+  result.stats.input_bytes = data.TotalBytes();
+  result.stats.input_records = data.TotalRecords();
+
+  // Map phase: parse + groupby in one streaming pass, serializing each
+  // record's (key, projected fields) row directly — Hadoop ships one KV
+  // record per event, so each row carries the key again and shuffle
+  // accounting reflects per-record cost.
+  auto map_task = [&data](uint32_t mapper_id,
+                          internal::TaskStats* ts) -> std::vector<Packet> {
+    return internal::BaselineMapSegment<Query>(data.segments[mapper_id], mapper_id, ts);
+  };
+  std::vector<Packet> packets = internal::RunMapPhase<Key>(
+      data.segments.size(), options.map_slots, map_task, &result.stats);
+  result.stats.map_wall_ms = internal::MsSince(t0);
+
+  // Reduce: deserialize the ordered events and run the UDA concretely.
+  std::mutex out_mu;
+  internal::RunShuffleAndReduce<Key>(
+      std::move(packets), options.reduce_slots,
+      [&result, &out_mu](const Key& key, const Packet* first, const Packet* last) {
+        State state{};
+        for (const Packet* p = first; p != last; ++p) {
+          BinaryReader r(p->blob.data(), p->blob.size());
+          const uint64_t n = r.ReadVarUint();
+          for (uint64_t i = 0; i < n; ++i) {
+            TextKeyCodec<Key>::Skip(r);  // per-record textual key (Hadoop row)
+            const Event ev = Query::DeserializeEvent(r);
+            Query::Update(state, ev);
+          }
+        }
+        auto output = Query::Result(state, key);
+        std::lock_guard<std::mutex> lock(out_mu);
+        result.outputs.emplace(key, std::move(output));
+      },
+      &result.stats);
+
+  result.stats.total_wall_ms = internal::MsSince(t0);
+  return result;
+}
+
+// --- The SYMPLE engine ------------------------------------------------------------
+
+template <typename Query>
+RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {}) {
+  using Key = typename Query::Key;
+  using State = typename Query::State;
+  using Packet = internal::ShufflePacket<Key>;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult<Query> result;
+  result.stats.input_bytes = data.TotalBytes();
+  result.stats.input_records = data.TotalRecords();
+
+  // Map phase: groupby + symbolic UDA in one streaming pass — each parsed
+  // record feeds straight into its group's symbolic aggregator (no grouped
+  // intermediate); one packet per (mapper, key) holds that mapper's ordered
+  // symbolic summaries for the key.
+  auto map_task = [&data, &options](uint32_t mapper_id,
+                                    internal::TaskStats* ts) -> std::vector<Packet> {
+    return internal::SympleMapSegment<Query>(data.segments[mapper_id], mapper_id,
+                                             options.aggregator, ts);
+  };
+  std::vector<Packet> packets = internal::RunMapPhase<Key>(
+      data.segments.size(), options.map_slots, map_task, &result.stats);
+  result.stats.map_wall_ms = internal::MsSince(t0);
+
+  // Reduce: combine summaries in (mapper_id, record_id) order, either by
+  // folding them onto the concrete initial state or by associative tree
+  // composition (Section 3.6).
+  std::mutex out_mu;
+  internal::RunShuffleAndReduce<Key>(
+      std::move(packets), options.reduce_slots,
+      [&result, &out_mu, &options](const Key& key, const Packet* first,
+                                   const Packet* last) {
+        State state{};
+        bool ok = true;
+        if (options.reduce_mode == ReduceMode::kSequentialFold) {
+          for (const Packet* p = first; p != last && ok; ++p) {
+            BinaryReader r(p->blob.data(), p->blob.size());
+            const uint64_t n = r.ReadVarUint();
+            for (uint64_t i = 0; i < n && ok; ++i) {
+              Summary<State> s;
+              s.Deserialize(r);
+              ok = s.ApplyTo(state);
+            }
+          }
+        } else {
+          std::vector<Summary<State>> ordered;
+          for (const Packet* p = first; p != last; ++p) {
+            BinaryReader r(p->blob.data(), p->blob.size());
+            const uint64_t n = r.ReadVarUint();
+            for (uint64_t i = 0; i < n; ++i) {
+              Summary<State> s;
+              s.Deserialize(r);
+              ordered.push_back(std::move(s));
+            }
+          }
+          ok = ComposeAll(ordered).ApplyTo(state);
+        }
+        SYMPLE_CHECK(ok, "summary application failed at the reducer");
+        auto output = Query::Result(state, key);
+        std::lock_guard<std::mutex> lock(out_mu);
+        result.outputs.emplace(key, std::move(output));
+      },
+      &result.stats);
+
+  result.stats.total_wall_ms = internal::MsSince(t0);
+  return result;
+}
+
+}  // namespace symple
+
+#endif  // SYMPLE_RUNTIME_ENGINE_H_

@@ -1,0 +1,65 @@
+// Measured statistics of one engine run — the raw material for every
+// evaluation figure (throughput, shuffle bytes, CPU seconds) and for the
+// cluster cost model.
+#ifndef SYMPLE_RUNTIME_ENGINE_STATS_H_
+#define SYMPLE_RUNTIME_ENGINE_STATS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/exec_context.h"
+
+namespace symple {
+
+struct EngineStats {
+  // Wall-clock phases (milliseconds), measured with steady_clock.
+  double map_wall_ms = 0;
+  double shuffle_wall_ms = 0;
+  double reduce_wall_ms = 0;
+  double total_wall_ms = 0;
+
+  // Aggregate task time (milliseconds): the sum over all map/reduce tasks of
+  // their individual execution time. Tasks are CPU bound, so this is the
+  // "CPU usage" metric of the paper's Figure 7.
+  double map_cpu_ms = 0;
+  double reduce_cpu_ms = 0;
+  double total_cpu_ms() const { return map_cpu_ms + reduce_cpu_ms; }
+
+  // Volumes.
+  uint64_t input_bytes = 0;
+  uint64_t input_records = 0;
+  uint64_t parsed_records = 0;  // records surviving the groupby filter
+  // Bytes crossing the mapper->reducer boundary, counted on the actual
+  // serialized packets (Figures 6 and 8).
+  uint64_t shuffle_bytes = 0;
+  uint64_t groups = 0;
+  uint64_t summaries = 0;  // SYMPLE engine only: total summaries shipped
+  uint64_t summary_paths = 0;
+
+  // Symbolic exploration counters summed over all map tasks.
+  ExplorationStats exploration;
+
+  double ThroughputMBps() const {
+    if (total_wall_ms <= 0) {
+      return 0;
+    }
+    return static_cast<double>(input_bytes) / 1e6 / (total_wall_ms / 1e3);
+  }
+
+  std::string OneLine() const {
+    char buf[256];
+    snprintf(buf, sizeof(buf),
+             "wall=%.1fms (map %.1f, reduce %.1f) cpu=%.1fms shuffle=%.2fMB "
+             "groups=%llu summaries=%llu",
+             total_wall_ms, map_wall_ms, reduce_wall_ms, total_cpu_ms(),
+             static_cast<double>(shuffle_bytes) / 1e6,
+             static_cast<unsigned long long>(groups),
+             static_cast<unsigned long long>(summaries));
+    return buf;
+  }
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_RUNTIME_ENGINE_STATS_H_

@@ -1,0 +1,107 @@
+// LambdaQuery — build an engine-ready query from free functions (or
+// captureless lambdas), mirroring the paper's Section 5.3 user-code shape
+// where the UDA is a lambda handed to MapReduceMain:
+//
+//   std::optional<std::pair<Key, Event>> Parse(std::string_view line);
+//   void Update(State& state, const Event& event);
+//   Output Result(const State& state, const Key& key);
+//   void SerializeEvent(const Event&, BinaryWriter&);
+//   Event DeserializeEvent(BinaryReader&);
+//
+//   using MyQuery = symple::LambdaQuery<"my_query", &Parse, &Update, &Result,
+//                                       &SerializeEvent, &DeserializeEvent>;
+//   auto run = symple::RunSymple<MyQuery>(dataset);
+//
+// All types (Key, Event, State, Output) are deduced from the function
+// signatures; mismatched signatures fail at the template boundary with the
+// deduction diagnostics below.
+#ifndef SYMPLE_RUNTIME_LAMBDA_QUERY_H_
+#define SYMPLE_RUNTIME_LAMBDA_QUERY_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+// Compile-time string for naming queries in template arguments.
+template <size_t N>
+struct FixedString {
+  char value[N]{};
+
+  constexpr FixedString(const char (&text)[N]) {  // NOLINT(runtime/explicit)
+    std::copy_n(text, N, value);
+  }
+};
+
+namespace internal {
+
+template <typename F>
+struct ParseSignature;
+template <typename K, typename E>
+struct ParseSignature<std::optional<std::pair<K, E>> (*)(std::string_view)> {
+  using Key = K;
+  using Event = E;
+};
+
+template <typename F>
+struct UpdateSignature;
+template <typename S, typename E>
+struct UpdateSignature<void (*)(S&, const E&)> {
+  using State = S;
+  using Event = E;
+};
+
+template <typename F>
+struct ResultSignature;
+template <typename O, typename S, typename K>
+struct ResultSignature<O (*)(const S&, const K&)> {
+  using Output = O;
+  using State = S;
+  using Key = K;
+};
+
+}  // namespace internal
+
+template <FixedString kQueryName, auto kParse, auto kUpdate, auto kResult,
+          auto kSerializeEvent, auto kDeserializeEvent>
+struct LambdaQuery {
+ private:
+  using ParseSig = internal::ParseSignature<decltype(kParse)>;
+  using UpdateSig = internal::UpdateSignature<decltype(kUpdate)>;
+  using ResultSig = internal::ResultSignature<decltype(kResult)>;
+  static_assert(std::is_same_v<typename ParseSig::Event, typename UpdateSig::Event>,
+                "Parse and Update must agree on the Event type");
+  static_assert(std::is_same_v<typename UpdateSig::State, typename ResultSig::State>,
+                "Update and Result must agree on the State type");
+  static_assert(std::is_same_v<typename ParseSig::Key, typename ResultSig::Key>,
+                "Parse and Result must agree on the Key type");
+
+ public:
+  using Key = typename ParseSig::Key;
+  using Event = typename ParseSig::Event;
+  using State = typename UpdateSig::State;
+  using Output = typename ResultSig::Output;
+
+  static constexpr const char* kName = kQueryName.value;
+
+  static std::optional<std::pair<Key, Event>> Parse(std::string_view line) {
+    return kParse(line);
+  }
+  static void Update(State& state, const Event& event) { kUpdate(state, event); }
+  static Output Result(const State& state, const Key& key) {
+    return kResult(state, key);
+  }
+  static void SerializeEvent(const Event& event, BinaryWriter& w) {
+    kSerializeEvent(event, w);
+  }
+  static Event DeserializeEvent(BinaryReader& r) { return kDeserializeEvent(r); }
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_RUNTIME_LAMBDA_QUERY_H_

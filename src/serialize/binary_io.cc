@@ -1,0 +1,96 @@
+#include "serialize/binary_io.h"
+
+#include <cstring>
+
+namespace symple {
+
+void BinaryWriter::WriteVarUint(uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<uint8_t>(value));
+}
+
+void BinaryWriter::WriteVarInt(int64_t value) { WriteVarUint(ZigzagEncode(value)); }
+
+void BinaryWriter::WriteFixed64(uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void BinaryWriter::WriteDouble(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteFixed64(bits);
+}
+
+void BinaryWriter::WriteString(std::string_view value) {
+  WriteVarUint(value.size());
+  WriteBytes(value.data(), value.size());
+}
+
+void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+uint64_t BinaryReader::ReadVarUint() {
+  uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos_ >= size_) {
+      throw SympleError("BinaryReader: varint past end of buffer");
+    }
+    const uint8_t byte = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (byte & 0x7F) > 1)) {
+      throw SympleError("BinaryReader: varint overflows uint64");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+}
+
+int64_t BinaryReader::ReadVarInt() { return ZigzagDecode(ReadVarUint()); }
+
+uint8_t BinaryReader::ReadByte() {
+  if (pos_ >= size_) {
+    throw SympleError("BinaryReader: read past end of buffer");
+  }
+  return data_[pos_++];
+}
+
+uint64_t BinaryReader::ReadFixed64() {
+  if (pos_ + 8 > size_) {
+    throw SympleError("BinaryReader: fixed64 past end of buffer");
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 8;
+  return value;
+}
+
+double BinaryReader::ReadDouble() {
+  const uint64_t bits = ReadFixed64();
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string BinaryReader::ReadString() {
+  const uint64_t size = ReadVarUint();
+  if (pos_ + size > size_) {
+    throw SympleError("BinaryReader: string past end of buffer");
+  }
+  std::string value(reinterpret_cast<const char*>(data_ + pos_), size);
+  pos_ += size;
+  return value;
+}
+
+}  // namespace symple

@@ -1,0 +1,78 @@
+// Compact binary serialization for symbolic summaries and shuffle payloads.
+//
+// The paper requires symbolic expressions to serialize compactly for network
+// transfer (Section 2.3). All Sym types encode their canonical forms through
+// this writer/reader pair; the runtime's shuffle stage byte-counts exactly
+// these buffers, so Figure 6/8 shuffle sizes are real serialized sizes.
+//
+// Encoding: LEB128 varints for unsigned, zigzag+varint for signed, raw bytes
+// with a varint length prefix for strings/blobs.
+#ifndef SYMPLE_SERIALIZE_BINARY_IO_H_
+#define SYMPLE_SERIALIZE_BINARY_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace symple {
+
+class BinaryWriter {
+ public:
+  void WriteVarUint(uint64_t value);
+  void WriteVarInt(int64_t value);  // zigzag-encoded
+  void WriteBool(bool value) { WriteVarUint(value ? 1 : 0); }
+  void WriteByte(uint8_t value) { buffer_.push_back(value); }
+  void WriteFixed64(uint64_t value);
+  void WriteDouble(double value);
+  void WriteString(std::string_view value);
+  void WriteBytes(const void* data, size_t size);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+  void Clear() { buffer_.clear(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class BinaryReader {
+ public:
+  // The reader does not own the data; the buffer must outlive it.
+  BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<uint8_t>& buffer)
+      : BinaryReader(buffer.data(), buffer.size()) {}
+
+  uint64_t ReadVarUint();
+  int64_t ReadVarInt();
+  bool ReadBool() { return ReadVarUint() != 0; }
+  uint8_t ReadByte();
+  uint64_t ReadFixed64();
+  double ReadDouble();
+  std::string ReadString();
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Zigzag helpers, exposed for tests.
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace symple
+
+#endif  // SYMPLE_SERIALIZE_BINARY_IO_H_

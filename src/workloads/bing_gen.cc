@@ -1,0 +1,84 @@
+#include "workloads/bing_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/workload_util.h"
+
+namespace symple {
+
+Dataset GenerateBingLog(const BingGenParams& params) {
+  SplitMix64 rng(params.seed);
+
+  // Pre-plan outage windows across the whole time range. With ~1s between
+  // records the stream spans roughly num_records seconds.
+  const int64_t t_start = 1404000000;  // a day in mid 2014
+  const int64_t t_span = static_cast<int64_t>(params.num_records);
+  constexpr uint32_t kGlobalArea = 0xFFFFFFFFu;
+  struct Window {
+    int64_t begin;
+    int64_t end;
+    uint32_t area;  // kGlobalArea for global outages
+  };
+  std::vector<Window> outages;
+  for (size_t i = 0; i < params.global_outages; ++i) {
+    const int64_t begin = t_start + rng.Range(0, t_span);
+    outages.push_back(Window{begin, begin + params.outage_duration_s, kGlobalArea});
+  }
+  for (size_t i = 0; i < params.area_outages; ++i) {
+    const int64_t begin = t_start + rng.Range(0, t_span);
+    outages.push_back(Window{begin, begin + params.outage_duration_s,
+                             static_cast<uint32_t>(rng.Below(params.num_areas))});
+  }
+
+  // Recent-user pool: drawing mostly from it clusters each user's queries
+  // into sessions (B3's sub-2-minute gap structure).
+  std::vector<uint64_t> recent;
+  const size_t kPoolSize = 64;
+
+  std::vector<std::string> lines;
+  lines.reserve(params.num_records);
+  int64_t ts = t_start;
+  for (size_t n = 0; n < params.num_records; ++n) {
+    ts += static_cast<int64_t>(rng.Below(3));  // 0..2 seconds apart
+    uint64_t user;
+    if (!recent.empty() && rng.Chance(4, 5)) {
+      user = recent[rng.Below(recent.size())];
+    } else {
+      user = rng.Below(params.num_users);
+      recent.push_back(user);
+      if (recent.size() > kPoolSize) {
+        recent.erase(recent.begin());
+      }
+    }
+    const uint32_t area = static_cast<uint32_t>(SkewedId(rng, params.num_areas));
+
+    bool success = rng.Chance(49, 50);
+    for (const Window& w : outages) {
+      if (ts >= w.begin && ts < w.end &&
+          (w.area == kGlobalArea || w.area == area)) {
+        success = false;
+        break;
+      }
+    }
+
+    std::string line = std::to_string(ts);
+    line += '\t';
+    line += std::to_string(user);
+    line += '\t';
+    line += "A";
+    line += std::to_string(area);
+    line += '\t';
+    line += success ? "ok" : "err";
+    line += '\t';
+    line += std::to_string(rng.Below(900) + 20);  // latency ms
+    line += '\t';
+    line += FillerText(rng, params.filler_bytes);
+    lines.push_back(std::move(line));
+  }
+  return SplitIntoSegments(std::move(lines), params.num_segments);
+}
+
+}  // namespace symple

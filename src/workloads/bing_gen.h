@@ -1,0 +1,37 @@
+// Synthetic Bing-style search query log (queries B1-B3).
+//
+// Line format (tab separated):
+//   <unix_ts> <user_id> <area_id> <ok|err> <latency_ms> <query_text_filler>
+//
+// Temporal structure: the generator injects a configurable number of global
+// outage windows (minutes with no successful query anywhere, B1) and per-area
+// outage windows (B2), and draws users from a decaying recent-user pool so
+// each user's queries cluster into sessions with sub-2-minute gaps (B3).
+#ifndef SYMPLE_WORKLOADS_BING_GEN_H_
+#define SYMPLE_WORKLOADS_BING_GEN_H_
+
+#include <cstdint>
+
+#include "runtime/dataset.h"
+
+namespace symple {
+
+struct BingGenParams {
+  uint64_t seed = 303;
+  size_t num_records = 150000;
+  size_t num_segments = 10;
+  size_t num_users = 5000;
+  uint32_t num_areas = 40;  // bounded for SymEnum-based variants
+  // Global outages: windows of this many seconds with only failing queries.
+  size_t global_outages = 4;
+  int64_t outage_duration_s = 300;
+  // Per-area outages.
+  size_t area_outages = 12;
+  size_t filler_bytes = 48;
+};
+
+Dataset GenerateBingLog(const BingGenParams& params);
+
+}  // namespace symple
+
+#endif  // SYMPLE_WORKLOADS_BING_GEN_H_

@@ -1,0 +1,118 @@
+#include "workloads/github_gen.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/datetime.h"
+#include "common/rng.h"
+#include "workloads/workload_util.h"
+
+namespace symple {
+namespace {
+
+constexpr std::array<std::string_view, kGithubOpCount> kOpNames = {
+    "push",        "pull_open",     "pull_close", "create_branch",
+    "delete_branch", "delete_repo", "fork",       "issue",
+    "star",        "release",
+};
+
+// Per-repository generator state driving the temporal patterns.
+struct RepoState {
+  bool in_pull = false;
+  bool branch_deleted = false;
+  bool push_only = false;
+};
+
+}  // namespace
+
+std::string_view GithubOpName(GithubOp op) {
+  return kOpNames[static_cast<size_t>(op)];
+}
+
+std::optional<GithubOp> GithubOpFromName(std::string_view name) {
+  for (size_t i = 0; i < kOpNames.size(); ++i) {
+    if (kOpNames[i] == name) {
+      return static_cast<GithubOp>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+Dataset GenerateGithubLog(const GithubGenParams& params) {
+  SplitMix64 rng(params.seed);
+  std::vector<RepoState> repos(params.num_repos);
+  for (size_t i = 0; i < repos.size(); ++i) {
+    // ~1/7 of repositories only ever see pushes (G1's target population).
+    repos[i].push_only = (i % 7) == 0;
+  }
+
+  std::vector<std::string> lines;
+  lines.reserve(params.num_records);
+  int64_t ts = 1392000000;  // Feb 2014, within the paper's github window
+
+  for (size_t n = 0; n < params.num_records; ++n) {
+    ts += static_cast<int64_t>(rng.Below(9));  // 0..8 seconds between events
+    const uint64_t repo_id = SkewedId(rng, params.num_repos, params.popularity_skew);
+    RepoState& repo = repos[repo_id];
+
+    GithubOp op = GithubOp::kPush;
+    if (repo.push_only) {
+      op = GithubOp::kPush;
+    } else if (repo.in_pull) {
+      // Inside a pull-request window: mostly regular activity, 20% close.
+      if (rng.Chance(1, 5)) {
+        op = GithubOp::kPullClose;
+        repo.in_pull = false;
+      } else {
+        static constexpr GithubOp kInsidePull[] = {GithubOp::kPush, GithubOp::kIssue,
+                                                   GithubOp::kStar};
+        op = kInsidePull[rng.Below(3)];
+      }
+    } else {
+      const uint64_t roll = rng.Below(100);
+      if (roll < 10) {
+        op = GithubOp::kPullOpen;
+        repo.in_pull = true;
+      } else if (roll < 16) {
+        op = GithubOp::kDeleteBranch;
+        repo.branch_deleted = true;
+      } else if (roll < 24 && repo.branch_deleted) {
+        op = GithubOp::kCreateBranch;  // completes a G4 delete->create pair
+        repo.branch_deleted = false;
+      } else if (roll < 26) {
+        op = GithubOp::kDeleteRepo;  // G2 trigger
+      } else if (roll < 40) {
+        op = GithubOp::kIssue;
+      } else if (roll < 52) {
+        op = GithubOp::kStar;
+      } else if (roll < 58) {
+        op = GithubOp::kFork;
+      } else if (roll < 62) {
+        op = GithubOp::kRelease;
+      } else {
+        op = GithubOp::kPush;
+      }
+    }
+
+    std::string line = "{\"created_at\":\"";
+    line += FormatDateTime(ts);
+    line += "\",\"actor\":\"u";
+    line += std::to_string(rng.Below(100000));
+    line += "\",\"repo\":{\"id\":";
+    line += std::to_string(repo_id);
+    line += ",\"name\":\"r";
+    line += std::to_string(repo_id);
+    line += "\",\"branch\":\"b";
+    line += std::to_string(rng.Below(16));
+    line += "\"},\"type\":\"";
+    line += GithubOpName(op);
+    line += "\",\"payload\":\"";
+    line += FillerText(rng, params.filler_bytes);
+    line += "\"}";
+    lines.push_back(std::move(line));
+  }
+  return SplitIntoSegments(std::move(lines), params.num_segments);
+}
+
+}  // namespace symple

@@ -1,0 +1,64 @@
+// Synthetic github-archive-style repository operation log (queries G1-G4).
+//
+// Line format: JSON objects, one per line, like the real githubarchive.org
+// feed the paper used (~1KB records whose bulk a query discards):
+//
+//   {"created_at":"2014-02-10 03:12:45","actor":"u42",
+//    "repo":{"id":1234,"name":"r1234","branch":"b3"},"type":"push",
+//    "payload":"<filler>"}
+//
+// Queries extract created_at (a real datetime parse), repo.id, and type.
+//
+// The generator drives a small per-repository state machine so that the
+// temporal patterns the queries mine actually occur: pull-request open/close
+// windows (G3), branch delete→create pairs (G4), repository deletions with
+// preceding operations (G2), and a population of push-only repositories (G1).
+#ifndef SYMPLE_WORKLOADS_GITHUB_GEN_H_
+#define SYMPLE_WORKLOADS_GITHUB_GEN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "runtime/dataset.h"
+
+namespace symple {
+
+// Repository operation kinds. Bounded domain: queries track these in
+// SymEnums, so the count must stay <= 64.
+enum class GithubOp : uint8_t {
+  kPush = 0,
+  kPullOpen = 1,
+  kPullClose = 2,
+  kCreateBranch = 3,
+  kDeleteBranch = 4,
+  kDeleteRepo = 5,
+  kFork = 6,
+  kIssue = 7,
+  kStar = 8,
+  kRelease = 9,
+};
+inline constexpr uint32_t kGithubOpCount = 10;
+
+// Name <-> op mapping used by both the generator and the query parsers.
+std::string_view GithubOpName(GithubOp op);
+std::optional<GithubOp> GithubOpFromName(std::string_view name);
+
+struct GithubGenParams {
+  uint64_t seed = 101;
+  size_t num_records = 120000;
+  size_t num_segments = 8;
+  size_t num_repos = 4000;
+  // Width of the unused trailing field, emulating the paper's ~1KB records
+  // whose bulk a query discards.
+  size_t filler_bytes = 96;
+  // Zipf-like repository popularity (see SkewedId); real repository activity
+  // is heavily concentrated on a hot head.
+  double popularity_skew = 4.0;
+};
+
+Dataset GenerateGithubLog(const GithubGenParams& params);
+
+}  // namespace symple
+
+#endif  // SYMPLE_WORKLOADS_GITHUB_GEN_H_

@@ -1,0 +1,56 @@
+#include "workloads/gps_gen.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/workload_util.h"
+
+namespace symple {
+namespace {
+
+struct WalkerState {
+  int64_t lat = 0;
+  int64_t lon = 0;
+  bool initialized = false;
+};
+
+}  // namespace
+
+Dataset GenerateGpsLog(const GpsGenParams& params) {
+  SplitMix64 rng(params.seed);
+  std::vector<WalkerState> walkers(params.num_users);
+
+  std::vector<std::string> lines;
+  lines.reserve(params.num_records);
+  int64_t ts = 1420000000;
+
+  for (size_t n = 0; n < params.num_records; ++n) {
+    ts += static_cast<int64_t>(rng.Below(5));
+    const uint64_t user = SkewedId(rng, params.num_users);
+    WalkerState& w = walkers[user];
+    if (!w.initialized || rng.Chance(1, 25)) {
+      // New session: jump far beyond the session bound.
+      w.lat = rng.Range(-80000000, 80000000);
+      w.lon = rng.Range(-170000000, 170000000);
+      w.initialized = true;
+    } else {
+      // Small step, well within the session bound.
+      const int64_t step = params.session_bound_microdeg / 10;
+      w.lat += rng.Range(-step, step);
+      w.lon += rng.Range(-step, step);
+    }
+
+    std::string line = std::to_string(ts);
+    line += '\t';
+    line += std::to_string(user);
+    line += '\t';
+    line += std::to_string(w.lat);
+    line += '\t';
+    line += std::to_string(w.lon);
+    lines.push_back(std::move(line));
+  }
+  return SplitIntoSegments(std::move(lines), params.num_segments);
+}
+
+}  // namespace symple

@@ -1,0 +1,31 @@
+// Synthetic GPS event stream (the Section 4.4 session-counting example).
+//
+// Line format (tab separated):
+//   <unix_ts> <user_id> <lat_microdeg> <lon_microdeg>
+//
+// Each user performs a random walk with small steps; occasionally the user
+// "teleports" far away, starting a new session (the distance-based session
+// boundary the SymPred-based UDA detects).
+#ifndef SYMPLE_WORKLOADS_GPS_GEN_H_
+#define SYMPLE_WORKLOADS_GPS_GEN_H_
+
+#include <cstdint>
+
+#include "runtime/dataset.h"
+
+namespace symple {
+
+struct GpsGenParams {
+  uint64_t seed = 505;
+  size_t num_records = 60000;
+  size_t num_segments = 6;
+  size_t num_users = 400;
+  // Session-boundary distance used by the example query, in micro-degrees.
+  int64_t session_bound_microdeg = 50000;
+};
+
+Dataset GenerateGpsLog(const GpsGenParams& params);
+
+}  // namespace symple
+
+#endif  // SYMPLE_WORKLOADS_GPS_GEN_H_

@@ -1,0 +1,78 @@
+#include "workloads/redshift_gen.h"
+
+#include <string>
+#include <vector>
+
+#include "common/datetime.h"
+#include "common/rng.h"
+#include "workloads/workload_util.h"
+
+namespace symple {
+namespace {
+
+struct AdvertiserState {
+  uint32_t base_country = 0;
+  bool single_country = false;
+  uint64_t current_campaign = 0;
+};
+
+}  // namespace
+
+Dataset GenerateRedshiftLog(const RedshiftGenParams& params) {
+  SplitMix64 rng(params.seed);
+  // Filler columns draw from a separate stream so the condensed and complete
+  // variants have byte-identical *structural* content (same impressions, same
+  // campaigns) — the paper's R1c-R4c are projections of R1-R4, not new data.
+  SplitMix64 filler_rng(MixSeed(params.seed, 0xF111E2));
+  std::vector<AdvertiserState> advertisers(params.num_advertisers);
+  for (size_t i = 0; i < advertisers.size(); ++i) {
+    advertisers[i].base_country = static_cast<uint32_t>(rng.Below(params.num_countries));
+    // ~60% of advertisers operate in exactly one country (R2's population).
+    advertisers[i].single_country = rng.Chance(3, 5);
+    advertisers[i].current_campaign = rng.Below(params.campaigns_per_advertiser);
+  }
+
+  std::vector<std::string> lines;
+  lines.reserve(params.num_records);
+  int64_t ts = 1388534400;  // 2014-01-01 00:00:00, start of a 4-month window
+
+  for (size_t n = 0; n < params.num_records; ++n) {
+    ts += static_cast<int64_t>(rng.Below(7));  // busy stream: 0..6s apart
+    const uint64_t adv_id = SkewedId(rng, params.num_advertisers, params.popularity_skew);
+    AdvertiserState& adv = advertisers[adv_id];
+
+    // Campaign runs (R4): switch campaigns with probability 1/7, giving
+    // contiguous same-campaign runs of ~7 impressions.
+    if (rng.Chance(1, 7)) {
+      adv.current_campaign = rng.Below(params.campaigns_per_advertiser);
+    }
+    const uint32_t country =
+        adv.single_country
+            ? adv.base_country
+            : static_cast<uint32_t>((adv.base_country + rng.Below(3)) %
+                                    params.num_countries);
+
+    std::string line = FormatDateTime(ts);
+    line += '\t';
+    line += std::to_string(adv_id);
+    line += '\t';
+    line += std::to_string(adv.current_campaign);
+    line += '\t';
+    line += "C";
+    line += std::to_string(country);
+    if (!params.condensed) {
+      line += '\t';
+      line += std::to_string(n);  // impression id
+      line += '\t';
+      line += std::to_string(filler_rng.Below(1000000));  // user id
+      for (size_t c = 0; c < params.filler_columns; ++c) {
+        line += '\t';
+        line += FillerText(filler_rng, params.filler_width);
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return SplitIntoSegments(std::move(lines), params.num_segments);
+}
+
+}  // namespace symple

@@ -1,0 +1,45 @@
+// Synthetic RedShift-benchmark-style ad impression log (queries R1-R4).
+//
+// Complete variant, tab separated (the paper's ~1KB-ish wide records):
+//   <datetime "YYYY-MM-DD hh:mm:ss"> <advertiser_id> <campaign_id> <country>
+//   <impression_id> <user_id> <filler_col_1> ... <filler_col_k>
+//
+// Condensed variant (the paper's columnar-projection R1c-R4c datasets) keeps
+// only the four used columns:
+//   <datetime> <advertiser_id> <campaign_id> <country>
+//
+// Timestamps are *textual* on purpose: the paper found R3c dominated by
+// datetime parsing, and the query parsers here really parse these strings.
+//
+// Temporal structure: advertisers alternate between active campaigns
+// (contiguous same-campaign runs for R4) and inactive spells, so that >1h
+// no-impression gaps (R3) genuinely occur; a fraction of advertisers operate
+// in a single country (R2).
+#ifndef SYMPLE_WORKLOADS_REDSHIFT_GEN_H_
+#define SYMPLE_WORKLOADS_REDSHIFT_GEN_H_
+
+#include <cstdint>
+
+#include "runtime/dataset.h"
+
+namespace symple {
+
+struct RedshiftGenParams {
+  uint64_t seed = 202;
+  size_t num_records = 150000;
+  size_t num_segments = 10;
+  size_t num_advertisers = 1000;
+  size_t campaigns_per_advertiser = 8;
+  uint32_t num_countries = 40;  // bounded: queries track countries in SymEnums
+  bool condensed = false;
+  size_t filler_columns = 16;
+  size_t filler_width = 40;
+  // Advertiser volume skew (big advertisers buy most impressions).
+  double popularity_skew = 2.0;
+};
+
+Dataset GenerateRedshiftLog(const RedshiftGenParams& params);
+
+}  // namespace symple
+
+#endif  // SYMPLE_WORKLOADS_REDSHIFT_GEN_H_

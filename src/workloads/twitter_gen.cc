@@ -1,0 +1,60 @@
+#include "workloads/twitter_gen.h"
+
+#include <string>
+#include <vector>
+
+#include "common/datetime.h"
+#include "common/rng.h"
+#include "workloads/workload_util.h"
+
+namespace symple {
+namespace {
+
+struct HashtagState {
+  int burst_remaining = 0;  // >0: inside a spam burst
+};
+
+}  // namespace
+
+Dataset GenerateTwitterLog(const TwitterGenParams& params) {
+  SplitMix64 rng(params.seed);
+  std::vector<HashtagState> tags(params.num_hashtags);
+
+  std::vector<std::string> lines;
+  lines.reserve(params.num_records);
+  int64_t ts = 1410000000;  // a 24h window in Sep 2014
+
+  for (size_t n = 0; n < params.num_records; ++n) {
+    ts += static_cast<int64_t>(rng.Below(2));
+    const uint64_t tag_id = SkewedId(rng, params.num_hashtags, params.popularity_skew);
+    HashtagState& tag = tags[tag_id];
+
+    bool spam;
+    if (tag.burst_remaining > 0) {
+      spam = true;
+      --tag.burst_remaining;
+    } else if (rng.Chance(1, 40)) {
+      // Start a spam burst of 5..30 tweets on this hashtag.
+      tag.burst_remaining = static_cast<int>(rng.Range(5, 30)) - 1;
+      spam = true;
+    } else {
+      spam = rng.Chance(1, 50);  // background spam noise
+    }
+
+    std::string line = "{\"created_at\":\"";
+    line += FormatDateTime(ts);
+    line += "\",\"user\":\"u";
+    line += std::to_string(rng.Below(params.num_users));
+    line += "\",\"hashtag\":\"#tag";
+    line += std::to_string(tag_id);
+    line += "\",\"spam\":";
+    line += spam ? '1' : '0';
+    line += ",\"text\":\"";
+    line += FillerText(rng, params.filler_bytes);
+    line += "\"}";
+    lines.push_back(std::move(line));
+  }
+  return SplitIntoSegments(std::move(lines), params.num_segments);
+}
+
+}  // namespace symple

@@ -1,0 +1,34 @@
+// Synthetic Twitter-style tweet log (query T1).
+//
+// Line format: JSON objects, one per line, like a real tweet firehose:
+//   {"created_at":"...","user":"u<id>","hashtag":"#tag<id>","spam":0,
+//    "text":"<filler>"}
+//
+// Per-hashtag temporal structure: hashtags alternate between a normal phase
+// (rare spam) and spam bursts (runs of >= 5 consecutive spam tweets), which
+// is exactly the pattern T1 ("spam learning speed") mines.
+#ifndef SYMPLE_WORKLOADS_TWITTER_GEN_H_
+#define SYMPLE_WORKLOADS_TWITTER_GEN_H_
+
+#include <cstdint>
+
+#include "runtime/dataset.h"
+
+namespace symple {
+
+struct TwitterGenParams {
+  uint64_t seed = 404;
+  size_t num_records = 150000;
+  size_t num_segments = 10;
+  size_t num_users = 20000;
+  size_t num_hashtags = 3000;
+  size_t filler_bytes = 64;
+  // Hashtag popularity skew (trending topics dominate).
+  double popularity_skew = 3.0;
+};
+
+Dataset GenerateTwitterLog(const TwitterGenParams& params);
+
+}  // namespace symple
+
+#endif  // SYMPLE_WORKLOADS_TWITTER_GEN_H_

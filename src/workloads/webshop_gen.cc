@@ -1,0 +1,80 @@
+#include "workloads/webshop_gen.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/workload_util.h"
+
+namespace symple {
+namespace {
+
+// Per-user funnel machine: idle -> searching(item) -> reviewing -> maybe buy.
+struct ShopperState {
+  enum class Phase { kIdle, kReviewing };
+  Phase phase = Phase::kIdle;
+  uint64_t item = 0;
+  int reviews_left = 0;
+  bool will_buy = false;
+};
+
+const char* EventName(int e) {
+  static const char* kNames[] = {"search", "review", "purchase", "click"};
+  return kNames[e];
+}
+
+}  // namespace
+
+Dataset GenerateWebshopLog(const WebshopGenParams& params) {
+  SplitMix64 rng(params.seed);
+  std::vector<ShopperState> shoppers(params.num_users);
+
+  std::vector<std::string> lines;
+  lines.reserve(params.num_records);
+  int64_t ts = 1430000000;
+
+  for (size_t n = 0; n < params.num_records; ++n) {
+    ts += static_cast<int64_t>(rng.Below(4));
+    const uint64_t user = SkewedId(rng, params.num_users);
+    ShopperState& s = shoppers[user];
+
+    int event;       // index into EventName
+    uint64_t item;   // item acted upon
+    if (s.phase == ShopperState::Phase::kIdle) {
+      if (rng.Chance(1, 3)) {
+        // Start a funnel: search, then 0..20 reviews, purchase 50% of the time.
+        s.phase = ShopperState::Phase::kReviewing;
+        s.item = rng.Below(params.num_items);
+        s.reviews_left = static_cast<int>(rng.Below(21));
+        s.will_buy = rng.Chance(1, 2);
+        event = 0;  // search
+        item = s.item;
+      } else {
+        event = 3;  // background click
+        item = rng.Below(params.num_items);
+      }
+    } else if (s.reviews_left > 0) {
+      --s.reviews_left;
+      event = 1;  // review
+      item = s.item;
+    } else {
+      event = s.will_buy ? 2 : 3;  // purchase or a closing click
+      item = s.item;
+      s.phase = ShopperState::Phase::kIdle;
+    }
+
+    std::string line = std::to_string(ts);
+    line += '\t';
+    line += std::to_string(user);
+    line += '\t';
+    line += EventName(event);
+    line += '\t';
+    line += std::to_string(item);
+    line += '\t';
+    line += FillerText(rng, params.filler_bytes);
+    lines.push_back(std::move(line));
+  }
+  return SplitIntoSegments(std::move(lines), params.num_segments);
+}
+
+}  // namespace symple

@@ -1,0 +1,31 @@
+// Synthetic web-shop activity log (the paper's Figure 1 motivating UDA).
+//
+// Line format (tab separated):
+//   <unix_ts> <user_id> <event: search|review|purchase|click> <item_id> <filler>
+//
+// Users run shopping funnels: search for an item, read a random number of
+// reviews (sometimes more than ten), then maybe purchase — exactly the
+// pattern the Figure 1 UDA reports.
+#ifndef SYMPLE_WORKLOADS_WEBSHOP_GEN_H_
+#define SYMPLE_WORKLOADS_WEBSHOP_GEN_H_
+
+#include <cstdint>
+
+#include "runtime/dataset.h"
+
+namespace symple {
+
+struct WebshopGenParams {
+  uint64_t seed = 606;
+  size_t num_records = 80000;
+  size_t num_segments = 8;
+  size_t num_users = 1500;
+  size_t num_items = 5000;
+  size_t filler_bytes = 48;
+};
+
+Dataset GenerateWebshopLog(const WebshopGenParams& params);
+
+}  // namespace symple
+
+#endif  // SYMPLE_WORKLOADS_WEBSHOP_GEN_H_

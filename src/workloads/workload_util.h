@@ -1,0 +1,72 @@
+// Shared helpers for the synthetic workload generators.
+//
+// Every generator produces one globally time-ordered stream of textual log
+// lines (the paper's input model: records sorted by timestamp) and splits it
+// contiguously into segments, each of which the runtime will hand to one map
+// task.
+#ifndef SYMPLE_WORKLOADS_WORKLOAD_UTIL_H_
+#define SYMPLE_WORKLOADS_WORKLOAD_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/dataset.h"
+
+namespace symple {
+
+// Splits `lines` into `num_segments` contiguous, nearly equal segment blobs
+// (newline-separated text, as a mapper would stream them).
+inline Dataset SplitIntoSegments(std::vector<std::string>&& lines, size_t num_segments) {
+  Dataset ds;
+  if (num_segments == 0) {
+    num_segments = 1;
+  }
+  const size_t n = lines.size();
+  ds.segments.resize(num_segments);
+  size_t start = 0;
+  for (size_t s = 0; s < num_segments; ++s) {
+    const size_t end = n * (s + 1) / num_segments;
+    std::string& blob = ds.segments[s];
+    size_t bytes = 0;
+    for (size_t i = start; i < end; ++i) {
+      bytes += lines[i].size() + 1;
+    }
+    blob.reserve(bytes);
+    for (size_t i = start; i < end; ++i) {
+      blob += lines[i];
+      blob += '\n';
+    }
+    start = end;
+  }
+  return ds;
+}
+
+// Deterministic pseudo-text filler emulating record fields a query discards.
+inline std::string FillerText(SplitMix64& rng, size_t bytes) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789abcdefghijklmnopqrstuvwxyz_";
+  std::string out;
+  out.reserve(bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    out += kAlphabet[rng.Below(64)];
+  }
+  return out;
+}
+
+// Skewed id pick: a power transform u^exponent concentrates probability mass
+// on low ids, approximating the Zipf-like group popularity of real logs.
+// exponent 1 is uniform; 2 mild skew; 4+ approaches the hot-head regime where
+// a few groups carry most of the volume (github repositories, hashtags).
+inline uint64_t SkewedId(SplitMix64& rng, uint64_t n, double exponent = 2.0) {
+  const double u = rng.NextDouble();
+  double p = 1.0;
+  for (double e = exponent; e >= 1.0; e -= 1.0) {
+    p *= u;
+  }
+  return static_cast<uint64_t>(p * static_cast<double>(n)) % n;
+}
+
+}  // namespace symple
+
+#endif  // SYMPLE_WORKLOADS_WORKLOAD_UTIL_H_

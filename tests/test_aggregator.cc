@@ -1,0 +1,155 @@
+// Tests for the aggregation engines: exploration statistics, the path
+// explosion controls of paper Section 5.2 (eager merging, per-record bound,
+// summary restarts), and the concrete aggregator.
+#include "core/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/symple.h"
+
+namespace symple {
+namespace {
+
+struct MaxState {
+  SymInt max = std::numeric_limits<int64_t>::min();
+  auto list_fields() { return std::tie(max); }
+};
+
+void MaxUpdate(MaxState& s, const int64_t& e) {
+  if (s.max < e) {
+    s.max = e;
+  }
+}
+
+using MaxAgg = SymbolicAggregator<MaxState, int64_t, void (*)(MaxState&, const int64_t&)>;
+
+TEST(ConcreteAggregator, RunsSequentially) {
+  ConcreteAggregator<MaxState, int64_t, void (*)(MaxState&, const int64_t&)> agg(
+      &MaxUpdate);
+  for (int64_t e : {2, 9, 1}) {
+    agg.Feed(e);
+  }
+  EXPECT_EQ(agg.state().max.Value(), 9);
+}
+
+TEST(SymbolicAggregator, MaxStaysAtTwoPathsThanksToMerging) {
+  // The Section 3.5 insight: with merging, Max never needs more than two live
+  // paths no matter how long the chunk is.
+  MaxAgg agg(&MaxUpdate);
+  SplitMix64 rng(42);
+  for (int i = 0; i < 500; ++i) {
+    agg.Feed(rng.Range(-100000, 100000));
+    EXPECT_LE(agg.live_path_count(), 3u);
+  }
+  auto summaries = agg.Finish();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].path_count(), 2u);
+  EXPECT_EQ(agg.stats().summary_restarts, 0u);
+  EXPECT_GT(agg.stats().paths_merged, 0u);
+}
+
+TEST(SymbolicAggregator, WithoutMergingMaxStillBoundedByPruning) {
+  // Even with merging off, infeasibility pruning keeps Max's paths linear in
+  // the number of distinct prefix maxima, which forces restarts eventually.
+  AggregatorOptions options;
+  options.enable_merging = false;
+  options.max_live_paths = 8;
+  MaxAgg agg(&MaxUpdate, options);
+  for (int64_t e = 1; e <= 100; ++e) {
+    agg.Feed(e);  // strictly increasing: every record adds a path
+  }
+  auto summaries = agg.Finish();
+  EXPECT_GT(summaries.size(), 1u);  // restarts happened
+  EXPECT_GT(agg.stats().summary_restarts, 0u);
+
+  // Semantics preserved across restarts.
+  MaxState out;
+  out.max = std::numeric_limits<int64_t>::min();
+  ASSERT_TRUE(ApplySummaries(summaries, out));
+  EXPECT_EQ(out.max.Value(), 100);
+}
+
+TEST(SymbolicAggregator, RestartBoundIsConfigurable) {
+  AggregatorOptions options;
+  options.enable_merging = false;
+  options.max_live_paths = 2;
+  MaxAgg agg(&MaxUpdate, options);
+  for (int64_t e = 1; e <= 10; ++e) {
+    agg.Feed(e);
+    EXPECT_LE(agg.live_path_count(), 2u + 1u);  // bound checked post-feed
+  }
+  auto summaries = agg.Finish();
+  EXPECT_GE(summaries.size(), 3u);
+}
+
+struct LoopState {
+  SymInt n = 0;
+  auto list_fields() { return std::tie(n); }
+};
+
+void StateDependentLoop(LoopState& s, const int64_t&) {
+  // A loop whose trip count depends on the aggregation state: symbolically
+  // unbounded (every iteration splits again). Must be caught, not hang.
+  while (s.n < 1000000) {
+    s.n += 1;
+  }
+}
+
+TEST(SymbolicAggregator, StateDependentLoopDetected) {
+  AggregatorOptions options;
+  options.max_paths_per_record = 64;
+  options.max_decisions_per_run = 128;  // caught inside the very first run
+  SymbolicAggregator<LoopState, int64_t, void (*)(LoopState&, const int64_t&)> agg(
+      &StateDependentLoop, options);
+  EXPECT_THROW(agg.Feed(1), SympleError);
+}
+
+TEST(SymbolicAggregator, StatsCountRunsAndDecisions) {
+  MaxAgg agg(&MaxUpdate);
+  agg.Feed(5);   // 1 live path, forks into 2: 2 runs, 1 decision
+  agg.Feed(3);   // x<5 path concrete (1 run); x>=5 path: branch infeasible (1 run)
+  const ExplorationStats& st = agg.stats();
+  EXPECT_EQ(st.runs, 4u);
+  // The record-1 decision point is consulted once per exploring run (2 runs);
+  // record 2 decides both paths without consulting the choice vector.
+  EXPECT_EQ(st.decisions, 2u);
+  EXPECT_EQ(st.paths_produced, 4u);
+}
+
+TEST(SymbolicAggregator, EmptyChunkYieldsIdentitySummary) {
+  MaxAgg agg(&MaxUpdate);
+  auto summaries = agg.Finish();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].path_count(), 1u);
+  // Identity: applying to any concrete state leaves it unchanged.
+  MaxState s;
+  s.max = 123;
+  ASSERT_TRUE(summaries[0].ApplyTo(s));
+  EXPECT_EQ(s.max.Value(), 123);
+}
+
+TEST(SymbolicAggregator, MergeEveryRecordAblationKnob) {
+  AggregatorOptions eager;
+  eager.merge_only_at_highwater = false;
+  MaxAgg agg(&MaxUpdate, eager);
+  SplitMix64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    agg.Feed(rng.Range(0, 1000));
+  }
+  auto summaries = agg.Finish();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_LE(summaries[0].path_count(), 2u);
+}
+
+TEST(SymbolicAggregator, ZeroLivePathBoundRejected) {
+  AggregatorOptions bad;
+  bad.max_live_paths = 0;
+  EXPECT_THROW(MaxAgg(&MaxUpdate, bad), SympleError);
+}
+
+}  // namespace
+}  // namespace symple

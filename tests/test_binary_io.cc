@@ -1,0 +1,170 @@
+// Unit tests for the varint binary serialization substrate.
+#include "serialize/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace symple {
+namespace {
+
+TEST(Zigzag, KnownValues) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+  EXPECT_EQ(ZigzagDecode(ZigzagEncode(std::numeric_limits<int64_t>::min())),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(ZigzagDecode(ZigzagEncode(std::numeric_limits<int64_t>::max())),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(BinaryIo, VarUintRoundTrip) {
+  BinaryWriter w;
+  const std::vector<uint64_t> values = {0,       1,      127,        128,
+                                        16383,   16384,  0xFFFFFFFF, 1ull << 62,
+                                        ~0ull};
+  for (uint64_t v : values) {
+    w.WriteVarUint(v);
+  }
+  BinaryReader r(w.buffer());
+  for (uint64_t v : values) {
+    EXPECT_EQ(r.ReadVarUint(), v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIo, VarUintEncodingIsCompact) {
+  BinaryWriter w;
+  w.WriteVarUint(0);
+  EXPECT_EQ(w.size(), 1u);
+  w.Clear();
+  w.WriteVarUint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.Clear();
+  w.WriteVarUint(128);
+  EXPECT_EQ(w.size(), 2u);
+  w.Clear();
+  w.WriteVarUint(~0ull);
+  EXPECT_EQ(w.size(), 10u);
+}
+
+TEST(BinaryIo, VarIntRoundTrip) {
+  BinaryWriter w;
+  const std::vector<int64_t> values = {0,  -1, 1,  63, -64, 64,
+                                       -65, std::numeric_limits<int64_t>::min(),
+                                       std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) {
+    w.WriteVarInt(v);
+  }
+  BinaryReader r(w.buffer());
+  for (int64_t v : values) {
+    EXPECT_EQ(r.ReadVarInt(), v);
+  }
+}
+
+TEST(BinaryIo, SmallMagnitudeSignedValuesAreOneByte) {
+  for (int64_t v : {-64, -1, 0, 1, 63}) {
+    BinaryWriter w;
+    w.WriteVarInt(v);
+    EXPECT_EQ(w.size(), 1u) << v;
+  }
+}
+
+TEST(BinaryIo, StringsAndBytes) {
+  BinaryWriter w;
+  w.WriteString("");
+  w.WriteString("hello\tworld\n");
+  const std::string big(10000, 'x');
+  w.WriteString(big);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_EQ(r.ReadString(), "hello\tworld\n");
+  EXPECT_EQ(r.ReadString(), big);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIo, FixedAndDouble) {
+  BinaryWriter w;
+  w.WriteFixed64(0x0123456789ABCDEFull);
+  w.WriteDouble(3.141592653589793);
+  w.WriteDouble(-0.0);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadFixed64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.ReadDouble(), 3.141592653589793);
+  EXPECT_EQ(r.ReadDouble(), -0.0);
+}
+
+TEST(BinaryIo, BoolAndByte) {
+  BinaryWriter w;
+  w.WriteBool(true);
+  w.WriteBool(false);
+  w.WriteByte(0xAB);
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(r.ReadBool());
+  EXPECT_FALSE(r.ReadBool());
+  EXPECT_EQ(r.ReadByte(), 0xAB);
+}
+
+TEST(BinaryIo, ReadPastEndThrows) {
+  BinaryWriter w;
+  w.WriteVarUint(5);
+  BinaryReader r(w.buffer());
+  r.ReadVarUint();
+  EXPECT_THROW(r.ReadVarUint(), SympleError);
+  EXPECT_THROW(r.ReadByte(), SympleError);
+  EXPECT_THROW(r.ReadFixed64(), SympleError);
+  EXPECT_THROW(r.ReadString(), SympleError);
+}
+
+TEST(BinaryIo, TruncatedVarintThrows) {
+  std::vector<uint8_t> bytes = {0x80, 0x80};  // continuation bits, no end
+  BinaryReader r(bytes.data(), bytes.size());
+  EXPECT_THROW(r.ReadVarUint(), SympleError);
+}
+
+TEST(BinaryIo, OverlongVarintThrows) {
+  // 11 bytes of continuation would exceed 64 bits.
+  std::vector<uint8_t> bytes(11, 0x80);
+  bytes.push_back(0x01);
+  BinaryReader r(bytes.data(), bytes.size());
+  EXPECT_THROW(r.ReadVarUint(), SympleError);
+}
+
+TEST(BinaryIo, TruncatedStringThrows) {
+  BinaryWriter w;
+  w.WriteVarUint(100);  // claims 100 bytes follow
+  w.WriteByte('a');
+  BinaryReader r(w.buffer());
+  EXPECT_THROW(r.ReadString(), SympleError);
+}
+
+TEST(BinaryIo, RandomizedRoundTrip) {
+  SplitMix64 rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    BinaryWriter w;
+    std::vector<int64_t> signed_vals;
+    std::vector<uint64_t> unsigned_vals;
+    for (int i = 0; i < 100; ++i) {
+      const int64_t sv = static_cast<int64_t>(rng.Next());
+      const uint64_t uv = rng.Next() >> (rng.Below(64));
+      signed_vals.push_back(sv);
+      unsigned_vals.push_back(uv);
+      w.WriteVarInt(sv);
+      w.WriteVarUint(uv);
+    }
+    BinaryReader r(w.buffer());
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(r.ReadVarInt(), signed_vals[static_cast<size_t>(i)]);
+      EXPECT_EQ(r.ReadVarUint(), unsigned_vals[static_cast<size_t>(i)]);
+    }
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+}  // namespace
+}  // namespace symple

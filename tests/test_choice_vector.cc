@@ -1,0 +1,153 @@
+// Unit tests for the mixed-radix choice vector driving lexicographic path
+// enumeration (paper Section 5.1).
+#include "core/choice_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace symple {
+namespace {
+
+TEST(ChoiceVector, FirstRunRecordsZeros) {
+  ChoiceVector cv;
+  cv.Rewind();
+  EXPECT_EQ(cv.Next(2), 0u);
+  EXPECT_EQ(cv.Next(2), 0u);
+  EXPECT_EQ(cv.Next(3), 0u);
+  EXPECT_TRUE(cv.FullyConsumed());
+  EXPECT_EQ(cv.size(), 3u);
+}
+
+TEST(ChoiceVector, ReplayThenExtend) {
+  ChoiceVector cv;
+  cv.Rewind();
+  cv.Next(2);
+  ASSERT_TRUE(cv.Advance());  // -> [1]
+  cv.Rewind();
+  EXPECT_EQ(cv.Next(2), 1u);   // replayed
+  EXPECT_EQ(cv.Next(2), 0u);   // fresh ground
+  EXPECT_EQ(cv.size(), 2u);
+}
+
+TEST(ChoiceVector, BinaryEnumerationOrder) {
+  // Three binary decisions on every path: expect 000,001,010,...,111.
+  ChoiceVector cv;
+  std::vector<std::string> seen;
+  bool more = true;
+  while (more) {
+    cv.Rewind();
+    std::string path;
+    for (int i = 0; i < 3; ++i) {
+      path += static_cast<char>('0' + cv.Next(2));
+    }
+    seen.push_back(path);
+    more = cv.Advance();
+  }
+  const std::vector<std::string> expected = {"000", "001", "010", "011",
+                                             "100", "101", "110", "111"};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(ChoiceVector, MixedRadixEnumeration) {
+  // A 3-way decision followed by a binary one: 6 paths in odometer order.
+  ChoiceVector cv;
+  std::vector<std::string> seen;
+  bool more = true;
+  while (more) {
+    cv.Rewind();
+    std::string path;
+    path += static_cast<char>('0' + cv.Next(3));
+    path += static_cast<char>('0' + cv.Next(2));
+    seen.push_back(path);
+    more = cv.Advance();
+  }
+  const std::vector<std::string> expected = {"00", "01", "10", "11", "20", "21"};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(ChoiceVector, DataDependentDepth) {
+  // The paper's Max example (Figure 3): the first decision taking the else
+  // branch (1) exposes a second decision; the then branch (0) ends the path.
+  // Expected paths: 0, 10, 11.
+  ChoiceVector cv;
+  std::vector<std::string> seen;
+  bool more = true;
+  while (more) {
+    cv.Rewind();
+    std::string path;
+    const uint32_t first = cv.Next(2);
+    path += static_cast<char>('0' + first);
+    if (first == 1) {
+      path += static_cast<char>('0' + cv.Next(2));
+    }
+    seen.push_back(path);
+    more = cv.Advance();
+  }
+  const std::vector<std::string> expected = {"0", "10", "11"};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(ChoiceVector, NoDecisionsSinglePath) {
+  ChoiceVector cv;
+  cv.Rewind();
+  EXPECT_TRUE(cv.FullyConsumed());
+  EXPECT_FALSE(cv.Advance());  // nothing to explore beyond the single path
+}
+
+TEST(ChoiceVector, ClearResets) {
+  ChoiceVector cv;
+  cv.Rewind();
+  cv.Next(2);
+  cv.Advance();
+  cv.Clear();
+  EXPECT_TRUE(cv.empty());
+  cv.Rewind();
+  EXPECT_EQ(cv.Next(2), 0u);
+}
+
+TEST(ChoiceVector, ArityMismatchThrows) {
+  ChoiceVector cv;
+  cv.Rewind();
+  cv.Next(2);
+  cv.Advance();
+  cv.Rewind();
+  EXPECT_THROW(cv.Next(3), SympleError);
+}
+
+TEST(ChoiceVector, ArityBelowTwoThrows) {
+  ChoiceVector cv;
+  cv.Rewind();
+  EXPECT_THROW(cv.Next(1), SympleError);
+}
+
+TEST(ChoiceVector, DebugString) {
+  ChoiceVector cv;
+  cv.Rewind();
+  cv.Next(2);
+  cv.Next(3);
+  cv.Advance();
+  EXPECT_EQ(cv.DebugString(), "0.1");
+}
+
+TEST(ChoiceVector, ExhaustiveCountMatchesProduct) {
+  // 2 * 3 * 2 decisions on every path: exactly 12 paths enumerated.
+  ChoiceVector cv;
+  int paths = 0;
+  bool more = true;
+  while (more) {
+    cv.Rewind();
+    cv.Next(2);
+    cv.Next(3);
+    cv.Next(2);
+    ++paths;
+    more = cv.Advance();
+  }
+  EXPECT_EQ(paths, 12);
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,96 @@
+// Tests for the value/key codecs and the three datetime parsers' agreement.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "common/datetime.h"
+#include "common/rng.h"
+#include "common/text_key.h"
+#include "core/value_codec.h"
+#include "serialize/binary_io.h"
+
+namespace symple {
+namespace {
+
+template <typename T>
+T RoundTrip(const T& value) {
+  BinaryWriter w;
+  ValueCodec<T>::Write(w, value);
+  BinaryReader r(w.buffer());
+  T out = ValueCodec<T>::Read(r);
+  EXPECT_TRUE(r.AtEnd());
+  return out;
+}
+
+TEST(ValueCodecs, Integrals) {
+  EXPECT_EQ(RoundTrip<int64_t>(-123456789), -123456789);
+  EXPECT_EQ(RoundTrip<int32_t>(-42), -42);
+  EXPECT_EQ(RoundTrip<uint64_t>(~0ull), ~0ull);
+  EXPECT_EQ(RoundTrip<uint8_t>(255), 255);
+  EXPECT_EQ(RoundTrip<int8_t>(-128), -128);
+}
+
+TEST(ValueCodecs, StringsAndDoubles) {
+  EXPECT_EQ(RoundTrip<std::string>("hello\tworld"), "hello\tworld");
+  EXPECT_EQ(RoundTrip<std::string>(""), "");
+  EXPECT_EQ(RoundTrip<double>(2.718281828), 2.718281828);
+}
+
+TEST(ValueCodecs, Pairs) {
+  const auto p = RoundTrip<std::pair<int64_t, std::string>>({-7, "x"});
+  EXPECT_EQ(p.first, -7);
+  EXPECT_EQ(p.second, "x");
+}
+
+TEST(TextKeys, IntegralKeysAreDecimalText) {
+  BinaryWriter w;
+  TextKeyCodec<int64_t>::Write(w, 123456);
+  // length prefix + 6 ASCII digits.
+  EXPECT_EQ(w.size(), 7u);
+  BinaryReader r(w.buffer());
+  TextKeyCodec<int64_t>::Skip(r);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(TextKeys, StringKeysPassThrough) {
+  BinaryWriter w;
+  TextKeyCodec<std::string>::Write(w, "#hashtag");
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadString(), "#hashtag");
+}
+
+// --- datetime parser agreement ----------------------------------------------------
+
+TEST(DateTimeParsers, AllThreeAgreeOnRandomTimestamps) {
+  SplitMix64 rng(606060);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int64_t ts = rng.Range(0, 2'000'000'000);  // 1970..2033
+    const std::string text = FormatDateTime(ts);
+    const auto fast = ParseDateTime(text);
+    const auto libc = ParseDateTimeLibc(text);
+    const auto stdl = ParseDateTimeStdlib(text);
+    ASSERT_TRUE(fast.has_value()) << text;
+    ASSERT_TRUE(libc.has_value()) << text;
+    ASSERT_TRUE(stdl.has_value()) << text;
+    EXPECT_EQ(*fast, ts) << text;
+    EXPECT_EQ(*libc, ts) << text;
+    EXPECT_EQ(*stdl, ts) << text;
+  }
+}
+
+TEST(DateTimeParsers, LibcAndStdlibRejectGarbage) {
+  for (const char* bad : {"", "not a date at all!", "2014-13-01 00:00:00x",
+                          "9999-99-99 99:99:99"}) {
+    EXPECT_FALSE(ParseDateTimeLibc(bad).has_value()) << bad;
+    EXPECT_FALSE(ParseDateTimeStdlib(bad).has_value()) << bad;
+  }
+}
+
+TEST(DateTimeParsers, WrongLengthRejected) {
+  EXPECT_FALSE(ParseDateTimeLibc("2014-01-01 00:00").has_value());
+  EXPECT_FALSE(ParseDateTimeStdlib("2014-01-01 00:00:00 extra").has_value());
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,207 @@
+// Unit tests for the common substrate: datetime, text parsing, thread pool,
+// and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/datetime.h"
+#include "common/rng.h"
+#include "common/text.h"
+#include "common/thread_pool.h"
+
+namespace symple {
+namespace {
+
+// --- datetime -------------------------------------------------------------------
+
+TEST(DateTime, EpochRoundTrip) {
+  EXPECT_EQ(FormatDateTime(0), "1970-01-01 00:00:00");
+  EXPECT_EQ(ParseDateTime("1970-01-01 00:00:00"), 0);
+}
+
+TEST(DateTime, KnownTimestamps) {
+  // 2014-01-01 00:00:00 UTC.
+  EXPECT_EQ(ParseDateTime("2014-01-01 00:00:00"), 1388534400);
+  EXPECT_EQ(FormatDateTime(1388534400), "2014-01-01 00:00:00");
+  // 2000-02-29 (leap day in a century leap year).
+  const auto leap = ParseDateTime("2000-02-29 12:30:45");
+  ASSERT_TRUE(leap.has_value());
+  EXPECT_EQ(FormatDateTime(*leap), "2000-02-29 12:30:45");
+}
+
+TEST(DateTime, RoundTripSweep) {
+  // Hourly sweep across a year boundary and a leap year.
+  for (int64_t ts = 1388534400 - 86400 * 400; ts < 1388534400 + 86400 * 3;
+       ts += 3607) {
+    const std::string text = FormatDateTime(ts);
+    const auto back = ParseDateTime(text);
+    ASSERT_TRUE(back.has_value()) << text;
+    EXPECT_EQ(*back, ts) << text;
+  }
+}
+
+TEST(DateTime, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseDateTime("").has_value());
+  EXPECT_FALSE(ParseDateTime("2014-01-01").has_value());
+  EXPECT_FALSE(ParseDateTime("2014-01-01T00:00:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2014-13-01 00:00:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2014-00-01 00:00:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2014-02-30 00:00:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2015-02-29 00:00:00").has_value());  // not leap
+  EXPECT_FALSE(ParseDateTime("2014-01-01 24:00:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2014-01-01 00:60:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2014-01-01 00:00:61").has_value());
+  EXPECT_FALSE(ParseDateTime("2o14-01-01 00:00:00").has_value());
+  EXPECT_FALSE(ParseDateTime("2014-01-01 00:00:0x").has_value());
+}
+
+TEST(DateTime, CivilConversionsAgree) {
+  const CivilTime t{2026, 7, 7, 15, 4, 5};
+  const int64_t ts = CivilToUnixSeconds(t);
+  EXPECT_EQ(UnixSecondsToCivil(ts), t);
+  EXPECT_EQ(FormatDateTime(ts), "2026-07-07 15:04:05");
+}
+
+TEST(DateTime, NegativeTimestamps) {
+  EXPECT_EQ(FormatDateTime(-1), "1969-12-31 23:59:59");
+  EXPECT_EQ(ParseDateTime("1969-12-31 23:59:59"), -1);
+}
+
+// --- text -----------------------------------------------------------------------
+
+TEST(FieldCursor, SplitsTabs) {
+  FieldCursor cur("a\tbb\t\tccc");
+  EXPECT_EQ(cur.Next(), "a");
+  EXPECT_EQ(cur.Next(), "bb");
+  EXPECT_EQ(cur.Next(), "");
+  EXPECT_EQ(cur.Next(), "ccc");
+  EXPECT_FALSE(cur.Next().has_value());
+}
+
+TEST(FieldCursor, SingleField) {
+  FieldCursor cur("only");
+  EXPECT_EQ(cur.Next(), "only");
+  EXPECT_FALSE(cur.Next().has_value());
+}
+
+TEST(FieldCursor, SkipCountsMissing) {
+  FieldCursor cur("a\tb");
+  EXPECT_TRUE(cur.Skip(2));
+  EXPECT_FALSE(cur.Skip(1));
+}
+
+TEST(ParseInt64Test, ValidInputs) {
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-17"), -17);
+  EXPECT_EQ(ParseInt64("1388534400"), 1388534400);
+}
+
+TEST(ParseInt64Test, InvalidInputs) {
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("-").has_value());
+  EXPECT_FALSE(ParseInt64("12a").has_value());
+  EXPECT_FALSE(ParseInt64("a12").has_value());
+  EXPECT_FALSE(ParseInt64(" 12").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+}
+
+// --- rng ------------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, SeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  SplitMix64 rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, MixSeedDecorrelatesStreams) {
+  EXPECT_NE(MixSeed(1, 0), MixSeed(1, 1));
+  EXPECT_EQ(MixSeed(1, 0), MixSeed(1, 0));
+}
+
+// --- thread pool -------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, RunParallelHelper) {
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 1; i <= 10; ++i) {
+    tasks.push_back([&sum, i] { sum.fetch_add(i); });
+  }
+  RunParallel(3, std::move(tasks));
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait(): destructor must still run everything.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,130 @@
+// Tests for the copy-on-write buffer underlying SymVector.
+#include "common/cow_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace symple {
+namespace {
+
+TEST(CowBuffer, DefaultIsEmpty) {
+  CowBuffer<int> b;
+  EXPECT_EQ(b.items(), nullptr);
+  EXPECT_EQ(b.use_count(), 0u);
+}
+
+TEST(CowBuffer, EnsureExclusiveCreatesStorage) {
+  CowBuffer<int> b;
+  b.EnsureExclusive(0).push_back(1);
+  ASSERT_NE(b.items(), nullptr);
+  EXPECT_EQ(b.items()->size(), 1u);
+  EXPECT_EQ(b.use_count(), 1u);
+}
+
+TEST(CowBuffer, CopyShares) {
+  CowBuffer<int> a;
+  a.EnsureExclusive(0).push_back(7);
+  CowBuffer<int> b = a;
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  EXPECT_EQ(a.use_count(), 2u);
+}
+
+TEST(CowBuffer, AppendWhileSharedClones) {
+  CowBuffer<int> a;
+  a.EnsureExclusive(0).push_back(7);
+  CowBuffer<int> b = a;
+  b.EnsureExclusive(1).push_back(8);  // logical size 1, then append
+  EXPECT_FALSE(a.SharesStorageWith(b));
+  EXPECT_EQ(a.items()->size(), 1u);   // a unchanged
+  EXPECT_EQ(b.items()->size(), 2u);
+  EXPECT_EQ((*b.items())[0], 7);
+  EXPECT_EQ((*b.items())[1], 8);
+}
+
+TEST(CowBuffer, ExclusiveAppendReusesStorage) {
+  CowBuffer<int> a;
+  a.EnsureExclusive(0).push_back(1);
+  const void* before = a.items();
+  a.EnsureExclusive(1).push_back(2);
+  EXPECT_EQ(a.items(), before);  // no clone when sole owner
+}
+
+TEST(CowBuffer, DeadSiblingSuffixTruncated) {
+  // a and b share; b appends past a's logical size using the SAME storage
+  // after a's copy dies; then a appends and must truncate b's suffix.
+  CowBuffer<int> a;
+  a.EnsureExclusive(0).push_back(1);
+  {
+    CowBuffer<int> b = a;
+    b.EnsureExclusive(1).push_back(99);  // clones: shared
+  }
+  // a is sole owner again with its own storage of size 1.
+  a.EnsureExclusive(1).push_back(2);
+  ASSERT_EQ(a.items()->size(), 2u);
+  EXPECT_EQ((*a.items())[1], 2);
+
+  // Now the same-storage divergence case: copy, let the copy die *before*
+  // appending so storage stays shared, then append beyond logical size twice.
+  CowBuffer<int> c;
+  c.EnsureExclusive(0).push_back(10);
+  CowBuffer<int> d = c;
+  c.EnsureExclusive(1);  // c clones (shared with d)
+  EXPECT_FALSE(c.SharesStorageWith(d));
+}
+
+TEST(CowBuffer, LogicalTruncationOnResize) {
+  CowBuffer<int> a;
+  auto& v = a.EnsureExclusive(0);
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  // A view that logically owns only the first element appends: storage must
+  // shrink to logical size first.
+  auto& w = a.EnsureExclusive(1);
+  EXPECT_EQ(w.size(), 1u);
+  w.push_back(42);
+  EXPECT_EQ((*a.items())[1], 42);
+}
+
+TEST(CowBuffer, MoveTransfersOwnership) {
+  CowBuffer<std::string> a;
+  a.EnsureExclusive(0).push_back("x");
+  CowBuffer<std::string> b = std::move(a);
+  EXPECT_EQ(a.items(), nullptr);  // NOLINT(bugprone-use-after-move)
+  ASSERT_NE(b.items(), nullptr);
+  EXPECT_EQ(b.items()->front(), "x");
+}
+
+TEST(CowBuffer, AdoptTakesVector) {
+  CowBuffer<int> a;
+  a.Adopt({1, 2, 3});
+  EXPECT_EQ(a.items()->size(), 3u);
+  a.Reset();
+  EXPECT_EQ(a.items(), nullptr);
+}
+
+TEST(CowBuffer, SelfAssignmentSafe) {
+  CowBuffer<int> a;
+  a.EnsureExclusive(0).push_back(5);
+  a = *&a;
+  ASSERT_NE(a.items(), nullptr);
+  EXPECT_EQ(a.items()->front(), 5);
+  EXPECT_EQ(a.use_count(), 1u);
+}
+
+TEST(CowBuffer, ChainOfCopiesReleasesCleanly) {
+  CowBuffer<int> a;
+  a.EnsureExclusive(0).push_back(1);
+  {
+    CowBuffer<int> b = a;
+    CowBuffer<int> c = b;
+    CowBuffer<int> d;
+    d = c;
+    EXPECT_EQ(a.use_count(), 4u);
+  }
+  EXPECT_EQ(a.use_count(), 1u);
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,214 @@
+// Brute-force differential tests of the decision procedures: the interval
+// solvers and SymInt branch splits are checked against exhaustive enumeration
+// over small domains. The engine's soundness rests on these procedures being
+// *exact* (paper Section 2.3), so they are tested against ground truth rather
+// than against themselves.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/interval.h"
+#include "core/sym_int.h"
+#include "core/sym_struct.h"
+#include "tests/test_util.h"
+
+namespace symple {
+namespace {
+
+constexpr int64_t kLo = -24;
+constexpr int64_t kHi = 24;
+
+// Enumerated ground truth for {x in domain : a*x + b REL c}.
+std::vector<int64_t> BruteForce(int64_t a, int64_t b, int64_t c, int rel) {
+  std::vector<int64_t> out;
+  for (int64_t x = kLo; x <= kHi; ++x) {
+    const int64_t v = a * x + b;
+    const bool in = rel < 0 ? v <= c : (rel > 0 ? v >= c : v == c);
+    if (in) {
+      out.push_back(x);
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> Enumerate(const Interval& iv) {
+  std::vector<int64_t> out;
+  for (int64_t x = std::max(iv.lo, kLo); x <= std::min(iv.hi, kHi); ++x) {
+    out.push_back(x);
+  }
+  return out;
+}
+
+TEST(DecisionProcedures, SolversMatchBruteForce) {
+  SplitMix64 rng(4242);
+  const Interval domain{kLo, kHi};
+  for (int trial = 0; trial < 3000; ++trial) {
+    int64_t a = rng.Range(-6, 6);
+    if (a == 0) {
+      a = 1;
+    }
+    const int64_t b = rng.Range(-30, 30);
+    const int64_t c = rng.Range(-120, 120);
+    EXPECT_EQ(Enumerate(SolveAffineLe(a, b, c, domain)), BruteForce(a, b, c, -1))
+        << a << "x+" << b << " <= " << c;
+    EXPECT_EQ(Enumerate(SolveAffineGe(a, b, c, domain)), BruteForce(a, b, c, 1))
+        << a << "x+" << b << " >= " << c;
+    EXPECT_EQ(Enumerate(SolveAffineEq(a, b, c, domain)), BruteForce(a, b, c, 0))
+        << a << "x+" << b << " == " << c;
+  }
+}
+
+TEST(DecisionProcedures, PreimageMatchesBruteForce) {
+  SplitMix64 rng(777);
+  const Interval domain{kLo, kHi};
+  for (int trial = 0; trial < 2000; ++trial) {
+    int64_t a = rng.Range(-5, 5);
+    if (a == 0) {
+      a = -1;
+    }
+    const int64_t b = rng.Range(-20, 20);
+    const int64_t r1 = rng.Range(-100, 100);
+    const int64_t r2 = rng.Range(-100, 100);
+    const Interval range{std::min(r1, r2), std::max(r1, r2)};
+    std::vector<int64_t> expected;
+    for (int64_t x = kLo; x <= kHi; ++x) {
+      if (range.Contains(a * x + b)) {
+        expected.push_back(x);
+      }
+    }
+    EXPECT_EQ(Enumerate(AffinePreimage(a, b, range, domain)), expected)
+        << a << "x+" << b << " in " << range.DebugString();
+  }
+}
+
+TEST(DecisionProcedures, UnionExactMatchesSetSemantics) {
+  SplitMix64 rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Interval a{rng.Range(-10, 10), rng.Range(-10, 10)};
+    const Interval b{rng.Range(-10, 10), rng.Range(-10, 10)};
+    std::vector<bool> members(41, false);
+    for (int64_t x = -20; x <= 20; ++x) {
+      members[static_cast<size_t>(x + 20)] = a.Contains(x) || b.Contains(x);
+    }
+    // Is the set union itself a contiguous interval?
+    bool contiguous = true;
+    bool seen = false;
+    bool ended = false;
+    for (bool m : members) {
+      if (m && ended) {
+        contiguous = false;
+      }
+      if (m) {
+        seen = true;
+      }
+      if (seen && !m) {
+        ended = true;
+      }
+    }
+    const auto u = UnionExact(a, b);
+    EXPECT_EQ(u.has_value(), contiguous)
+        << a.DebugString() << " u " << b.DebugString();
+    if (u.has_value()) {
+      for (int64_t x = -20; x <= 20; ++x) {
+        EXPECT_EQ(u->Contains(x), members[static_cast<size_t>(x + 20)]);
+      }
+    }
+  }
+}
+
+// --- SymInt branch splits partition the domain exactly --------------------------
+
+struct OneInt {
+  SymInt v = 0;
+  auto list_fields() { return std::tie(v); }
+};
+
+// Builds a symbolic path constrained to [lo, hi] with identity transfer.
+OneInt RangePath(int64_t lo, int64_t hi) {
+  OneInt base;
+  MakeSymbolicState(base);
+  const auto paths = ExplorePaths(base, [lo, hi](OneInt& st) {
+    if (st.v >= lo) {
+      if (st.v <= hi) {
+        return;
+      }
+    }
+  });
+  for (const OneInt& p : paths) {
+    if (p.v.domain() == (Interval{lo, hi})) {
+      return p;
+    }
+  }
+  ADD_FAILURE() << "range path not found";
+  return base;
+}
+
+TEST(DecisionProcedures, BranchOutcomesPartitionTheDomain) {
+  SplitMix64 rng(31415);
+  for (int trial = 0; trial < 400; ++trial) {
+    const int64_t lo = rng.Range(-15, 5);
+    const int64_t hi = lo + rng.Range(0, 20);
+    const OneInt start = RangePath(lo, hi);
+    const int64_t scale = rng.Range(-3, 3);
+    const int64_t shift = rng.Range(-10, 10);
+    const int64_t cmp = rng.Range(-40, 40);
+    const int op = static_cast<int>(rng.Below(6));
+
+    // Apply a random affine transform then a random comparison; every
+    // feasible path refines the domain.
+    const auto paths = ExplorePaths(start, [&](OneInt& st) {
+      st.v *= scale;
+      st.v += shift;
+      switch (op) {
+        case 0:
+          (void)(st.v < cmp);
+          break;
+        case 1:
+          (void)(st.v <= cmp);
+          break;
+        case 2:
+          (void)(st.v > cmp);
+          break;
+        case 3:
+          (void)(st.v >= cmp);
+          break;
+        case 4:
+          (void)(st.v == cmp);
+          break;
+        default:
+          (void)(st.v != cmp);
+          break;
+      }
+    });
+
+    // The union of the resulting domains must be exactly [lo, hi], disjointly.
+    std::vector<int> covered(static_cast<size_t>(hi - lo + 1), 0);
+    for (const OneInt& p : paths) {
+      const Interval d = p.v.domain();
+      EXPECT_FALSE(d.IsEmpty());
+      for (int64_t x = d.lo; x <= d.hi; ++x) {
+        ASSERT_GE(x, lo);
+        ASSERT_LE(x, hi);
+        ++covered[static_cast<size_t>(x - lo)];
+      }
+    }
+    for (size_t i = 0; i < covered.size(); ++i) {
+      EXPECT_EQ(covered[i], 1) << "x = " << (lo + static_cast<int64_t>(i))
+                               << " covered " << covered[i] << " times";
+    }
+
+    // And each path's transfer function must agree with concrete evaluation.
+    for (const OneInt& p : paths) {
+      const Interval d = p.v.domain();
+      for (int64_t x = d.lo; x <= d.hi; ++x) {
+        const int64_t expected = x * scale + shift;
+        EXPECT_EQ(EvalAffine(p.v.affine(), x), expected);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace symple

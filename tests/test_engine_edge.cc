@@ -1,0 +1,138 @@
+// Edge-case tests for the runtime engines: degenerate datasets, malformed
+// input, empty segments, and line-cursor boundary conditions.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "queries/all_queries.h"
+#include "runtime/engine.h"
+
+namespace symple {
+namespace {
+
+TEST(LineCursorEdge, EmptyBlob) {
+  LineCursor cur("");
+  EXPECT_FALSE(cur.Next().has_value());
+}
+
+TEST(LineCursorEdge, NoTrailingNewline) {
+  LineCursor cur("a\nb");
+  EXPECT_EQ(cur.Next(), "a");
+  EXPECT_EQ(cur.Next(), "b");
+  EXPECT_FALSE(cur.Next().has_value());
+}
+
+TEST(LineCursorEdge, ConsecutiveNewlinesYieldEmptyLines) {
+  LineCursor cur("a\n\nb\n");
+  EXPECT_EQ(cur.Next(), "a");
+  EXPECT_EQ(cur.Next(), "");
+  EXPECT_EQ(cur.Next(), "b");
+  EXPECT_FALSE(cur.Next().has_value());
+}
+
+TEST(LineCursorEdge, OnlyNewline) {
+  LineCursor cur("\n");
+  EXPECT_EQ(cur.Next(), "");
+  EXPECT_FALSE(cur.Next().has_value());
+}
+
+TEST(DatasetEdge, CountsAndBytes) {
+  const Dataset ds = DatasetFromLines({{"ab", "c"}, {}, {"d"}});
+  EXPECT_EQ(ds.segment_count(), 3u);
+  EXPECT_EQ(ds.TotalRecords(), 3u);
+  EXPECT_EQ(ds.TotalBytes(), 7u);  // "ab\nc\n" + "" + "d\n"
+}
+
+TEST(EngineEdge, EmptyDataset) {
+  Dataset empty;
+  EXPECT_TRUE(RunSequential<B1GlobalOutages>(empty).outputs.empty());
+  EXPECT_TRUE(RunBaselineMapReduce<B1GlobalOutages>(empty).outputs.empty());
+  EXPECT_TRUE(RunSymple<B1GlobalOutages>(empty).outputs.empty());
+}
+
+TEST(EngineEdge, EmptySegmentsAmongNonEmpty) {
+  Dataset ds = DatasetFromLines({{}, {"1000\t1\tA0\tok\t10\tq"}, {}, {}});
+  const auto sym = RunSymple<B1GlobalOutages>(ds);
+  const auto seq = RunSequential<B1GlobalOutages>(ds);
+  EXPECT_TRUE(sym.outputs == seq.outputs);
+  ASSERT_EQ(sym.outputs.size(), 1u);
+  EXPECT_TRUE(sym.outputs.at(0).empty());  // one success, no outage
+}
+
+TEST(EngineEdge, AllLinesMalformed) {
+  const Dataset ds = DatasetFromLines({{"garbage", "more garbage"}, {"%%%"}});
+  const auto sym = RunSymple<R1Impressions>(ds);
+  EXPECT_TRUE(sym.outputs.empty());
+  EXPECT_EQ(sym.stats.parsed_records, 0u);
+  EXPECT_EQ(sym.stats.shuffle_bytes, 0u);
+  EXPECT_TRUE(RunSequential<R1Impressions>(ds).outputs.empty());
+  EXPECT_TRUE(RunBaselineMapReduce<R1Impressions>(ds).outputs.empty());
+}
+
+TEST(EngineEdge, MalformedLinesInterleavedWithValid) {
+  const Dataset ds = DatasetFromLines({
+      {"junk", "2014-01-01 00:00:00\t5\t0\tC0", "half\tbroken"},
+      {"2014-01-01 00:10:00\t5\t0\tC0", ""},
+  });
+  const auto seq = RunSequential<R1Impressions>(ds);
+  const auto sym = RunSymple<R1Impressions>(ds);
+  EXPECT_TRUE(sym.outputs == seq.outputs);
+  EXPECT_EQ(sym.outputs.at(5), 2);
+  EXPECT_EQ(sym.stats.parsed_records, 2u);
+}
+
+TEST(EngineEdge, SingleRecord) {
+  const Dataset ds = DatasetFromLines({{"2014-01-01 00:00:00\t9\t3\tC1"}});
+  const auto sym = RunSymple<R4CampaignRuns>(ds);
+  ASSERT_EQ(sym.outputs.size(), 1u);
+  EXPECT_TRUE(sym.outputs.at(9).empty());  // a single impression closes no run
+}
+
+TEST(EngineEdge, KeySpanningEverySegment) {
+  // One key whose events span many segments with one record each: summary
+  // composition must stitch 8 single-record chunks in exact order.
+  std::vector<std::vector<std::string>> chunks;
+  for (int i = 0; i < 8; ++i) {
+    chunks.push_back({"2014-01-01 0" + std::to_string(i) + ":00:00\t1\t" +
+                      std::to_string(i / 2) + "\tC0"});
+  }
+  const Dataset ds = DatasetFromLines(chunks);
+  const auto seq = RunSequential<R4CampaignRuns>(ds);
+  const auto sym = RunSymple<R4CampaignRuns>(ds);
+  EXPECT_TRUE(sym.outputs == seq.outputs);
+  // Campaigns 0,0,1,1,2,2,3,3: runs of 2 closed at each switch.
+  EXPECT_EQ(sym.outputs.at(1), (std::vector<int64_t>{2, 2, 2}));
+}
+
+TEST(EngineEdge, StringKeysSortCorrectly) {
+  const Dataset ds = DatasetFromLines({
+      {R"({"created_at":"2014-01-01 00:00:00","user":"u1","hashtag":"#zz","spam":1,"text":"t"})",
+       R"({"created_at":"2014-01-01 00:00:01","user":"u1","hashtag":"#aa","spam":0,"text":"t"})"},
+      {R"({"created_at":"2014-01-01 00:00:02","user":"u1","hashtag":"#zz","spam":1,"text":"t"})"},
+  });
+  const auto seq = RunSequential<T1SpamLearning>(ds);
+  const auto sym = RunSymple<T1SpamLearning>(ds);
+  EXPECT_TRUE(sym.outputs == seq.outputs);
+  EXPECT_EQ(sym.outputs.count("#aa"), 1u);
+  EXPECT_EQ(sym.outputs.count("#zz"), 1u);
+}
+
+TEST(EngineEdge, StatsOneLineIsPrintable) {
+  const Dataset ds = DatasetFromLines({{"5", "9"}});
+  const auto sym = RunSymple<MaxQuery>(ds);
+  const std::string line = sym.stats.OneLine();
+  EXPECT_NE(line.find("groups=1"), std::string::npos);
+  EXPECT_NE(line.find("shuffle="), std::string::npos);
+}
+
+TEST(EngineEdge, MoreSlotsThanSegments) {
+  const Dataset ds = DatasetFromLines({{"1", "5"}, {"3"}});
+  EngineOptions options;
+  options.map_slots = 64;
+  options.reduce_slots = 64;
+  const auto sym = RunSymple<MaxQuery>(ds, options);
+  EXPECT_EQ(sym.outputs.at(0), 5);
+}
+
+}  // namespace
+}  // namespace symple

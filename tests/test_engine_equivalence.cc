@@ -1,0 +1,191 @@
+// The headline correctness property of the whole system (paper Section 2.3:
+// symbolic execution must be sound and precise — "leaving no room for under-
+// or over-approximations"): for every query, on every dataset, for any
+// chunking of the input, the SYMPLE engine must produce byte-identical output
+// to both the sequential execution and the baseline MapReduce.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "queries/all_queries.h"
+#include "runtime/engine.h"
+#include "workloads/bing_gen.h"
+#include "workloads/github_gen.h"
+#include "workloads/gps_gen.h"
+#include "workloads/redshift_gen.h"
+#include "workloads/twitter_gen.h"
+#include "workloads/webshop_gen.h"
+
+namespace symple {
+namespace {
+
+// Runs all three engines on `data` and requires identical outputs.
+template <typename Query>
+void ExpectAllEnginesAgree(const Dataset& data, const EngineOptions& options = {}) {
+  const RunResult<Query> seq = RunSequential<Query>(data);
+  const RunResult<Query> mr = RunBaselineMapReduce<Query>(data, options);
+  const RunResult<Query> sym = RunSymple<Query>(data, options);
+
+  EXPECT_EQ(seq.outputs.size(), mr.outputs.size()) << Query::kName;
+  EXPECT_EQ(seq.outputs.size(), sym.outputs.size()) << Query::kName;
+  EXPECT_TRUE(seq.outputs == mr.outputs) << Query::kName << ": baseline diverged";
+  EXPECT_TRUE(seq.outputs == sym.outputs) << Query::kName << ": SYMPLE diverged";
+}
+
+// Small datasets so the full matrix stays fast; segment counts are varied to
+// exercise chunk boundaries falling at awkward places.
+Dataset SmallGithub(size_t segments) {
+  GithubGenParams p;
+  p.num_records = 6000;
+  p.num_segments = segments;
+  p.num_repos = 120;
+  p.filler_bytes = 8;
+  return GenerateGithubLog(p);
+}
+
+Dataset SmallRedshift(size_t segments, bool condensed) {
+  RedshiftGenParams p;
+  p.num_records = 6000;
+  p.num_segments = segments;
+  p.num_advertisers = 80;
+  p.condensed = condensed;
+  p.filler_columns = 2;
+  return GenerateRedshiftLog(p);
+}
+
+Dataset SmallBing(size_t segments) {
+  BingGenParams p;
+  p.num_records = 6000;
+  p.num_segments = segments;
+  p.num_users = 150;
+  p.filler_bytes = 8;
+  return GenerateBingLog(p);
+}
+
+Dataset SmallTwitter(size_t segments) {
+  TwitterGenParams p;
+  p.num_records = 6000;
+  p.num_segments = segments;
+  p.num_hashtags = 100;
+  p.filler_bytes = 8;
+  return GenerateTwitterLog(p);
+}
+
+Dataset SmallGps(size_t segments) {
+  GpsGenParams p;
+  p.num_records = 4000;
+  p.num_segments = segments;
+  p.num_users = 60;
+  return GenerateGpsLog(p);
+}
+
+Dataset SmallWebshop(size_t segments) {
+  WebshopGenParams p;
+  p.num_records = 6000;
+  p.num_segments = segments;
+  p.num_users = 100;
+  p.filler_bytes = 8;
+  return GenerateWebshopLog(p);
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EngineEquivalence, GithubQueries) {
+  const Dataset data = SmallGithub(GetParam());
+  ExpectAllEnginesAgree<G1OnlyPushes>(data);
+  ExpectAllEnginesAgree<G2OpsBeforeDelete>(data);
+  ExpectAllEnginesAgree<G3PullWindowOps>(data);
+  ExpectAllEnginesAgree<G4BranchGap>(data);
+}
+
+TEST_P(EngineEquivalence, RedshiftQueries) {
+  const Dataset data = SmallRedshift(GetParam(), /*condensed=*/false);
+  ExpectAllEnginesAgree<R1Impressions>(data);
+  ExpectAllEnginesAgree<R2SingleCountry>(data);
+  ExpectAllEnginesAgree<R3AdGaps>(data);
+  ExpectAllEnginesAgree<R4CampaignRuns>(data);
+}
+
+TEST_P(EngineEquivalence, RedshiftCondensedQueries) {
+  const Dataset data = SmallRedshift(GetParam(), /*condensed=*/true);
+  ExpectAllEnginesAgree<R1Impressions>(data);
+  ExpectAllEnginesAgree<R2SingleCountry>(data);
+  ExpectAllEnginesAgree<R3AdGaps>(data);
+  ExpectAllEnginesAgree<R4CampaignRuns>(data);
+}
+
+TEST_P(EngineEquivalence, BingQueries) {
+  const Dataset data = SmallBing(GetParam());
+  ExpectAllEnginesAgree<B1GlobalOutages>(data);
+  ExpectAllEnginesAgree<B2AreaOutages>(data);
+  ExpectAllEnginesAgree<B3UserSessions>(data);
+}
+
+TEST_P(EngineEquivalence, TwitterQuery) {
+  ExpectAllEnginesAgree<T1SpamLearning>(SmallTwitter(GetParam()));
+}
+
+TEST_P(EngineEquivalence, GpsQuery) {
+  ExpectAllEnginesAgree<GpsSessionQuery>(SmallGps(GetParam()));
+}
+
+TEST_P(EngineEquivalence, FunnelQuery) {
+  ExpectAllEnginesAgree<FunnelQuery>(SmallWebshop(GetParam()));
+}
+
+TEST_P(EngineEquivalence, MaxQuery) {
+  // Feed the Max UDA with random integer lines.
+  SplitMix64 rng(7);
+  std::vector<std::vector<std::string>> chunks(GetParam());
+  for (auto& chunk : chunks) {
+    for (int i = 0; i < 500; ++i) {
+      chunk.push_back(
+          std::to_string(static_cast<int64_t>(rng.Below(1000000)) - 500000));
+    }
+  }
+  ExpectAllEnginesAgree<MaxQuery>(DatasetFromLines(chunks));
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentCounts, EngineEquivalence,
+                         ::testing::Values<size_t>(1, 2, 3, 5, 8, 13));
+
+// A tighter live-path bound forces frequent summary restarts; results must be
+// unaffected (Section 5.2's fallback is semantics-preserving).
+TEST(EngineEquivalenceRestart, TightLivePathBound) {
+  EngineOptions options;
+  options.aggregator.max_live_paths = 2;
+  ExpectAllEnginesAgree<T1SpamLearning>(SmallTwitter(7), options);
+  ExpectAllEnginesAgree<FunnelQuery>(SmallWebshop(7), options);
+  ExpectAllEnginesAgree<B3UserSessions>(SmallBing(7), options);
+}
+
+// Tree composition at the reducer (Section 3.6: function composition is
+// associative) must produce identical results to sequential folding.
+TEST(EngineEquivalenceTreeReduce, TreeComposeMatchesFold) {
+  EngineOptions tree;
+  tree.reduce_mode = ReduceMode::kTreeCompose;
+  ExpectAllEnginesAgree<G3PullWindowOps>(SmallGithub(8), tree);
+  ExpectAllEnginesAgree<B1GlobalOutages>(SmallBing(8), tree);
+  ExpectAllEnginesAgree<R4CampaignRuns>(SmallRedshift(8, true), tree);
+  ExpectAllEnginesAgree<T1SpamLearning>(SmallTwitter(8), tree);
+  ExpectAllEnginesAgree<GpsSessionQuery>(SmallGps(8), tree);
+}
+
+// Tree composition combined with forced restarts (many summaries per chunk).
+TEST(EngineEquivalenceTreeReduce, TreeComposeWithRestarts) {
+  EngineOptions tree;
+  tree.reduce_mode = ReduceMode::kTreeCompose;
+  tree.aggregator.max_live_paths = 2;
+  ExpectAllEnginesAgree<B3UserSessions>(SmallBing(6), tree);
+  ExpectAllEnginesAgree<FunnelQuery>(SmallWebshop(6), tree);
+}
+
+// Merging off must not change results, only path counts (ablation soundness).
+TEST(EngineEquivalenceNoMerge, MergingDisabled) {
+  EngineOptions options;
+  options.aggregator.enable_merging = false;
+  ExpectAllEnginesAgree<G3PullWindowOps>(SmallGithub(5), options);
+  ExpectAllEnginesAgree<T1SpamLearning>(SmallTwitter(5), options);
+}
+
+}  // namespace
+}  // namespace symple

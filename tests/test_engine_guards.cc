@@ -1,0 +1,135 @@
+// Tests for the engine's internal guards: determinism enforcement, overflow
+// detection in composition, stats plumbing, and boundary-size SymEnum
+// domains.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/symple.h"
+#include "runtime/engine_stats.h"
+#include "tests/test_util.h"
+
+namespace symple {
+namespace {
+
+// --- non-deterministic UDAs are detected -------------------------------------------
+
+struct OneInt {
+  SymInt v = 0;
+  auto list_fields() { return std::tie(v); }
+};
+
+TEST(EngineGuards, NonDeterministicUpdateDetected) {
+  // A UDA whose branch structure changes between replay runs of the same
+  // record (here: flips behavior on a side counter) violates the exploration
+  // contract; the choice-vector replay must catch it instead of silently
+  // producing wrong summaries.
+  int calls = 0;
+  auto evil = [&calls](OneInt& s, const int64_t& e) {
+    ++calls;
+    if (calls % 2 == 1) {
+      if (s.v < e) {
+        s.v = e;
+      }
+    }
+    // Even-numbered runs skip the branch entirely: recorded digits are not
+    // replayed.
+  };
+  SymbolicAggregator<OneInt, int64_t, decltype(evil)> agg(evil);
+  EXPECT_THROW(agg.Feed(10), SympleError);
+}
+
+// --- composition overflow surfaces as a typed error ---------------------------------
+
+TEST(EngineGuards, CompositionCoefficientOverflowThrows) {
+  OneInt seg;
+  MakeSymbolicState(seg);
+  auto scaled = ExplorePaths(seg, [](OneInt& s) { s.v *= 10000000000; });
+  ASSERT_EQ(scaled.size(), 1u);
+  // Composing x*1e10 after x*1e10 overflows the coefficient: a typed error, not
+  // silent wraparound (sound-and-precise requirement).
+  EXPECT_THROW((void)ComposePath(scaled[0], scaled[0]), SympleError);
+}
+
+TEST(EngineGuards, ApplyEvaluationOverflowThrows) {
+  OneInt seg;
+  MakeSymbolicState(seg);
+  auto doubled = ExplorePaths(seg, [](OneInt& s) { s.v *= 2; });
+  OneInt huge;
+  huge.v = std::numeric_limits<int64_t>::max() / 2 + 1;
+  EXPECT_THROW((void)ComposePath(doubled[0], huge), SympleError);
+}
+
+// --- stats plumbing -------------------------------------------------------------------
+
+TEST(EngineGuards, ExplorationStatsAccumulate) {
+  ExplorationStats a;
+  a.runs = 1;
+  a.decisions = 2;
+  a.paths_produced = 3;
+  a.paths_merged = 4;
+  a.summary_restarts = 5;
+  ExplorationStats b = a;
+  b += a;
+  EXPECT_EQ(b.runs, 2u);
+  EXPECT_EQ(b.decisions, 4u);
+  EXPECT_EQ(b.paths_produced, 6u);
+  EXPECT_EQ(b.paths_merged, 8u);
+  EXPECT_EQ(b.summary_restarts, 10u);
+}
+
+// --- SymEnum domain boundary: the full 64-value word ------------------------------------
+
+struct Big {
+  SymEnum<uint8_t, 64> e = static_cast<uint8_t>(0);
+  auto list_fields() { return std::tie(e); }
+};
+
+TEST(EngineGuards, SymEnum64ValueDomain) {
+  Big s;
+  MakeSymbolicState(s);
+  EXPECT_EQ(s.e.constraint_set(), ~0ull);
+  const auto paths = ExplorePaths(s, [](Big& st) {
+    if (st.e == static_cast<uint8_t>(63)) {
+      st.e = static_cast<uint8_t>(0);
+    }
+  });
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].e.constraint_set(), 1ull << 63);
+  EXPECT_EQ(paths[1].e.constraint_set(), ~0ull ^ (1ull << 63));
+}
+
+TEST(EngineGuards, SymEnumDomainOverflowRejected) {
+  Big s;
+  EXPECT_THROW((void)(s.e == static_cast<uint8_t>(64)), SympleError);
+}
+
+// --- serialization compactness assertions -------------------------------------------------
+
+TEST(EngineGuards, CompactSymIntWireSizes) {
+  // Fresh symbolic (a=1, b=0, full interval): flag byte + field index.
+  OneInt s;
+  MakeSymbolicState(s);
+  BinaryWriter w;
+  SerializeState(s, w);
+  EXPECT_EQ(w.size(), 2u);
+
+  // Concrete small value: flag + b + field.
+  OneInt c;
+  c.v = 7;
+  w.Clear();
+  SerializeState(c, w);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(EngineGuards, ThroughputHelper) {
+  EngineStats stats;
+  stats.input_bytes = 50'000'000;
+  stats.total_wall_ms = 500;
+  EXPECT_DOUBLE_EQ(stats.ThroughputMBps(), 100.0);
+  stats.total_wall_ms = 0;
+  EXPECT_DOUBLE_EQ(stats.ThroughputMBps(), 0.0);
+}
+
+}  // namespace
+}  // namespace symple

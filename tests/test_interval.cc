@@ -1,0 +1,158 @@
+// Unit tests for the Interval constraint form and its affine decision
+// procedures (the SymInt canonical-form machinery of paper Section 4.3).
+#include "core/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace symple {
+namespace {
+
+constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+TEST(Interval, BasicPredicates) {
+  EXPECT_TRUE(Interval::Full().IsFull());
+  EXPECT_FALSE(Interval::Full().IsEmpty());
+  EXPECT_TRUE(Interval::Empty().IsEmpty());
+  EXPECT_TRUE(Interval::Point(5).IsPoint());
+  EXPECT_TRUE(Interval::Point(5).Contains(5));
+  EXPECT_FALSE(Interval::Point(5).Contains(4));
+  EXPECT_TRUE(Interval::Full().Contains(kMin));
+  EXPECT_TRUE(Interval::Full().Contains(kMax));
+}
+
+TEST(Interval, Size) {
+  EXPECT_EQ(Interval::Empty().Size(), 0u);
+  EXPECT_EQ(Interval::Point(3).Size(), 1u);
+  EXPECT_EQ((Interval{1, 10}).Size(), 10u);
+  EXPECT_EQ(Interval::Full().Size(), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(Interval, Intersect) {
+  EXPECT_EQ(Intersect({0, 10}, {5, 20}), (Interval{5, 10}));
+  EXPECT_TRUE(Intersect({0, 4}, {5, 9}).IsEmpty());
+  EXPECT_EQ(Intersect(Interval::Full(), {1, 2}), (Interval{1, 2}));
+}
+
+TEST(Interval, UnionExactOverlapping) {
+  const auto u = UnionExact({0, 10}, {5, 20});
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, (Interval{0, 20}));
+}
+
+TEST(Interval, UnionExactAdjacent) {
+  // [0,4] and [5,9] are adjacent: exact union exists.
+  const auto u = UnionExact({0, 4}, {5, 9});
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, (Interval{0, 9}));
+}
+
+TEST(Interval, UnionExactDisjointFails) {
+  EXPECT_FALSE(UnionExact({0, 4}, {6, 9}).has_value());
+}
+
+TEST(Interval, UnionExactWithEmpty) {
+  const auto u = UnionExact(Interval::Empty(), {3, 7});
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, (Interval{3, 7}));
+}
+
+TEST(Interval, UnionExactNoOverflowAtExtremes) {
+  // Adjacency test near int64 bounds must not overflow.
+  const auto u = UnionExact({kMin, -2}, {-1, kMax});
+  ASSERT_TRUE(u.has_value());
+  EXPECT_TRUE(u->IsFull());
+  EXPECT_FALSE(UnionExact({kMin, kMin}, {kMax, kMax}).has_value());
+}
+
+TEST(Interval, Hull) {
+  EXPECT_EQ(Hull({0, 1}, {10, 20}), (Interval{0, 20}));
+  EXPECT_EQ(Hull(Interval::Empty(), {1, 2}), (Interval{1, 2}));
+}
+
+// --- affine solvers -------------------------------------------------------------
+
+TEST(AffineSolve, LePositiveCoefficient) {
+  // 2x + 1 <= 7  =>  x <= 3
+  EXPECT_EQ(SolveAffineLe(2, 1, 7, Interval::Full()), (Interval{kMin, 3}));
+  // 2x + 1 <= 8  =>  x <= 3 (floor)
+  EXPECT_EQ(SolveAffineLe(2, 1, 8, Interval::Full()), (Interval{kMin, 3}));
+}
+
+TEST(AffineSolve, LeNegativeCoefficient) {
+  // -3x + 2 <= 8  =>  x >= -2
+  EXPECT_EQ(SolveAffineLe(-3, 2, 8, Interval::Full()), (Interval{-2, kMax}));
+  // -3x <= 7  =>  x >= ceil(-7/3) = -2
+  EXPECT_EQ(SolveAffineLe(-3, 0, 7, Interval::Full()), (Interval{-2, kMax}));
+}
+
+TEST(AffineSolve, GePositiveCoefficient) {
+  // 2x + 1 >= 8  =>  x >= 4 (ceil of 3.5)
+  EXPECT_EQ(SolveAffineGe(2, 1, 8, Interval::Full()), (Interval{4, kMax}));
+}
+
+TEST(AffineSolve, GeNegativeCoefficient) {
+  // -x >= 5  =>  x <= -5
+  EXPECT_EQ(SolveAffineGe(-1, 0, 5, Interval::Full()), (Interval{kMin, -5}));
+}
+
+TEST(AffineSolve, NegativeDividendFloorSemantics) {
+  // 2x <= -3  =>  x <= floor(-1.5) = -2  (not truncation toward zero!)
+  EXPECT_EQ(SolveAffineLe(2, 0, -3, Interval::Full()), (Interval{kMin, -2}));
+  // 2x >= -3  =>  x >= ceil(-1.5) = -1
+  EXPECT_EQ(SolveAffineGe(2, 0, -3, Interval::Full()), (Interval{-1, kMax}));
+}
+
+TEST(AffineSolve, RespectsDomain) {
+  EXPECT_EQ(SolveAffineLe(1, 0, 100, {0, 10}), (Interval{0, 10}));
+  EXPECT_TRUE(SolveAffineLe(1, 0, -1, {0, 10}).IsEmpty());
+}
+
+TEST(AffineSolve, Eq) {
+  // 2x + 1 == 7  =>  x == 3
+  EXPECT_EQ(SolveAffineEq(2, 1, 7, Interval::Full()), Interval::Point(3));
+  // 2x + 1 == 8 has no integer solution.
+  EXPECT_TRUE(SolveAffineEq(2, 1, 8, Interval::Full()).IsEmpty());
+  // Solution outside the domain.
+  EXPECT_TRUE(SolveAffineEq(1, 0, 50, {0, 10}).IsEmpty());
+}
+
+TEST(AffineSolve, SaturationDoesNotFabricateSolutions) {
+  // x + C <= c where the mathematical bound lies far below int64 range: no
+  // representable x satisfies it.
+  EXPECT_TRUE(SolveAffineLe(1, kMax, -10, {0, kMax}).IsEmpty());
+  // Mirror case for Ge: bound above the range.
+  EXPECT_TRUE(SolveAffineGe(1, kMin, 10, {kMin, 0}).IsEmpty());
+}
+
+TEST(AffineSolve, SaturationKeepsTrivialConstraints) {
+  // x - C >= c with huge negative bound: every x in the domain qualifies.
+  EXPECT_EQ(SolveAffineGe(1, kMax, -10, {-100, 100}), (Interval{-100, 100}));
+}
+
+TEST(AffinePreimage, Basics) {
+  // y = 2x + 1, y in [3, 9]  =>  x in [1, 4]
+  EXPECT_EQ(AffinePreimage(2, 1, {3, 9}, Interval::Full()), (Interval{1, 4}));
+  // Negative slope: y = -x, y in [2, 5]  =>  x in [-5, -2]
+  EXPECT_EQ(AffinePreimage(-1, 0, {2, 5}, Interval::Full()), (Interval{-5, -2}));
+  // Empty range -> empty preimage.
+  EXPECT_TRUE(AffinePreimage(1, 0, Interval::Empty(), Interval::Full()).IsEmpty());
+  // Domain restriction applies.
+  EXPECT_EQ(AffinePreimage(1, 0, {0, 100}, {50, 200}), (Interval{50, 100}));
+}
+
+TEST(AffinePreimage, NoIntegerPointsInRange) {
+  // y = 10x, y in [1, 9]: no integer x maps into the range.
+  EXPECT_TRUE(AffinePreimage(10, 0, {1, 9}, Interval::Full()).IsEmpty());
+}
+
+TEST(IntervalDebug, Strings) {
+  EXPECT_EQ(Interval::Empty().DebugString(), "[]");
+  EXPECT_EQ((Interval{1, 5}).DebugString(), "[1, 5]");
+  EXPECT_EQ(Interval::Full().DebugString(), "[-inf, +inf]");
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,95 @@
+// Tests for the forked-process execution mode: summaries and baseline rows
+// crossing a real process boundary in wire form must reproduce the threaded
+// engines' results exactly.
+#include "runtime/process_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "queries/all_queries.h"
+#include "workloads/bing_gen.h"
+#include "workloads/github_gen.h"
+#include "workloads/redshift_gen.h"
+
+namespace symple {
+namespace {
+
+template <typename Query>
+void ExpectForkedMatchesThreaded(const Dataset& data, size_t processes) {
+  EngineOptions options;
+  options.map_slots = processes;
+  const auto seq = RunSequential<Query>(data);
+  const auto forked = RunSympleForked<Query>(data, options);
+  const auto forked_mr = RunBaselineForked<Query>(data, options);
+  EXPECT_TRUE(forked.outputs == seq.outputs) << Query::kName;
+  EXPECT_TRUE(forked_mr.outputs == seq.outputs) << Query::kName;
+  // Shuffle byte accounting must agree with the threaded engines (same wire
+  // format, different transport).
+  const auto threaded = RunSymple<Query>(data, options);
+  EXPECT_EQ(forked.stats.shuffle_bytes, threaded.stats.shuffle_bytes);
+}
+
+Dataset SmallGithub() {
+  GithubGenParams p;
+  p.num_records = 4000;
+  p.num_segments = 6;
+  p.num_repos = 100;
+  p.filler_bytes = 16;
+  return GenerateGithubLog(p);
+}
+
+TEST(ProcessEngine, GithubQueriesAcrossProcessBoundary) {
+  const Dataset data = SmallGithub();
+  ExpectForkedMatchesThreaded<G1OnlyPushes>(data, 3);
+  ExpectForkedMatchesThreaded<G3PullWindowOps>(data, 3);
+  ExpectForkedMatchesThreaded<G4BranchGap>(data, 2);
+}
+
+TEST(ProcessEngine, SingleGroupQuery) {
+  BingGenParams p;
+  p.num_records = 4000;
+  p.num_segments = 5;
+  p.num_users = 50;
+  const Dataset data = GenerateBingLog(p);
+  ExpectForkedMatchesThreaded<B1GlobalOutages>(data, 4);
+}
+
+TEST(ProcessEngine, PredQueryAcrossProcessBoundary) {
+  RedshiftGenParams p;
+  p.num_records = 4000;
+  p.num_segments = 5;
+  p.num_advertisers = 40;
+  p.condensed = true;
+  const Dataset data = GenerateRedshiftLog(p);
+  ExpectForkedMatchesThreaded<R4CampaignRuns>(data, 3);
+}
+
+TEST(ProcessEngine, MoreProcessesThanSegments) {
+  const Dataset data = SmallGithub();
+  ExpectForkedMatchesThreaded<G2OpsBeforeDelete>(data, 16);
+}
+
+TEST(ProcessEngine, OneProcess) {
+  const Dataset data = SmallGithub();
+  ExpectForkedMatchesThreaded<G1OnlyPushes>(data, 1);
+}
+
+TEST(ProcessEngine, StreamsLargerThanPipeCapacity) {
+  // Each worker's packet stream far exceeds the 64 KiB pipe buffer, so
+  // workers block mid-write while the parent drains sibling pipes in order —
+  // the framing and blocking-I/O paths must hold up.
+  GithubGenParams p;
+  p.num_records = 60000;
+  p.num_segments = 4;
+  p.num_repos = 4000;  // many groups -> many packets per worker
+  p.filler_bytes = 16;
+  const Dataset data = GenerateGithubLog(p);
+  EngineOptions options;
+  options.map_slots = 2;
+  const auto seq = RunSequential<G2OpsBeforeDelete>(data);
+  const auto forked_mr = RunBaselineForked<G2OpsBeforeDelete>(data, options);
+  EXPECT_TRUE(forked_mr.outputs == seq.outputs);
+  EXPECT_GT(forked_mr.stats.shuffle_bytes, 2u * 256u * 1024u);
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,288 @@
+// Semantic tests for the evaluation queries on hand-crafted inputs with
+// hand-computed expected outputs (independent of the equivalence property).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/datetime.h"
+#include "queries/all_queries.h"
+#include "runtime/engine.h"
+
+namespace symple {
+namespace {
+
+// Builds a dataset from explicit lines split into `segments` contiguous chunks.
+Dataset Lines(std::vector<std::string> lines, size_t segments = 2) {
+  std::vector<std::vector<std::string>> chunks(segments);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    chunks[i * segments / lines.size()].push_back(std::move(lines[i]));
+  }
+  return DatasetFromLines(chunks);
+}
+
+std::string Gh(int64_t ts, int64_t repo, std::string_view op) {
+  return "{\"created_at\":\"" + FormatDateTime(ts) + "\",\"actor\":\"u1\"," +
+         "\"repo\":{\"id\":" + std::to_string(repo) +
+         ",\"name\":\"r\",\"branch\":\"b0\"},\"type\":\"" + std::string(op) +
+         "\",\"payload\":\"f\"}";
+}
+
+TEST(QueryG1, OnlyPushDetection) {
+  const Dataset data = Lines({
+      Gh(1, 1, "push"), Gh(2, 1, "push"), Gh(3, 1, "push"),
+      Gh(4, 2, "push"), Gh(5, 2, "star"),
+      Gh(6, 3, "issue"),
+  });
+  const auto out = RunSymple<G1OnlyPushes>(data).outputs;
+  EXPECT_TRUE(out.at(1));
+  EXPECT_FALSE(out.at(2));
+  EXPECT_FALSE(out.at(3));
+}
+
+TEST(QueryG2, OpBeforeDelete) {
+  const Dataset data = Lines({
+      Gh(1, 1, "push"), Gh(2, 1, "star"), Gh(3, 1, "delete_repo"),
+      Gh(4, 1, "push"), Gh(5, 1, "delete_repo"),
+      Gh(6, 2, "delete_repo"),  // no predecessor: nothing reported
+  });
+  const auto out = RunSymple<G2OpsBeforeDelete>(data).outputs;
+  EXPECT_EQ(out.at(1), (std::vector<int64_t>{
+                           static_cast<int64_t>(GithubOp::kStar),
+                           static_cast<int64_t>(GithubOp::kPush)}));
+  EXPECT_TRUE(out.at(2).empty());
+}
+
+TEST(QueryG3, OpsInsidePullWindow) {
+  const Dataset data = Lines({
+      Gh(1, 1, "pull_open"), Gh(2, 1, "push"), Gh(3, 1, "star"),
+      Gh(4, 1, "pull_close"),
+      Gh(5, 1, "push"),  // outside any window
+      Gh(6, 1, "pull_open"), Gh(7, 1, "pull_close"),
+      Gh(8, 2, "pull_close"),  // close without open: nothing
+  });
+  const auto out = RunSymple<G3PullWindowOps>(data).outputs;
+  EXPECT_EQ(out.at(1), (std::vector<int64_t>{2, 0}));
+  EXPECT_TRUE(out.at(2).empty());
+}
+
+TEST(QueryG4, BranchDeleteCreateGap) {
+  const Dataset data = Lines({
+      Gh(100, 1, "delete_branch"), Gh(160, 1, "create_branch"),
+      Gh(200, 1, "create_branch"),  // no pending delete
+      Gh(300, 1, "delete_branch"), Gh(420, 1, "push"), Gh(450, 1, "create_branch"),
+  });
+  const auto out = RunSymple<G4BranchGap>(data).outputs;
+  EXPECT_EQ(out.at(1), (std::vector<int64_t>{60, 150}));
+}
+
+std::string Bing(int64_t ts, int64_t user, int area, bool ok) {
+  return std::to_string(ts) + "\t" + std::to_string(user) + "\tA" +
+         std::to_string(area) + "\t" + (ok ? "ok" : "err") + "\t100\tq";
+}
+
+TEST(QueryB1, GlobalOutage) {
+  const Dataset data = Lines({
+      Bing(1000, 1, 0, true),
+      Bing(1060, 2, 0, true),
+      Bing(1100, 3, 0, false),  // failures do not end an outage
+      Bing(1300, 4, 0, true),   // 240s after last success: outage, recovery here
+      Bing(1360, 5, 0, true),
+      Bing(1500, 6, 0, true),   // 140s gap: another outage
+  });
+  const auto out = RunSymple<B1GlobalOutages>(data).outputs;
+  EXPECT_EQ(out.at(0), (std::vector<int64_t>{1300, 1500}));
+}
+
+TEST(QueryB2, PerAreaOutage) {
+  const Dataset data = Lines({
+      Bing(1000, 1, 1, true), Bing(1030, 1, 2, true),
+      Bing(1400, 1, 1, true),  // area 1: 400s gap -> outage
+      Bing(1090, 1, 2, true),  // area 2: 60s gap -> fine
+  });
+  const auto out = RunSymple<B2AreaOutages>(data).outputs;
+  EXPECT_EQ(out.at(1), (std::vector<int64_t>{1400}));
+  EXPECT_TRUE(out.at(2).empty());
+}
+
+TEST(QueryB3, SessionCounts) {
+  const Dataset data = Lines({
+      Bing(1000, 7, 0, true), Bing(1050, 7, 0, true), Bing(1100, 7, 0, true),
+      Bing(2000, 7, 0, true),  // > 120s gap: new session
+      Bing(2010, 7, 0, true),
+      Bing(9000, 8, 0, true),  // another user, single query
+  });
+  const auto out = RunSymple<B3UserSessions>(data).outputs;
+  EXPECT_EQ(out.at(7), (B3UserSessions::Output{{3}, 2}));
+  EXPECT_EQ(out.at(8), (B3UserSessions::Output{{}, 1}));
+}
+
+std::string Tweet(int64_t ts, std::string_view tag, bool spam) {
+  return "{\"created_at\":\"" + FormatDateTime(ts) + "\",\"user\":\"u1\"," +
+         "\"hashtag\":\"" + std::string(tag) + "\",\"spam\":" +
+         (spam ? "1" : "0") + ",\"text\":\"t\"}";
+}
+
+TEST(QueryT1, SpamLearningSpeed) {
+  std::vector<std::string> lines;
+  int64_t ts = 0;
+  // #a: 3 non-spam, then 6 consecutive spam -> reports 3.
+  for (int i = 0; i < 3; ++i) {
+    lines.push_back(Tweet(ts++, "#a", false));
+  }
+  for (int i = 0; i < 6; ++i) {
+    lines.push_back(Tweet(ts++, "#a", true));
+  }
+  lines.push_back(Tweet(ts++, "#a", false));  // after reporting: ignored
+  // #b: spam runs of length 4 only -> never reported.
+  for (int round = 0; round < 3; ++round) {
+    lines.push_back(Tweet(ts++, "#b", false));
+    for (int i = 0; i < 4; ++i) {
+      lines.push_back(Tweet(ts++, "#b", true));
+    }
+  }
+  const auto out = RunSymple<T1SpamLearning>(Lines(std::move(lines), 3)).outputs;
+  EXPECT_EQ(out.at("#a"), 3);
+  EXPECT_EQ(out.at("#b"), -1);
+}
+
+std::string Ad(std::string_view datetime, int64_t adv, int64_t campaign,
+               int country) {
+  return std::string(datetime) + "\t" + std::to_string(adv) + "\t" +
+         std::to_string(campaign) + "\tC" + std::to_string(country);
+}
+
+TEST(QueryR1, ImpressionCounts) {
+  const Dataset data = Lines({
+      Ad("2014-01-01 00:00:00", 1, 0, 0),
+      Ad("2014-01-01 00:00:05", 1, 0, 0),
+      Ad("2014-01-01 00:00:09", 2, 0, 0),
+  });
+  const auto out = RunSymple<R1Impressions>(data).outputs;
+  EXPECT_EQ(out.at(1), 2);
+  EXPECT_EQ(out.at(2), 1);
+}
+
+TEST(QueryR2, SingleCountryDetection) {
+  const Dataset data = Lines({
+      Ad("2014-01-01 00:00:00", 1, 0, 5),
+      Ad("2014-01-01 00:01:00", 1, 0, 5),
+      Ad("2014-01-01 00:00:30", 2, 0, 5),
+      Ad("2014-01-01 00:02:00", 2, 0, 6),
+      Ad("2014-01-01 00:03:00", 2, 0, 5),
+  });
+  const auto out = RunSymple<R2SingleCountry>(data).outputs;
+  EXPECT_TRUE(out.at(1));
+  EXPECT_FALSE(out.at(2));
+}
+
+TEST(QueryR3, HourGapDetection) {
+  const Dataset data = Lines({
+      Ad("2014-01-01 00:00:00", 1, 0, 0),
+      Ad("2014-01-01 00:30:00", 1, 0, 0),
+      Ad("2014-01-01 02:00:00", 1, 0, 0),  // 90 min gap -> reported
+      Ad("2014-01-01 02:59:00", 1, 0, 0),  // 59 min -> fine
+  });
+  const auto out = RunSymple<R3AdGaps>(data).outputs;
+  const auto gap_end = ParseDateTime("2014-01-01 02:00:00");
+  ASSERT_TRUE(gap_end.has_value());
+  EXPECT_EQ(out.at(1), (std::vector<int64_t>{*gap_end}));
+}
+
+TEST(QueryR4, CampaignRunLengths) {
+  const Dataset data = Lines({
+      Ad("2014-01-01 00:00:00", 1, 10, 0),
+      Ad("2014-01-01 00:00:01", 1, 10, 0),
+      Ad("2014-01-01 00:00:02", 1, 10, 0),
+      Ad("2014-01-01 00:00:03", 1, 20, 0),  // switch: run of 3 recorded
+      Ad("2014-01-01 00:00:04", 1, 10, 0),  // switch: run of 1 recorded
+      Ad("2014-01-01 00:00:05", 1, 10, 0),  // trailing run of 2: not closed
+  });
+  const auto out = RunSymple<R4CampaignRuns>(data).outputs;
+  EXPECT_EQ(out.at(1), (std::vector<int64_t>{3, 1}));
+}
+
+std::string Shop(int64_t ts, int64_t user, std::string_view ev, int64_t item) {
+  return std::to_string(ts) + "\t" + std::to_string(user) + "\t" + std::string(ev) +
+         "\t" + std::to_string(item) + "\tf";
+}
+
+TEST(QueryFunnel, Figure1Semantics) {
+  std::vector<std::string> lines;
+  int64_t ts = 0;
+  // User 1: search, 11 reviews, purchase -> item reported (count > 10).
+  lines.push_back(Shop(ts++, 1, "search", 500));
+  for (int i = 0; i < 11; ++i) {
+    lines.push_back(Shop(ts++, 1, "review", 500));
+  }
+  lines.push_back(Shop(ts++, 1, "purchase", 500));
+  // User 1 second funnel: exactly 10 reviews -> NOT reported (needs > 10).
+  lines.push_back(Shop(ts++, 1, "search", 501));
+  for (int i = 0; i < 10; ++i) {
+    lines.push_back(Shop(ts++, 1, "review", 501));
+  }
+  lines.push_back(Shop(ts++, 1, "purchase", 501));
+  // User 2: purchase without search -> nothing.
+  lines.push_back(Shop(ts++, 2, "purchase", 600));
+  const auto out = RunSymple<FunnelQuery>(Lines(std::move(lines), 4)).outputs;
+  EXPECT_EQ(out.at(1), (std::vector<int64_t>{500}));
+  EXPECT_TRUE(out.at(2).empty());
+}
+
+std::string Gps(int64_t ts, int64_t user, int64_t lat, int64_t lon) {
+  return std::to_string(ts) + "\t" + std::to_string(user) + "\t" +
+         std::to_string(lat) + "\t" + std::to_string(lon);
+}
+
+TEST(QueryGps, SessionSplitting) {
+  const Dataset data = Lines({
+      Gps(1, 1, 0, 0),
+      Gps(2, 1, 1000, 1000),        // near: same session
+      Gps(3, 1, 2000, 2000),        // near: same session (3 events)
+      Gps(4, 1, 10000000, 10000000),  // far: closes session of 3
+      Gps(5, 1, 10000500, 10000500),  // near: continues (2 events, open)
+  });
+  const auto out = RunSymple<GpsSessionQuery>(data).outputs;
+  EXPECT_EQ(out.at(1), (std::vector<int64_t>{3}));
+}
+
+TEST(QueryMax, GlobalMaximum) {
+  const Dataset data =
+      DatasetFromLines({{"2", "9", "1"}, {"5", "3", "10"}, {"8", "2", "1"}});
+  const auto out = RunSymple<MaxQuery>(data).outputs;
+  EXPECT_EQ(out.at(0), 10);
+}
+
+TEST(QueryParsers, RejectMalformedLines) {
+  EXPECT_FALSE(G1OnlyPushes::Parse("not a log line").has_value());
+  EXPECT_FALSE(G1OnlyPushes::Parse(Gh(5, 2, "unknown_op")).has_value());
+  EXPECT_FALSE(
+      G1OnlyPushes::Parse("{\"created_at\":\"garbage\",\"repo\":{\"id\":1,"
+                          "\"x\":0},\"type\":\"push\"}")
+          .has_value());
+  EXPECT_FALSE(B1GlobalOutages::Parse("x\t1\tA1\tok").has_value());
+  EXPECT_FALSE(R3AdGaps::Parse("garbage\t1\t0\tC0").has_value());
+  EXPECT_FALSE(MaxQuery::Parse("abc").has_value());
+  EXPECT_FALSE(GpsSessionQuery::Parse("1\t2").has_value());
+}
+
+TEST(QueryInfoTable, TwelveQueriesCoverAllTypes) {
+  const auto& infos = AllQueryInfos();
+  ASSERT_EQ(infos.size(), 12u);
+  EXPECT_EQ(infos.front().id, "G1");
+  EXPECT_EQ(infos.back().id, "R4");
+  bool any_pred = false;
+  bool any_enum = false;
+  bool any_int = false;
+  for (const auto& info : infos) {
+    any_pred = any_pred || info.uses_pred;
+    any_enum = any_enum || info.uses_enum;
+    any_int = any_int || info.uses_int;
+  }
+  EXPECT_TRUE(any_pred);
+  EXPECT_TRUE(any_enum);
+  EXPECT_TRUE(any_int);
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,164 @@
+// Boundary-semantics tests for the evaluation queries: the exact thresholds
+// ("more than 2 minutes", "at least 10 reviews", "more than 1 hour", "at
+// least 5 consecutive") are where off-by-one bugs live, and where symbolic
+// interval splits must cut at precisely the right integer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/datetime.h"
+#include "queries/all_queries.h"
+#include "runtime/engine.h"
+
+namespace symple {
+namespace {
+
+Dataset Lines(std::vector<std::string> lines, size_t segments = 3) {
+  std::vector<std::vector<std::string>> chunks(segments);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    chunks[i * segments / lines.size()].push_back(std::move(lines[i]));
+  }
+  return DatasetFromLines(chunks);
+}
+
+std::string Bing(int64_t ts, int64_t user, bool ok) {
+  return std::to_string(ts) + "\t" + std::to_string(user) + "\tA0\t" +
+         (ok ? "ok" : "err") + "\t10\tq";
+}
+
+TEST(QueryBoundaries, OutageGapExactly120SecondsIsNotAnOutage) {
+  // "more than 2 minutes": a gap of exactly 120s must NOT report.
+  const Dataset at = Lines({Bing(1000, 1, true), Bing(1120, 2, true)});
+  EXPECT_TRUE(RunSymple<B1GlobalOutages>(at).outputs.at(0).empty());
+  // 121s must report.
+  const Dataset over = Lines({Bing(1000, 1, true), Bing(1121, 2, true)});
+  EXPECT_EQ(RunSymple<B1GlobalOutages>(over).outputs.at(0),
+            (std::vector<int64_t>{1121}));
+}
+
+TEST(QueryBoundaries, SessionGapBoundary) {
+  // B3 sessions break on gaps > 120 s.
+  const Dataset same = Lines({Bing(0, 7, true), Bing(120, 7, true)});
+  EXPECT_EQ(RunSymple<B3UserSessions>(same).outputs.at(7),
+            (B3UserSessions::Output{{}, 2}));
+  const Dataset split = Lines({Bing(0, 7, true), Bing(121, 7, true)});
+  EXPECT_EQ(RunSymple<B3UserSessions>(split).outputs.at(7),
+            (B3UserSessions::Output{{1}, 1}));
+}
+
+std::string Shop(int64_t ts, std::string_view ev, int64_t item) {
+  return std::to_string(ts) + "\t1\t" + std::string(ev) + "\t" +
+         std::to_string(item) + "\tf";
+}
+
+TEST(QueryBoundaries, FunnelNeedsStrictlyMoreThanTenReviews) {
+  for (int reviews = 9; reviews <= 12; ++reviews) {
+    std::vector<std::string> lines;
+    int64_t ts = 0;
+    lines.push_back(Shop(ts++, "search", 42));
+    for (int i = 0; i < reviews; ++i) {
+      lines.push_back(Shop(ts++, "review", 42));
+    }
+    lines.push_back(Shop(ts++, "purchase", 42));
+    const auto out = RunSymple<FunnelQuery>(Lines(std::move(lines))).outputs;
+    if (reviews > 10) {
+      EXPECT_EQ(out.at(1), (std::vector<int64_t>{42})) << reviews;
+    } else {
+      EXPECT_TRUE(out.at(1).empty()) << reviews;
+    }
+  }
+}
+
+TEST(QueryBoundaries, FunnelSecondSearchRestartsCount) {
+  // A second search while armed resets nothing in Figure 1's code: the
+  // !srch_found guard means the second search is ignored and counting
+  // continues. Pin that exact semantics.
+  std::vector<std::string> lines;
+  int64_t ts = 0;
+  lines.push_back(Shop(ts++, "search", 1));
+  for (int i = 0; i < 6; ++i) {
+    lines.push_back(Shop(ts++, "review", 1));
+  }
+  lines.push_back(Shop(ts++, "search", 2));  // ignored: srch_found is true
+  for (int i = 0; i < 6; ++i) {
+    lines.push_back(Shop(ts++, "review", 2));
+  }
+  lines.push_back(Shop(ts++, "purchase", 2));
+  // 12 reviews counted in total > 10: the purchased item is reported.
+  EXPECT_EQ(RunSymple<FunnelQuery>(Lines(std::move(lines))).outputs.at(1),
+            (std::vector<int64_t>{2}));
+}
+
+std::string Ad(int64_t unix_ts, int64_t adv, int64_t campaign) {
+  return FormatDateTime(unix_ts) + "\t" + std::to_string(adv) + "\t" +
+         std::to_string(campaign) + "\tC0";
+}
+
+TEST(QueryBoundaries, AdGapExactlyOneHourIsNotReported) {
+  const int64_t t0 = 1388534400;
+  const Dataset at = Lines({Ad(t0, 1, 0), Ad(t0 + 3600, 1, 0)});
+  EXPECT_TRUE(RunSymple<R3AdGaps>(at).outputs.at(1).empty());
+  const Dataset over = Lines({Ad(t0, 1, 0), Ad(t0 + 3601, 1, 0)});
+  EXPECT_EQ(RunSymple<R3AdGaps>(over).outputs.at(1),
+            (std::vector<int64_t>{t0 + 3601}));
+}
+
+TEST(QueryBoundaries, SpamBurstNeedsExactlyFiveConsecutive) {
+  auto tweet = [](int64_t ts, bool spam) {
+    return "{\"created_at\":\"" + FormatDateTime(ts) +
+           "\",\"user\":\"u1\",\"hashtag\":\"#x\",\"spam\":" + (spam ? "1" : "0") +
+           ",\"text\":\"t\"}";
+  };
+  for (int burst = 4; burst <= 6; ++burst) {
+    std::vector<std::string> lines;
+    int64_t ts = 0;
+    lines.push_back(tweet(ts++, false));
+    lines.push_back(tweet(ts++, false));
+    for (int i = 0; i < burst; ++i) {
+      lines.push_back(tweet(ts++, true));
+    }
+    const auto out = RunSymple<T1SpamLearning>(Lines(std::move(lines))).outputs;
+    EXPECT_EQ(out.at("#x"), burst >= 5 ? 2 : -1) << burst;
+  }
+}
+
+TEST(QueryBoundaries, SpamRunInterruptedAtFourResets) {
+  auto tweet = [](int64_t ts, bool spam) {
+    return "{\"created_at\":\"" + FormatDateTime(ts) +
+           "\",\"user\":\"u1\",\"hashtag\":\"#y\",\"spam\":" + (spam ? "1" : "0") +
+           ",\"text\":\"t\"}";
+  };
+  std::vector<std::string> lines;
+  int64_t ts = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      lines.push_back(tweet(ts++, true));
+    }
+    lines.push_back(tweet(ts++, false));  // breaks the run at 4 every time
+  }
+  EXPECT_EQ(RunSymple<T1SpamLearning>(Lines(std::move(lines))).outputs.at("#y"), -1);
+}
+
+TEST(QueryBoundaries, G3NestedPullOpensRestartCount) {
+  // A second pull_open inside a window resets the counter (the UDA assigns
+  // count = 0 unconditionally on open). Pin it, split across chunks.
+  auto gh = [](int64_t ts, std::string_view op) {
+    return "{\"created_at\":\"" + FormatDateTime(ts) +
+           "\",\"actor\":\"u1\",\"repo\":{\"id\":1,\"name\":\"r\",\"branch\":\"b\"},"
+           "\"type\":\"" + std::string(op) + "\",\"payload\":\"f\"}";
+  };
+  const Dataset ds = Lines({gh(1, "pull_open"), gh(2, "push"), gh(3, "push"),
+                            gh(4, "pull_open"), gh(5, "push"), gh(6, "pull_close")},
+                           4);
+  EXPECT_EQ(RunSymple<G3PullWindowOps>(ds).outputs.at(1),
+            (std::vector<int64_t>{1}));
+}
+
+TEST(QueryBoundaries, R2SingleEventIsSingleCountry) {
+  const Dataset ds = Lines({Ad(1388534400, 3, 0)}, 1);
+  EXPECT_TRUE(RunSymple<R2SingleCountry>(ds).outputs.at(3));
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,187 @@
+// Tests for the runtime substrate: shuffle ordering (paper Section 5.4),
+// shuffle byte accounting, engine statistics, and the cluster cost model.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "queries/all_queries.h"
+#include "runtime/cost_model.h"
+#include "runtime/dataset_io.h"
+#include "runtime/engine.h"
+#include "workloads/bing_gen.h"
+#include "workloads/redshift_gen.h"
+
+namespace symple {
+namespace {
+
+Dataset MediumRedshift(bool condensed) {
+  RedshiftGenParams p;
+  p.num_records = 20000;
+  p.num_segments = 8;
+  // Few groups relative to records (the paper's RedShift regime: records per
+  // group vastly outnumber groups).
+  p.num_advertisers = 20;
+  p.condensed = condensed;
+  return GenerateRedshiftLog(p);
+}
+
+TEST(ShufflePacketOrdering, LexicographicByKeyMapperRecord) {
+  using Packet = internal::ShufflePacket<int64_t>;
+  Packet a{1, 0, 5, {}};
+  Packet b{1, 1, 0, {}};
+  Packet c{1, 1, 3, {}};
+  Packet d{2, 0, 0, {}};
+  EXPECT_LT(a, b);  // same key: mapper order wins
+  EXPECT_LT(b, c);  // same key+mapper: record order
+  EXPECT_LT(c, d);  // key order dominates
+  EXPECT_FALSE(d < a);
+}
+
+TEST(ShuffleBytes, SympleShipsFarLessThanBaseline) {
+  const Dataset ds = MediumRedshift(true);
+  const auto mr = RunBaselineMapReduce<R3AdGaps>(ds);
+  const auto sym = RunSymple<R3AdGaps>(ds);
+  EXPECT_GT(mr.stats.shuffle_bytes, 0u);
+  EXPECT_GT(sym.stats.shuffle_bytes, 0u);
+  // 20 groups over 20k records: per-(mapper,key) summaries beat per-record
+  // rows by a wide margin.
+  EXPECT_GT(mr.stats.shuffle_bytes, sym.stats.shuffle_bytes * 5);
+}
+
+TEST(ShuffleBytes, SingleGroupQueryCollapsesToConstant) {
+  BingGenParams p;
+  p.num_records = 20000;
+  p.num_segments = 8;
+  const Dataset ds = GenerateBingLog(p);
+  const auto mr = RunBaselineMapReduce<B1GlobalOutages>(ds);
+  const auto sym = RunSymple<B1GlobalOutages>(ds);
+  // The paper's most extreme case (B1): each mapper sends one summary record
+  // instead of every parsed record.
+  EXPECT_EQ(sym.stats.groups, 1u);
+  EXPECT_GT(mr.stats.shuffle_bytes, sym.stats.shuffle_bytes * 50);
+}
+
+TEST(EngineStatsTest, VolumesAreConsistent) {
+  const Dataset ds = MediumRedshift(false);
+  const auto sym = RunSymple<R4CampaignRuns>(ds);
+  EXPECT_EQ(sym.stats.input_records, ds.TotalRecords());
+  EXPECT_EQ(sym.stats.input_bytes, ds.TotalBytes());
+  EXPECT_EQ(sym.stats.parsed_records, ds.TotalRecords());  // every line parses
+  EXPECT_EQ(sym.stats.groups, sym.outputs.size());
+  EXPECT_GE(sym.stats.summaries, sym.stats.groups * ds.segment_count() / 2);
+  EXPECT_GT(sym.stats.summary_paths, 0u);
+  EXPECT_GT(sym.stats.exploration.runs, 0u);
+  EXPECT_GT(sym.stats.map_cpu_ms, 0.0);
+  EXPECT_GT(sym.stats.total_wall_ms, 0.0);
+}
+
+TEST(EngineStatsTest, SequentialHasNoShuffle) {
+  const auto seq = RunSequential<R1Impressions>(MediumRedshift(true));
+  EXPECT_EQ(seq.stats.shuffle_bytes, 0u);
+  EXPECT_EQ(seq.stats.summaries, 0u);
+}
+
+TEST(EngineOptionsTest, MapSlotsDoNotChangeResults) {
+  const Dataset ds = MediumRedshift(true);
+  EngineOptions one;
+  one.map_slots = 1;
+  one.reduce_slots = 1;
+  EngineOptions many;
+  many.map_slots = 8;
+  many.reduce_slots = 8;
+  EXPECT_EQ(RunSymple<R4CampaignRuns>(ds, one).outputs,
+            RunSymple<R4CampaignRuns>(ds, many).outputs);
+  EXPECT_EQ(RunBaselineMapReduce<R4CampaignRuns>(ds, one).outputs,
+            RunBaselineMapReduce<R4CampaignRuns>(ds, many).outputs);
+}
+
+// --- dataset persistence ----------------------------------------------------------
+
+TEST(DatasetIo, SaveLoadRoundTrip) {
+  const Dataset original = MediumRedshift(true);
+  const std::string dir = ::testing::TempDir() + "/symple_ds_roundtrip";
+  SaveDataset(original, dir);
+  const Dataset loaded = LoadDataset(dir);
+  ASSERT_EQ(loaded.segment_count(), original.segment_count());
+  EXPECT_EQ(loaded.segments, original.segments);
+  // And the engines agree on the loaded copy.
+  EXPECT_EQ(RunSymple<R1Impressions>(loaded).outputs,
+            RunSequential<R1Impressions>(original).outputs);
+}
+
+TEST(DatasetIo, LoadMissingDirectoryThrows) {
+  EXPECT_THROW(LoadDataset("/nonexistent/symple/dataset"), SympleError);
+}
+
+TEST(DatasetIo, LoadEmptyDirectoryThrows) {
+  const std::string dir = ::testing::TempDir() + "/symple_ds_empty";
+  std::filesystem::create_directories(dir);
+  EXPECT_THROW(LoadDataset(dir), SympleError);
+}
+
+// --- cost model ------------------------------------------------------------------
+
+EngineStats FakeStats(double map_cpu_ms, double reduce_cpu_ms, uint64_t input_mb,
+                      uint64_t shuffle_mb, uint64_t groups) {
+  EngineStats s;
+  s.map_cpu_ms = map_cpu_ms;
+  s.reduce_cpu_ms = reduce_cpu_ms;
+  s.input_bytes = input_mb * 1000000;
+  s.shuffle_bytes = shuffle_mb * 1000000;
+  s.groups = groups;
+  return s;
+}
+
+TEST(CostModel, ReadBoundWhenCpuIsCheap) {
+  const ClusterConfig c = ClusterConfig::AmazonEmr(10);
+  // 800 GB input: read time = 800000/(80*10) = 1000 s dominates tiny CPU.
+  const auto lat = EstimateLatency(FakeStats(1000, 10, 800000, 10, 100), c);
+  EXPECT_NEAR(lat.map_s, c.job_overhead_s + 1000.0, 1.0);
+}
+
+TEST(CostModel, CpuBoundWhenDataIsSmall) {
+  const ClusterConfig c = ClusterConfig::AmazonEmr(10);
+  // 40 map-slot-hours of CPU on 40 slots: one hour.
+  const auto lat = EstimateLatency(FakeStats(40.0 * 3600.0 * 1000.0, 0, 1, 1, 100), c);
+  EXPECT_NEAR(lat.map_s, c.job_overhead_s + 3600.0, 1.0);
+}
+
+TEST(CostModel, ShuffleScalesWithBytes) {
+  const ClusterConfig c = ClusterConfig::AmazonEmr(10);
+  const auto small = EstimateLatency(FakeStats(0, 0, 1, 100, 100), c);
+  const auto large = EstimateLatency(FakeStats(0, 0, 1, 10000, 100), c);
+  EXPECT_GT(large.shuffle_s, small.shuffle_s * 50);
+}
+
+TEST(CostModel, SingleGroupSerializesTheReduce) {
+  const ClusterConfig c = ClusterConfig::AmazonEmr(10);
+  const double reduce_cpu_ms = 3600.0 * 1000.0;  // one core-hour of reduce work
+  const auto one_group = EstimateLatency(FakeStats(0, reduce_cpu_ms, 1, 1000, 1), c);
+  const auto many_groups =
+      EstimateLatency(FakeStats(0, reduce_cpu_ms, 1, 1000, 100000), c);
+  // One group: a single reducer core must chew through all of it, and a single
+  // reducer ingests all shuffle bytes. This is the paper's B1 4.5h-vs-minutes
+  // effect.
+  EXPECT_GT(one_group.reduce_s, many_groups.reduce_s * 30);
+  EXPECT_GT(one_group.shuffle_s, many_groups.shuffle_s);
+}
+
+TEST(CostModel, CpuScaleExtrapolatesBothPhases) {
+  const ClusterConfig c = ClusterConfig::LargeSharedCluster();
+  const auto base = EstimateLatency(FakeStats(1000, 1000, 1, 1, 10), c, 1.0);
+  const auto scaled = EstimateLatency(FakeStats(1000, 1000, 1, 1, 10), c, 100.0);
+  EXPECT_NEAR(scaled.reduce_s, base.reduce_s * 100.0, 1e-9);
+}
+
+TEST(CostModel, PresetsAreSane) {
+  const ClusterConfig emr = ClusterConfig::AmazonEmr(5);
+  EXPECT_EQ(emr.nodes, 5);
+  EXPECT_EQ(emr.map_slots(), 20);
+  const ClusterConfig big = ClusterConfig::LargeSharedCluster();
+  EXPECT_EQ(big.nodes, 380);
+  EXPECT_EQ(big.reducers, 50);
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,253 @@
+// Tests for symbolic summaries: the validity invariant (disjoint + covering,
+// paper Section 3.2), merge passes (Section 3.5), associativity of
+// composition (Section 3.6), and serialization.
+#include "core/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/aggregator.h"
+#include "core/symple.h"
+#include "tests/test_util.h"
+
+namespace symple {
+namespace {
+
+struct MaxState {
+  SymInt max = std::numeric_limits<int64_t>::min();
+  auto list_fields() { return std::tie(max); }
+};
+
+void MaxUpdate(MaxState& s, const int64_t& e) {
+  if (s.max < e) {
+    s.max = e;
+  }
+}
+
+using MaxAgg = SymbolicAggregator<MaxState, int64_t, void (*)(MaxState&, const int64_t&)>;
+
+Summary<MaxState> SummarizeChunk(const std::vector<int64_t>& chunk) {
+  MaxAgg agg(&MaxUpdate);
+  for (int64_t e : chunk) {
+    agg.Feed(e);
+  }
+  auto summaries = agg.Finish();
+  EXPECT_EQ(summaries.size(), 1u);
+  return summaries.front();
+}
+
+MaxState ConcreteMax(int64_t v) {
+  MaxState s;
+  s.max = v;
+  return s;
+}
+
+// --- the paper's running example, exactly -----------------------------------------
+
+TEST(Summary, PaperSection35FinalSummary) {
+  // Chunk [5, 3, 10]: the paper derives the conjunction
+  //   x <= 10 => max = 10   AND   x > 10 => max = x.
+  const Summary<MaxState> s = SummarizeChunk({5, 3, 10});
+  ASSERT_EQ(s.path_count(), 2u);
+  const auto& p0 = s.paths()[0];
+  const auto& p1 = s.paths()[1];
+  EXPECT_EQ(p0.max.domain(), (Interval{std::numeric_limits<int64_t>::min(), 9}));
+  EXPECT_EQ(p0.max.Value(), 10);
+  EXPECT_EQ(p1.max.domain(), (Interval{10, std::numeric_limits<int64_t>::max()}));
+  EXPECT_FALSE(p1.max.is_concrete());
+}
+
+TEST(Summary, PaperSection36Composition) {
+  // S3 o S2 from the paper: composing third-chunk summary (y<8 => 8, y>=8 =>y)
+  // with second-chunk summary (x<10 => 10, x>=10 => x) yields
+  // x <= 10 => 10 ... merged to exactly the second-chunk shape.
+  const Summary<MaxState> s2 = SummarizeChunk({5, 3, 10});
+  const Summary<MaxState> s3 = SummarizeChunk({8, 2, 1});
+  const Summary<MaxState> s32 = Summary<MaxState>::Compose(s3, s2);
+  ASSERT_EQ(s32.path_count(), 2u);
+  // Applying to the first chunk's concrete output 9 gives 10.
+  MaxState c = ConcreteMax(9);
+  ASSERT_TRUE(s32.ApplyTo(c));
+  EXPECT_EQ(c.max.Value(), 10);
+}
+
+TEST(Summary, SequentialVsTreeComposition) {
+  // Function composition is associative: reducing (S4 o S3) o S2 must equal
+  // S4 o (S3 o S2) must equal sequential application.
+  const Summary<MaxState> s2 = SummarizeChunk({5, 3, 10});
+  const Summary<MaxState> s3 = SummarizeChunk({8, 2, 1});
+  const Summary<MaxState> s4 = SummarizeChunk({-5, 42, 7});
+
+  const auto left = Summary<MaxState>::Compose(Summary<MaxState>::Compose(s4, s3), s2);
+  const auto right = Summary<MaxState>::Compose(s4, Summary<MaxState>::Compose(s3, s2));
+
+  for (int64_t input : {-100, 0, 9, 10, 11, 41, 42, 43, 1000}) {
+    MaxState a = ConcreteMax(input);
+    MaxState b = ConcreteMax(input);
+    MaxState c = ConcreteMax(input);
+    ASSERT_TRUE(left.ApplyTo(a));
+    ASSERT_TRUE(right.ApplyTo(b));
+    ASSERT_TRUE(s2.ApplyTo(c));
+    ASSERT_TRUE(s3.ApplyTo(c));
+    ASSERT_TRUE(s4.ApplyTo(c));
+    EXPECT_EQ(a.max.Value(), c.max.Value()) << input;
+    EXPECT_EQ(b.max.Value(), c.max.Value()) << input;
+  }
+}
+
+// --- validity: disjointness and coverage -------------------------------------------
+
+TEST(Summary, ExactlyOnePathAcceptsEveryInput) {
+  SplitMix64 rng(99);
+  std::vector<int64_t> chunk;
+  for (int i = 0; i < 50; ++i) {
+    chunk.push_back(rng.Range(-1000, 1000));
+  }
+  const Summary<MaxState> s = SummarizeChunk(chunk);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t probe = rng.Range(-2000, 2000);
+    EXPECT_EQ(s.CountAccepting(ConcreteMax(probe)), 1u) << probe;
+  }
+  // Boundary probes around every path's domain endpoints.
+  for (const MaxState& p : s.paths()) {
+    for (int64_t d : {-1, 0, 1}) {
+      const Interval dom = p.max.domain();
+      if (dom.lo != std::numeric_limits<int64_t>::min()) {
+        EXPECT_EQ(s.CountAccepting(ConcreteMax(dom.lo + d)), 1u);
+      }
+      if (dom.hi != std::numeric_limits<int64_t>::max()) {
+        EXPECT_EQ(s.CountAccepting(ConcreteMax(dom.hi + d)), 1u);
+      }
+    }
+  }
+}
+
+TEST(Summary, CompositionPreservesValidity) {
+  SplitMix64 rng(123);
+  auto random_chunk = [&rng] {
+    std::vector<int64_t> c;
+    for (int i = 0; i < 20; ++i) {
+      c.push_back(rng.Range(-500, 500));
+    }
+    return c;
+  };
+  const auto a = SummarizeChunk(random_chunk());
+  const auto b = SummarizeChunk(random_chunk());
+  const auto ba = Summary<MaxState>::Compose(b, a);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ba.CountAccepting(ConcreteMax(rng.Range(-1000, 1000))), 1u);
+  }
+}
+
+// --- merge pass ----------------------------------------------------------------------
+
+// Builds a path with constraint lo <= x <= hi and concrete value 7 by
+// exploring the two-sided range check and picking the inside path.
+MaxState RangePathWithConstant7(int64_t lo, int64_t hi) {
+  MaxState base;
+  MakeSymbolicState(base);
+  const auto paths = ExplorePaths(base, [lo, hi](MaxState& p) {
+    if (p.max >= lo) {
+      if (p.max <= hi) {
+        p.max = 7;
+      }
+    }
+  });
+  for (const MaxState& p : paths) {
+    if (p.max.is_concrete() && p.max.domain() == (Interval{lo, hi})) {
+      return p;
+    }
+  }
+  ADD_FAILURE() << "no path with the requested domain";
+  return base;
+}
+
+TEST(Summary, MergePassReachesFixpoint) {
+  // Three paths with the same transfer function and chainable domains
+  // [0,4], [5,9], [10,20]: the merge pass must collapse them into one,
+  // which requires merging the result of a merge (fixpoint behavior).
+  std::vector<MaxState> built = {RangePathWithConstant7(0, 4),
+                                 RangePathWithConstant7(10, 20),
+                                 RangePathWithConstant7(5, 9)};
+  const size_t merged = MergeStatePaths(built);
+  EXPECT_EQ(merged, 2u);
+  ASSERT_EQ(built.size(), 1u);
+  EXPECT_EQ(built[0].max.domain(), (Interval{0, 20}));
+  EXPECT_EQ(built[0].max.Value(), 7);
+}
+
+// --- tree composition helper --------------------------------------------------------
+
+TEST(Summary, ComposeAllMatchesSequentialFold) {
+  SplitMix64 rng(4711);
+  std::vector<Summary<MaxState>> ordered;
+  for (int i = 0; i < 7; ++i) {  // odd count: exercises the carry path
+    std::vector<int64_t> chunk;
+    for (int j = 0; j < 10; ++j) {
+      chunk.push_back(rng.Range(-300, 300));
+    }
+    ordered.push_back(SummarizeChunk(chunk));
+  }
+  const Summary<MaxState> tree = ComposeAll(ordered);
+  for (int64_t input : {-500, -1, 0, 150, 299, 300, 301, 9999}) {
+    MaxState fold = ConcreteMax(input);
+    ASSERT_TRUE(ApplySummaries(ordered, fold));
+    MaxState once = ConcreteMax(input);
+    ASSERT_TRUE(tree.ApplyTo(once));
+    EXPECT_EQ(once.max.Value(), fold.max.Value()) << input;
+  }
+}
+
+TEST(Summary, ComposeAllSingleSummaryIsIdentity) {
+  const auto s = SummarizeChunk({1, 2, 3});
+  const auto composed = ComposeAll(std::vector<Summary<MaxState>>{s});
+  MaxState a = ConcreteMax(10);
+  MaxState b = ConcreteMax(10);
+  ASSERT_TRUE(s.ApplyTo(a));
+  ASSERT_TRUE(composed.ApplyTo(b));
+  EXPECT_EQ(a.max.Value(), b.max.Value());
+}
+
+TEST(Summary, ComposeAllEmptyThrows) {
+  EXPECT_THROW(ComposeAll(std::vector<Summary<MaxState>>{}), SympleError);
+}
+
+// --- serialization ---------------------------------------------------------------------
+
+TEST(Summary, SerializationRoundTrip) {
+  const Summary<MaxState> s = SummarizeChunk({5, 3, 10, -2, 99});
+  BinaryWriter w;
+  s.Serialize(w);
+  Summary<MaxState> back;
+  BinaryReader r(w.buffer());
+  back.Deserialize(r);
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_EQ(back.path_count(), s.path_count());
+  for (int64_t probe : {-100, 0, 98, 99, 100, 5000}) {
+    MaxState a = ConcreteMax(probe);
+    MaxState b = ConcreteMax(probe);
+    ASSERT_TRUE(s.ApplyTo(a));
+    ASSERT_TRUE(back.ApplyTo(b));
+    EXPECT_EQ(a.max.Value(), b.max.Value());
+  }
+}
+
+TEST(Summary, CompactSerializedSize) {
+  // The whole point of canonical forms: a summary of a 1000-element chunk is
+  // a handful of bytes, not proportional to the chunk.
+  std::vector<int64_t> chunk;
+  SplitMix64 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    chunk.push_back(rng.Range(-1000000, 1000000));
+  }
+  const Summary<MaxState> s = SummarizeChunk(chunk);
+  BinaryWriter w;
+  s.Serialize(w);
+  EXPECT_LE(w.size(), 64u);
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,250 @@
+// Unit tests for SymEnum and SymBool: bit-set canonical form, decision
+// procedures, normalization, merging, composition (paper Sections 4.1-4.2).
+#include "core/sym_enum.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/sym_bool.h"
+#include "core/sym_struct.h"
+#include "tests/test_util.h"
+
+namespace symple {
+namespace {
+
+enum class Color : uint8_t { kRed = 0, kGreen = 1, kBlue = 2 };
+using SymColor = SymEnum<Color, 3>;
+
+struct OneColor {
+  SymColor c = Color::kRed;
+  auto list_fields() { return std::tie(c); }
+};
+
+struct OneBool {
+  SymBool b = false;
+  auto list_fields() { return std::tie(b); }
+};
+
+// --- concrete behavior --------------------------------------------------------
+
+TEST(SymEnumConcrete, AssignmentAndEquality) {
+  SymColor c = Color::kGreen;
+  EXPECT_TRUE(c.is_concrete());
+  EXPECT_TRUE(c == Color::kGreen);
+  EXPECT_TRUE(c != Color::kBlue);
+  c = Color::kBlue;
+  EXPECT_EQ(c.Value(), Color::kBlue);
+  EXPECT_TRUE(Color::kBlue == c);
+}
+
+TEST(SymEnumConcrete, OutOfDomainConstantThrows) {
+  SymColor c = Color::kRed;
+  EXPECT_THROW((void)(c == static_cast<Color>(7)), SympleError);
+}
+
+TEST(SymEnumConcrete, SymbolicUseOutsideContextThrows) {
+  OneColor s;
+  MakeSymbolicState(s);
+  EXPECT_THROW((void)(s.c == Color::kRed), SympleError);
+  EXPECT_THROW((void)s.c.Value(), SympleError);
+}
+
+// --- symbolic branching --------------------------------------------------------
+
+TEST(SymEnumSymbolic, EqualitySplitsSet) {
+  OneColor s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneColor& st) {
+    if (st.c == Color::kGreen) {
+      st.c = Color::kRed;
+    }
+  });
+  ASSERT_EQ(paths.size(), 2u);
+  // Then path: x in {green}; value now bound to red.
+  EXPECT_EQ(paths[0].c.constraint_set(), 0b010u);
+  EXPECT_EQ(paths[0].c.Value(), Color::kRed);
+  // Else path: x in {red, blue}, unbound.
+  EXPECT_EQ(paths[1].c.constraint_set(), 0b101u);
+  EXPECT_FALSE(paths[1].c.is_concrete());
+}
+
+TEST(SymEnumSymbolic, SingletonNormalizesToBound) {
+  OneColor s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneColor& st) {
+    if (st.c != Color::kRed) {
+      if (st.c != Color::kGreen) {
+        // Only blue remains: the value must be concrete now.
+        EXPECT_TRUE(st.c.is_concrete());
+        EXPECT_EQ(st.c.Value(), Color::kBlue);
+      }
+    }
+  });
+  // red | green | blue.
+  EXPECT_EQ(paths.size(), 3u);
+}
+
+TEST(SymEnumSymbolic, ChainedChecksStayConsistent) {
+  OneColor s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneColor& st) {
+    if (st.c == Color::kBlue) {
+      // Within this path the value is pinned; re-checks are free and true.
+      EXPECT_TRUE(st.c == Color::kBlue);
+      EXPECT_FALSE(st.c == Color::kRed);
+    }
+  });
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+// --- SymBool --------------------------------------------------------------------
+
+TEST(SymBoolSymbolic, BranchOnConversion) {
+  OneBool s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneBool& st) {
+    if (st.b) {
+      st.b = false;
+    }
+  });
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_FALSE(paths[0].b.BoolValue());               // then: flipped to false
+  EXPECT_EQ(paths[0].b.constraint_set(), 0b10u);      // x in {true}
+  EXPECT_FALSE(paths[1].b.BoolValue());               // else: was false
+  EXPECT_EQ(paths[1].b.constraint_set(), 0b01u);      // x in {false}
+}
+
+TEST(SymBoolSymbolic, NegationAndComparisons) {
+  OneBool s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneBool& st) {
+    if (!st.b) {
+      EXPECT_TRUE(st.b == false);
+      EXPECT_TRUE(st.b != true);
+      EXPECT_TRUE(false == st.b);
+    }
+  });
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(SymBoolSymbolic, ShortCircuitAndOnlyForksWhenReached) {
+  OneBool s;
+  MakeSymbolicState(s);
+  int right_evals = 0;
+  const auto paths = ExplorePaths(s, [&right_evals](OneBool& st) {
+    const bool cheap_false = false;
+    if (cheap_false && st.b) {  // && short-circuits: st.b never converts
+      ADD_FAILURE();
+    }
+    ++right_evals;
+  });
+  EXPECT_EQ(paths.size(), 1u);  // no decision point was reached
+  EXPECT_EQ(right_evals, 1);
+}
+
+TEST(SymBoolConcrete, DefaultIsConcreteFalse) {
+  SymBool b;
+  EXPECT_TRUE(b.is_concrete());
+  EXPECT_FALSE(b.BoolValue());
+  b = true;
+  EXPECT_TRUE(b.BoolValue());
+}
+
+// --- merging ----------------------------------------------------------------------
+
+TEST(SymEnumMerge, SetUnionAlwaysExact) {
+  OneColor a;
+  MakeSymbolicState(a);
+  auto paths = ExplorePaths(a, [](OneColor& st) {
+    if (st.c == Color::kGreen) {
+      st.c = Color::kRed;
+    } else if (st.c == Color::kBlue) {
+      st.c = Color::kRed;
+    }
+  });
+  // Paths: {green}->red, {blue}->red, {red}->x(=red, normalized bound).
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_TRUE(TryMergePaths(paths[0], paths[1]));
+  EXPECT_EQ(paths[0].c.constraint_set(), 0b110u);
+  // The third path also has value red (normalized singleton) -> merges too.
+  EXPECT_TRUE(TryMergePaths(paths[0], paths[2]));
+  EXPECT_EQ(paths[0].c.constraint_set(), 0b111u);
+}
+
+TEST(SymEnumMerge, DifferentBoundConstantsDoNotMerge) {
+  OneColor a;
+  OneColor b;
+  a.c = Color::kRed;
+  b.c = Color::kGreen;
+  EXPECT_FALSE(TryMergePaths(a, b));
+}
+
+// --- composition ------------------------------------------------------------------
+
+TEST(SymEnumCompose, BoundEarlierChecksMembership) {
+  OneColor later;
+  MakeSymbolicState(later);
+  auto paths = ExplorePaths(later, [](OneColor& st) {
+    if (st.c == Color::kGreen) {
+      st.c = Color::kBlue;
+    }
+  });
+  OneColor earlier_green;
+  earlier_green.c = Color::kGreen;
+  const auto composed = ComposePath(paths[0], earlier_green);
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(composed->c.Value(), Color::kBlue);
+  // The {red,blue} path rejects a green input.
+  EXPECT_FALSE(ComposePath(paths[1], earlier_green).has_value());
+}
+
+TEST(SymEnumCompose, UnboundChainIntersectsSets) {
+  OneColor s;
+  MakeSymbolicState(s);
+  auto not_red = ExplorePaths(s, [](OneColor& st) { (void)(st.c != Color::kRed); });
+  auto not_blue = ExplorePaths(s, [](OneColor& st) { (void)(st.c != Color::kBlue); });
+  // Exploration visits the equality outcome first, so index 1 is the
+  // inequality path: not_red[1]: x in {green, blue}, identity;
+  // not_blue[1]: y in {red, green}, identity.
+  const auto composed = ComposePath(not_blue[1], not_red[1]);
+  ASSERT_TRUE(composed.has_value());
+  // Intersection {green}: normalizes to bound green.
+  EXPECT_TRUE(composed->c.is_concrete());
+  EXPECT_EQ(composed->c.Value(), Color::kGreen);
+}
+
+TEST(SymEnumCompose, EmptyIntersectionInfeasible) {
+  OneColor s;
+  MakeSymbolicState(s);
+  auto only_red = ExplorePaths(s, [](OneColor& st) { (void)(st.c == Color::kRed); });
+  auto only_blue = ExplorePaths(s, [](OneColor& st) { (void)(st.c == Color::kBlue); });
+  // only_red[0]: x in {red}, bound red. only_blue[0]: y in {blue}.
+  EXPECT_FALSE(ComposePath(only_blue[0], only_red[0]).has_value());
+}
+
+// --- serialization ------------------------------------------------------------------
+
+TEST(SymEnumSerialize, RoundTrip) {
+  OneColor s;
+  MakeSymbolicState(s);
+  auto paths = ExplorePaths(s, [](OneColor& st) {
+    if (st.c != Color::kGreen) {
+      st.c = Color::kGreen;
+    }
+  });
+  for (const OneColor& p : paths) {
+    BinaryWriter w;
+    SerializeState(p, w);
+    OneColor back;
+    BinaryReader r(w.buffer());
+    DeserializeState(back, r);
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(back.c.constraint_set(), p.c.constraint_set());
+    EXPECT_EQ(back.c.is_concrete(), p.c.is_concrete());
+    EXPECT_TRUE(back.c.SameTransferFunction(p.c));
+  }
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,155 @@
+// Tests for SymMax/SymMin — the user-defined data type built on the paper's
+// Section 4.5 extension interface. Its defining property: extremum UDAs
+// explore exactly one path.
+#include "core/sym_extremum.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/aggregator.h"
+#include "core/sym_struct.h"
+
+namespace symple {
+namespace {
+
+struct MaxState {
+  SymMax max;
+  auto list_fields() { return std::tie(max); }
+};
+
+void MaxUpdate(MaxState& s, const int64_t& e) { s.max.Observe(e); }
+
+using MaxAgg = SymbolicAggregator<MaxState, int64_t, void (*)(MaxState&, const int64_t&)>;
+
+TEST(SymExtremum, ConcreteObserve) {
+  SymMax m;
+  EXPECT_EQ(m.Value(), std::numeric_limits<int64_t>::min());
+  m.Observe(5);
+  m.Observe(3);
+  m.Observe(9);
+  EXPECT_EQ(m.Value(), 9);
+
+  SymMin n;
+  n.Observe(5);
+  n.Observe(3);
+  n.Observe(9);
+  EXPECT_EQ(n.Value(), 3);
+}
+
+TEST(SymExtremum, SymbolicObserveNeverForks) {
+  MaxState s;
+  MakeSymbolicState(s);
+  MaxAgg agg(&MaxUpdate);
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    agg.Feed(rng.Range(-1000000, 1000000));
+    ASSERT_EQ(agg.live_path_count(), 1u);
+  }
+  EXPECT_EQ(agg.stats().decisions, 0u);
+  auto summaries = agg.Finish();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].path_count(), 1u);
+}
+
+TEST(SymExtremum, SummaryCompositionMatchesSequential) {
+  SplitMix64 rng(17);
+  std::vector<std::vector<int64_t>> chunks(5);
+  int64_t expected = std::numeric_limits<int64_t>::min();
+  for (auto& chunk : chunks) {
+    for (int i = 0; i < 50; ++i) {
+      chunk.push_back(rng.Range(-5000, 5000));
+      expected = std::max(expected, chunk.back());
+    }
+  }
+  std::vector<Summary<MaxState>> summaries;
+  for (const auto& chunk : chunks) {
+    MaxAgg agg(&MaxUpdate);
+    for (int64_t e : chunk) {
+      agg.Feed(e);
+    }
+    for (auto& s : agg.Finish()) {
+      summaries.push_back(std::move(s));
+    }
+  }
+  MaxState out;
+  ASSERT_TRUE(ApplySummaries(summaries, out));
+  EXPECT_EQ(out.max.Value(), expected);
+}
+
+TEST(SymExtremum, ComposeSymbolicChain) {
+  // max(max(x, 10), 7) == max(x, 10).
+  MaxState a;
+  MakeSymbolicState(a);
+  MaxState b = a;
+  a.max.Observe(10);
+  b.max.Observe(7);
+  const auto composed = ComposePath(b, a);
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(composed->max.partial(), 10);
+  // Resolve with concrete input 42 -> 42; with 3 -> 10.
+  MaxState in42;
+  in42.max.Observe(42);
+  EXPECT_EQ(ComposePath(*composed, in42)->max.Value(), 42);
+  MaxState in3;
+  in3.max.Observe(3);
+  EXPECT_EQ(ComposePath(*composed, in3)->max.Value(), 10);
+}
+
+TEST(SymExtremum, EmptySegmentIsIdentity) {
+  MaxState seg;
+  MakeSymbolicState(seg);
+  MaxState in;
+  in.max.Observe(123);
+  const auto out = ComposePath(seg, in);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->max.Value(), 123);
+}
+
+TEST(SymExtremum, MergingIdenticalPaths) {
+  MaxState a;
+  MakeSymbolicState(a);
+  MaxState b = a;
+  a.max.Observe(5);
+  b.max.Observe(5);
+  EXPECT_TRUE(TryMergePaths(a, b));
+  b.max.Observe(6);
+  EXPECT_FALSE(TryMergePaths(a, b));  // different transfer functions
+}
+
+TEST(SymExtremum, SerializationRoundTrip) {
+  MaxState s;
+  MakeSymbolicState(s);
+  s.max.Observe(-12345);
+  BinaryWriter w;
+  SerializeState(s, w);
+  EXPECT_LE(w.size(), 8u);  // compact: flag + varint + field index
+  MaxState back;
+  BinaryReader r(w.buffer());
+  DeserializeState(back, r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(back.max.SameTransferFunction(s.max));
+  EXPECT_EQ(back.max.partial(), -12345);
+}
+
+TEST(SymExtremum, MinMirrorsMax) {
+  struct MinState {
+    SymMin min;
+    auto list_fields() { return std::tie(min); }
+  };
+  MinState seg;
+  MakeSymbolicState(seg);
+  seg.min.Observe(100);
+  seg.min.Observe(50);
+  MinState in;
+  in.min.Observe(75);
+  EXPECT_EQ(ComposePath(seg, in)->min.Value(), 50);
+  MinState in2;
+  in2.min.Observe(20);
+  EXPECT_EQ(ComposePath(seg, in2)->min.Value(), 20);
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,342 @@
+// Unit tests for SymInt: canonical form, arithmetic, branch decision
+// procedures, merging, composition (paper Section 4.3).
+#include "core/sym_int.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <tuple>
+
+#include "core/sym_struct.h"
+#include "tests/test_util.h"
+
+namespace symple {
+namespace {
+
+constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+struct OneInt {
+  SymInt v = 0;
+  auto list_fields() { return std::tie(v); }
+};
+
+// --- concrete behavior ------------------------------------------------------------
+
+TEST(SymIntConcrete, BehavesLikeAnInt) {
+  SymInt v = 41;
+  EXPECT_TRUE(v.is_concrete());
+  ++v;
+  EXPECT_EQ(v.Value(), 42);
+  v += 8;
+  v -= 25;
+  v *= 2;
+  EXPECT_EQ(v.Value(), 50);
+  EXPECT_TRUE(v < 51);
+  EXPECT_TRUE(v <= 50);
+  EXPECT_TRUE(v > 49);
+  EXPECT_TRUE(v >= 50);
+  EXPECT_TRUE(v == 50);
+  EXPECT_TRUE(v != 49);
+}
+
+TEST(SymIntConcrete, MixedExpressions) {
+  SymInt v = 10;
+  const SymInt a = v + 5;
+  const SymInt b = 5 + v;
+  const SymInt c = v * 3;
+  const SymInt d = 100 - v;
+  const SymInt e = -v;
+  EXPECT_EQ(a.Value(), 15);
+  EXPECT_EQ(b.Value(), 15);
+  EXPECT_EQ(c.Value(), 30);
+  EXPECT_EQ(d.Value(), 90);
+  EXPECT_EQ(e.Value(), -10);
+}
+
+TEST(SymIntConcrete, PostIncrementReturnsOldValue) {
+  SymInt v = 7;
+  SymInt old = v++;
+  EXPECT_EQ(old.Value(), 7);
+  EXPECT_EQ(v.Value(), 8);
+  old = v--;
+  EXPECT_EQ(old.Value(), 8);
+  EXPECT_EQ(v.Value(), 7);
+}
+
+TEST(SymIntConcrete, ComparisonsOutsideContextRequireConcrete) {
+  OneInt s;
+  MakeSymbolicState(s);
+  // No ExecContext installed: branching on a symbolic value must throw.
+  EXPECT_THROW((void)(s.v < 5), SympleError);
+}
+
+TEST(SymIntConcrete, ValueOnSymbolicThrows) {
+  OneInt s;
+  MakeSymbolicState(s);
+  EXPECT_THROW((void)s.v.Value(), SympleError);
+}
+
+TEST(SymIntConcrete, OverflowThrows) {
+  SymInt v = kMax;
+  EXPECT_THROW(v += 1, SympleError);
+  v = kMin;
+  EXPECT_THROW(v -= 1, SympleError);
+  EXPECT_THROW(v *= 2, SympleError);
+  EXPECT_THROW((void)(-v), SympleError);
+}
+
+// --- symbolic branching -----------------------------------------------------------
+
+TEST(SymIntSymbolic, LessThanSplitsDomain) {
+  OneInt s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneInt& st) {
+    if (st.v < 10) {
+      st.v = 0;
+    }
+  });
+  ASSERT_EQ(paths.size(), 2u);
+  // Then path: x <= 9, value 0.
+  EXPECT_EQ(paths[0].v.domain(), (Interval{kMin, 9}));
+  EXPECT_EQ(paths[0].v.Value(), 0);
+  // Else path: x >= 10, value x.
+  EXPECT_EQ(paths[1].v.domain(), (Interval{10, kMax}));
+  EXPECT_FALSE(paths[1].v.is_concrete());
+}
+
+TEST(SymIntSymbolic, AffineValueBranch) {
+  OneInt s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneInt& st) {
+    st.v += 3;        // value: x + 3
+    (void)(st.v > 7);  // x + 3 > 7  <=>  x >= 5
+  });
+  ASSERT_EQ(paths.size(), 2u);
+  // Exploration always visits the <= side of the underlying decision first,
+  // regardless of which user-visible comparison operator ran.
+  EXPECT_EQ(paths[0].v.domain(), (Interval{kMin, 4}));
+  EXPECT_EQ(paths[1].v.domain(), (Interval{5, kMax}));
+}
+
+TEST(SymIntSymbolic, NegativeCoefficientBranch) {
+  OneInt s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneInt& st) {
+    st.v = 100 - st.v;  // value: -x + 100
+    (void)(st.v < 0);   // -x + 100 < 0  <=>  x >= 101
+  });
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].v.domain(), (Interval{101, kMax}));
+  EXPECT_EQ(paths[1].v.domain(), (Interval{kMin, 100}));
+}
+
+TEST(SymIntSymbolic, EqualitySplitsThreeWays) {
+  OneInt s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneInt& st) { (void)(st.v == 5); });
+  ASSERT_EQ(paths.size(), 3u);
+  // Fixed outcome order: eq, lt, gt.
+  EXPECT_EQ(paths[0].v.domain(), Interval::Point(5));
+  EXPECT_EQ(paths[0].v.Value(), 5);  // point domain folds to concrete
+  EXPECT_EQ(paths[1].v.domain(), (Interval{kMin, 4}));
+  EXPECT_EQ(paths[2].v.domain(), (Interval{6, kMax}));
+}
+
+TEST(SymIntSymbolic, EqualityWithNoIntegerSolutionIsFalse) {
+  OneInt s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneInt& st) {
+    st.v *= 2;                    // value: 2x, always even
+    EXPECT_FALSE(st.v == 5);      // never equal to an odd constant
+  });
+  // The eq outcome is infeasible; only the lt/gt outcomes remain.
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].v.domain(), (Interval{kMin, 2}));  // 2x <= 4
+  EXPECT_EQ(paths[1].v.domain(), (Interval{3, kMax}));  // 2x >= 6
+}
+
+TEST(SymIntSymbolic, RefinedBranchBecomesFree) {
+  OneInt s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneInt& st) {
+    if (st.v < 10) {
+      // Within this path x <= 9, so a weaker test is decided without a fork.
+      EXPECT_TRUE(st.v < 100);
+    }
+  });
+  EXPECT_EQ(paths.size(), 2u);  // only the first branch forked
+}
+
+TEST(SymIntSymbolic, ReversedOperandComparisons) {
+  OneInt s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneInt& st) {
+    if (10 > st.v) {  // same split as st.v < 10
+      st.v = 1;
+    }
+  });
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].v.domain(), (Interval{kMin, 9}));
+}
+
+TEST(SymIntSymbolic, PointDomainNormalizesToConcrete) {
+  OneInt s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OneInt& st) {
+    if (st.v >= 5) {
+      if (st.v <= 5) {
+        // Domain is now the point {5}: the value must fold to concrete 5 and
+        // further comparisons are free.
+        EXPECT_TRUE(st.v.is_concrete());
+        EXPECT_EQ(st.v.Value(), 5);
+      }
+    }
+  });
+  EXPECT_EQ(paths.size(), 3u);
+}
+
+// --- merging ----------------------------------------------------------------------
+
+TEST(SymIntMerge, SameTransferFunctionOverlappingDomains) {
+  OneInt a;
+  OneInt b;
+  MakeSymbolicState(a);
+  MakeSymbolicState(b);
+  auto pa = ExplorePaths(a, [](OneInt& st) { (void)(st.v < 10); });
+  auto pb = ExplorePaths(b, [](OneInt& st) { (void)(st.v < 20); });
+  // pa[1]: x in [10, max], value x.  pb[1]: x in [20, max], value x.
+  ASSERT_TRUE(TryMergePaths(pa[1], pb[1]));
+  EXPECT_EQ(pa[1].v.domain(), (Interval{10, kMax}));
+}
+
+TEST(SymIntMerge, DifferentTransferFunctionsDoNotMerge) {
+  SymInt a = 5;
+  SymInt b = 6;
+  OneInt sa;
+  sa.v = a;
+  OneInt sb;
+  sb.v = b;
+  EXPECT_FALSE(TryMergePaths(sa, sb));
+}
+
+TEST(SymIntMerge, DisjointNonAdjacentDomainsDoNotMerge) {
+  OneInt a;
+  MakeSymbolicState(a);
+  const auto pa = ExplorePaths(a, [](OneInt& st) { (void)(st.v == 5); });
+  // lt path [min,4] and gt path [6,max] have the same TF (identity) but their
+  // union is not an interval.
+  OneInt lt = pa[1];
+  EXPECT_FALSE(TryMergePaths(lt, pa[2]));
+}
+
+TEST(SymIntMerge, AdjacentDomainsMerge) {
+  OneInt a;
+  MakeSymbolicState(a);
+  auto pa = ExplorePaths(a, [](OneInt& st) { (void)(st.v < 10); });
+  // Force both paths to the same TF by assigning a constant.
+  for (auto& p : pa) {
+    p.v = 7;
+  }
+  ASSERT_TRUE(TryMergePaths(pa[0], pa[1]));
+  EXPECT_TRUE(pa[0].v.domain().IsFull());
+}
+
+// --- composition -------------------------------------------------------------------
+
+TEST(SymIntCompose, ConcreteEarlierSatisfiesConstraint) {
+  OneInt later;
+  MakeSymbolicState(later);
+  auto paths = ExplorePaths(later, [](OneInt& st) {
+    if (st.v < 10) {
+      st.v += 1;
+    }
+  });
+  OneInt earlier;  // concrete 0
+  const auto composed = ComposePath(paths[0], earlier);
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(composed->v.Value(), 1);  // 0 + 1
+  // The other path rejects the concrete value 0.
+  EXPECT_FALSE(ComposePath(paths[1], earlier).has_value());
+}
+
+TEST(SymIntCompose, SymbolicChainComposesAffineForms) {
+  OneInt a;
+  MakeSymbolicState(a);
+  auto add2 = ExplorePaths(a, [](OneInt& st) { st.v += 2; });
+  ASSERT_EQ(add2.size(), 1u);
+  auto times3 = ExplorePaths(a, [](OneInt& st) { st.v *= 3; });
+  ASSERT_EQ(times3.size(), 1u);
+  // (x*3) after (x+2) = 3x + 6.
+  const auto composed = ComposePath(times3[0], add2[0]);
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(composed->v.affine(), (AffineForm{3, 6}));
+}
+
+TEST(SymIntCompose, ConstraintPreimageIntersectsEarlierDomain) {
+  OneInt a;
+  MakeSymbolicState(a);
+  // Earlier segment: x in [0, max] (after branch), value x + 5.
+  auto earlier = ExplorePaths(a, [](OneInt& st) {
+    if (st.v >= 0) {
+      st.v += 5;
+    }
+  });
+  // Later segment: accepts input y <= 20, output y * 2.
+  auto later = ExplorePaths(a, [](OneInt& st) {
+    if (st.v <= 20) {
+      st.v *= 2;
+    }
+  });
+  // earlier[1] is the x >= 0 path (value x + 5); earlier[0] is x < 0.
+  // Compose later[0] (y <= 20, value 2y) through earlier[1]:
+  // x + 5 <= 20 => x in [0, 15]; value 2x + 10.
+  const auto composed = ComposePath(later[0], earlier[1]);
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(composed->v.domain(), (Interval{0, 15}));
+  EXPECT_EQ(composed->v.affine(), (AffineForm{2, 10}));
+}
+
+TEST(SymIntCompose, InfeasiblePairRejected) {
+  OneInt a;
+  MakeSymbolicState(a);
+  auto earlier = ExplorePaths(a, [](OneInt& st) {
+    if (st.v < 0) {
+      st.v = -1;  // concrete -1 under x < 0
+    }
+  });
+  auto later = ExplorePaths(a, [](OneInt& st) {
+    (void)(st.v >= 0);  // splits into y <= -1 (first) and y >= 0 (second)
+  });
+  // earlier[0] outputs -1; later[1] requires y >= 0: infeasible.
+  EXPECT_FALSE(ComposePath(later[1], earlier[0]).has_value());
+  // later[0] (y < 0) accepts it.
+  EXPECT_TRUE(ComposePath(later[0], earlier[0]).has_value());
+}
+
+// --- serialization -------------------------------------------------------------------
+
+TEST(SymIntSerialize, RoundTripPreservesCanonicalForm) {
+  OneInt s;
+  MakeSymbolicState(s);
+  auto paths = ExplorePaths(s, [](OneInt& st) {
+    if (st.v < 100) {
+      st.v *= 2;
+      st.v += 7;
+    }
+  });
+  for (const OneInt& p : paths) {
+    BinaryWriter w;
+    SerializeState(p, w);
+    OneInt back;
+    BinaryReader r(w.buffer());
+    DeserializeState(back, r);
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(back.v.domain(), p.v.domain());
+    EXPECT_EQ(back.v.affine(), p.v.affine());
+    EXPECT_EQ(back.v.field_index(), p.v.field_index());
+  }
+}
+
+}  // namespace
+}  // namespace symple

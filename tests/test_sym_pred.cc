@@ -1,0 +1,235 @@
+// Unit tests for SymPred black-box predicates (paper Section 4.4) and the
+// predicate registry.
+#include "core/sym_pred.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/sym_struct.h"
+#include "tests/test_util.h"
+
+namespace symple {
+namespace {
+
+bool WithinTen(const int64_t& sym, const int64_t& val) {
+  const int64_t d = sym > val ? sym - val : val - sym;
+  return d <= 10;
+}
+const PredId kWithinTenPred = RegisterTypedPred<int64_t, &WithinTen>("test.within_ten");
+
+struct OnePred {
+  SymPred<int64_t> p{kWithinTenPred};
+  auto list_fields() { return std::tie(p); }
+};
+
+// --- registry -----------------------------------------------------------------
+
+TEST(PredRegistry, RegistrationIsIdempotent) {
+  const PredId again = RegisterTypedPred<int64_t, &WithinTen>("test.within_ten");
+  EXPECT_EQ(again, kWithinTenPred);
+}
+
+TEST(PredRegistry, FindByName) {
+  EXPECT_EQ(FindPred("test.within_ten"), kWithinTenPred);
+  EXPECT_EQ(FindPred("test.no_such_pred"), kInvalidPredId);
+}
+
+TEST(PredRegistry, NameLookup) {
+  EXPECT_EQ(PredName(kWithinTenPred), "test.within_ten");
+  EXPECT_EQ(PredName(kInvalidPredId), "<invalid>");
+}
+
+TEST(PredRegistry, LookupInvalidIdThrows) {
+  EXPECT_THROW(LookupPred(kInvalidPredId), SympleError);
+}
+
+bool AlwaysTrue(const int64_t&, const int64_t&) { return true; }
+
+TEST(PredRegistry, ConflictingRegistrationThrows) {
+  EXPECT_THROW((RegisterTypedPred<int64_t, &AlwaysTrue>("test.within_ten")),
+               SympleError);
+}
+
+// --- concrete behavior -----------------------------------------------------------
+
+TEST(SymPredConcrete, BoundEvaluatesDirectly) {
+  SymPred<int64_t> p(kWithinTenPred);
+  p.SetValue(100);
+  EXPECT_TRUE(p.EvalPred(105));
+  EXPECT_FALSE(p.EvalPred(150));
+  EXPECT_EQ(p.Value(), 100);
+  EXPECT_EQ(p.trace_size(), 0u);
+}
+
+TEST(SymPredConcrete, DefaultIsBoundToZeroValue) {
+  // The reducer's initial state must be fully concrete.
+  SymPred<int64_t> p(kWithinTenPred);
+  EXPECT_TRUE(p.is_concrete());
+  EXPECT_TRUE(p.EvalPred(5));  // |0 - 5| <= 10
+}
+
+TEST(SymPredConcrete, SymbolicEvalOutsideContextThrows) {
+  OnePred s;
+  MakeSymbolicState(s);
+  EXPECT_THROW(s.p.EvalPred(3), SympleError);
+}
+
+TEST(SymPredConcrete, ConstructionByName) {
+  SymPred<int64_t> p("test.within_ten");
+  p.SetValue(0);
+  EXPECT_TRUE(p.EvalPred(10));
+  EXPECT_THROW(SymPred<int64_t>("test.missing"), SympleError);
+}
+
+// --- symbolic exploration ----------------------------------------------------------
+
+TEST(SymPredSymbolic, UnboundExploresBothOutcomes) {
+  OnePred s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OnePred& st) {
+    if (st.p.EvalPred(42)) {
+      st.p.SetValue(1);
+    }
+  });
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_TRUE(paths[0].p.is_concrete());   // then: bound by SetValue
+  EXPECT_FALSE(paths[1].p.is_concrete());  // else: still the unknown
+  EXPECT_EQ(paths[0].p.trace_size(), 1u);
+  EXPECT_EQ(paths[1].p.trace_size(), 1u);
+}
+
+TEST(SymPredSymbolic, RepeatedArgumentIsConsistent) {
+  OnePred s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OnePred& st) {
+    const bool first = st.p.EvalPred(42);
+    const bool second = st.p.EvalPred(42);  // same unknown, same argument
+    EXPECT_EQ(first, second);
+  });
+  EXPECT_EQ(paths.size(), 2u);  // only one real decision
+}
+
+TEST(SymPredSymbolic, WindowedBindingStopsBlowup) {
+  // The paper's key observation: binding on every record means at most one
+  // blind fork per chunk.
+  OnePred s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](OnePred& st) {
+    for (int64_t v : {10, 12, 30, 31}) {
+      (void)st.p.EvalPred(v);
+      st.p.SetValue(v);  // window-1: bound from the second event on
+    }
+  });
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+// --- composition -------------------------------------------------------------------
+
+TEST(SymPredCompose, BoundEarlierRechecksTrace) {
+  OnePred s;
+  MakeSymbolicState(s);
+  auto paths = ExplorePaths(s, [](OnePred& st) { (void)st.p.EvalPred(42); });
+  // paths[0]: trace (42 -> true). paths[1]: trace (42 -> false).
+  OnePred close_input;
+  close_input.p.SetValue(45);  // within ten of 42
+  OnePred far_input;
+  far_input.p.SetValue(500);
+
+  EXPECT_TRUE(ComposePath(paths[0], close_input).has_value());
+  EXPECT_FALSE(ComposePath(paths[1], close_input).has_value());
+  EXPECT_FALSE(ComposePath(paths[0], far_input).has_value());
+  EXPECT_TRUE(ComposePath(paths[1], far_input).has_value());
+}
+
+TEST(SymPredCompose, ComposedValuePropagates) {
+  OnePred s;
+  MakeSymbolicState(s);
+  auto later = ExplorePaths(s, [](OnePred& st) { (void)st.p.EvalPred(0); });
+  OnePred earlier;
+  earlier.p.SetValue(7);
+  const auto composed = ComposePath(later[0], earlier);  // |7-0|<=10: feasible
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(composed->p.Value(), 7);  // the unknown resolved to 7
+}
+
+TEST(SymPredCompose, SymbolicChainConcatenatesTraces) {
+  OnePred s;
+  MakeSymbolicState(s);
+  auto first = ExplorePaths(s, [](OnePred& st) { (void)st.p.EvalPred(0); });
+  auto second = ExplorePaths(s, [](OnePred& st) { (void)st.p.EvalPred(100); });
+  // Unbound ∘ unbound: traces concatenate.
+  const auto composed = ComposePath(second[0], first[0]);
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(composed->p.trace_size(), 2u);
+  // Applying to a concrete value checks both recorded outcomes: no int64 is
+  // within ten of both 0 and 100, so every concrete input must be rejected.
+  for (int64_t v : {-5, 0, 5, 50, 95, 100, 105}) {
+    OnePred input;
+    input.p.SetValue(v);
+    EXPECT_FALSE(ComposePath(*composed, input).has_value()) << v;
+  }
+}
+
+TEST(SymPredCompose, ContradictoryTracesOnSameArgInfeasible) {
+  OnePred s;
+  MakeSymbolicState(s);
+  auto first = ExplorePaths(s, [](OnePred& st) { (void)st.p.EvalPred(42); });
+  auto second = ExplorePaths(s, [](OnePred& st) { (void)st.p.EvalPred(42); });
+  // first[0] says pred(x,42)=true, second[1] says pred(x,42)=false: no x.
+  EXPECT_FALSE(ComposePath(second[1], first[0]).has_value());
+  // Identical outcomes deduplicate instead.
+  const auto composed = ComposePath(second[0], first[0]);
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(composed->p.trace_size(), 1u);
+}
+
+// --- merging -----------------------------------------------------------------------
+
+TEST(SymPredMerge, IdenticalTracesMergeDifferentDoNot) {
+  OnePred s;
+  MakeSymbolicState(s);
+  auto paths = ExplorePaths(s, [](OnePred& st) { (void)st.p.EvalPred(42); });
+  OnePred a = paths[0];
+  OnePred b = paths[0];
+  EXPECT_TRUE(TryMergePaths(a, b));       // identical paths merge trivially
+  OnePred c = paths[1];                    // opposite outcome
+  EXPECT_FALSE(TryMergePaths(a, c));       // disjunction of traces: no form
+}
+
+// --- serialization -----------------------------------------------------------------
+
+TEST(SymPredSerialize, RoundTripWithTrace) {
+  OnePred s;
+  MakeSymbolicState(s);
+  auto paths = ExplorePaths(s, [](OnePred& st) {
+    (void)st.p.EvalPred(42);
+    (void)st.p.EvalPred(-7);
+  });
+  for (const OnePred& p : paths) {
+    BinaryWriter w;
+    SerializeState(p, w);
+    OnePred back;
+    BinaryReader r(w.buffer());
+    DeserializeState(back, r);
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_TRUE(back.p.ConstraintEquals(p.p));
+    EXPECT_TRUE(back.p.SameTransferFunction(p.p));
+    EXPECT_EQ(back.p.pred_id(), p.p.pred_id());
+  }
+}
+
+TEST(SymPredSerialize, BoundValueRoundTrips) {
+  OnePred s;
+  s.p.SetValue(1234567);
+  BinaryWriter w;
+  SerializeState(s, w);
+  OnePred back;
+  BinaryReader r(w.buffer());
+  DeserializeState(back, r);
+  EXPECT_EQ(back.p.Value(), 1234567);
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,185 @@
+// Tests for the state-struct protocol layer, including nested symbolic
+// structs (paper Section 4.5 "Symbolic Struct").
+#include "core/sym_struct.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/aggregator.h"
+#include "core/symple.h"
+#include "tests/test_util.h"
+
+namespace symple {
+namespace {
+
+// A nested symbolic struct used as a field of a larger state.
+struct Window {
+  SymInt lo = 0;
+  SymInt hi = 0;
+  auto list_fields() { return std::tie(lo, hi); }
+};
+
+struct NestedState {
+  SymBool active = false;
+  Window window;
+  SymVector<int64_t> out;
+  auto list_fields() { return std::tie(active, window, out); }
+};
+
+TEST(SymStruct, LeafCountRecursesThroughNestedStructs) {
+  NestedState s;
+  EXPECT_EQ(StateFieldCount(s), 4u);  // active, window.lo, window.hi, out
+}
+
+TEST(SymStruct, MakeSymbolicAssignsDistinctLeafIndices) {
+  NestedState s;
+  MakeSymbolicState(s);
+  EXPECT_EQ(s.active.field_index(), 0u);
+  EXPECT_EQ(s.window.lo.field_index(), 1u);
+  EXPECT_EQ(s.window.hi.field_index(), 2u);
+  EXPECT_FALSE(s.active.is_concrete());
+  EXPECT_FALSE(s.window.lo.is_concrete());
+}
+
+TEST(SymStruct, NestedSerializationRoundTrip) {
+  NestedState s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](NestedState& st) {
+    if (st.active) {
+      st.window.lo += 3;
+      st.out.push_back(st.window.lo);
+    }
+  });
+  ASSERT_EQ(paths.size(), 2u);
+  for (const NestedState& p : paths) {
+    BinaryWriter w;
+    SerializeState(p, w);
+    NestedState back;
+    BinaryReader r(w.buffer());
+    DeserializeState(back, r);
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_TRUE(SameTransferFunctions(back, p));
+    EXPECT_TRUE(SameConstraints(back, p));
+  }
+}
+
+TEST(SymStruct, NestedComposition) {
+  NestedState seg;
+  MakeSymbolicState(seg);
+  const auto paths = ExplorePaths(seg, [](NestedState& st) {
+    st.window.lo += 1;
+    st.window.hi *= 2;
+    st.out.push_back(st.window.hi);
+  });
+  ASSERT_EQ(paths.size(), 1u);
+  NestedState in;  // concrete defaults
+  in.active = true;
+  in.window.lo = 10;
+  in.window.hi = 7;
+  const auto out = ComposePath(paths[0], in);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->window.lo.Value(), 11);
+  EXPECT_EQ(out->window.hi.Value(), 14);
+  EXPECT_EQ(out->out.Values(), (std::vector<int64_t>{14}));  // 2 * 7
+  EXPECT_TRUE(out->active.BoolValue());
+}
+
+TEST(SymStruct, NestedVectorElementReferencesInnerField) {
+  // A SymVector element snapshotting a *nested* field must resolve through
+  // the correct leaf index during composition.
+  NestedState seg;
+  MakeSymbolicState(seg);
+  const auto paths = ExplorePaths(seg, [](NestedState& st) {
+    st.out.push_back(st.window.hi);  // symbolic: references leaf index 2
+  });
+  NestedState in;
+  in.window.hi = 99;
+  const auto out = ComposePath(paths[0], in);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->out.Values(), (std::vector<int64_t>{99}));
+}
+
+TEST(SymStruct, NestedAggregatorEquivalence) {
+  // End-to-end sequential-vs-symbolic equivalence for a UDA over the nested
+  // state, across random chunkings.
+  struct Event {
+    bool toggle;
+    int64_t v;
+  };
+  auto update = [](NestedState& s, const Event& e) {
+    if (e.toggle) {
+      s.active = !(s.active == true);
+    }
+    if (s.active) {
+      s.window.lo += e.v;
+      if (s.window.lo > 100) {
+        s.out.push_back(s.window.lo);
+        s.window.lo = 0;
+      }
+    }
+  };
+  SplitMix64 rng(21);
+  std::vector<Event> events;
+  for (int i = 0; i < 400; ++i) {
+    events.push_back(Event{rng.Chance(1, 5), rng.Range(0, 30)});
+  }
+  // Sequential.
+  NestedState expected;
+  for (const Event& e : events) {
+    update(expected, e);
+  }
+  // Symbolic over several chunkings.
+  for (size_t chunks : {1u, 3u, 7u}) {
+    std::vector<Summary<NestedState>> summaries;
+    const size_t per = events.size() / chunks + 1;
+    for (size_t c = 0; c < chunks; ++c) {
+      SymbolicAggregator<NestedState, Event, decltype(update)> agg(update);
+      for (size_t i = c * per; i < std::min(events.size(), (c + 1) * per); ++i) {
+        agg.Feed(events[i]);
+      }
+      for (auto& s : agg.Finish()) {
+        summaries.push_back(std::move(s));
+      }
+    }
+    NestedState got;
+    ASSERT_TRUE(ApplySummaries(summaries, got));
+    EXPECT_EQ(got.out.Values(), expected.out.Values()) << chunks;
+    EXPECT_EQ(got.window.lo.Value(), expected.window.lo.Value()) << chunks;
+    EXPECT_EQ(got.active.BoolValue(), expected.active.BoolValue()) << chunks;
+  }
+}
+
+TEST(SymStruct, MergeAcrossNestedFields) {
+  NestedState a;
+  MakeSymbolicState(a);
+  auto paths = ExplorePaths(a, [](NestedState& st) {
+    if (st.window.lo < 10) {
+      st.window.lo = 5;
+    } else {
+      st.window.lo = 5;  // same transfer function on both sides
+    }
+  });
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_TRUE(TryMergePaths(paths[0], paths[1]));
+  EXPECT_TRUE(paths[0].window.lo.domain().IsFull());
+}
+
+TEST(SymStruct, DebugStringMentionsEveryLeaf) {
+  NestedState s;
+  MakeSymbolicState(s);
+  const std::string dump = StateDebugString(s);
+  EXPECT_NE(dump.find("x1"), std::string::npos);  // window.lo's variable
+  EXPECT_NE(dump.find("x2"), std::string::npos);  // window.hi's variable
+}
+
+TEST(SymStruct, StateIsConcreteChecksAllLeaves) {
+  NestedState s;
+  EXPECT_TRUE(StateIsConcrete(s));
+  MakeSymbolicState(s);
+  EXPECT_FALSE(StateIsConcrete(s));
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,148 @@
+// Tests for SymTopK, the second user-defined data type on the Section 4.5
+// extension interface.
+#include "core/sym_topk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aggregator.h"
+#include "core/sym_struct.h"
+
+namespace symple {
+namespace {
+
+struct Top3State {
+  SymTopK<3> top;
+  auto list_fields() { return std::tie(top); }
+};
+
+void Top3Update(Top3State& s, const int64_t& e) { s.top.Observe(e); }
+
+using Agg = SymbolicAggregator<Top3State, int64_t, void (*)(Top3State&, const int64_t&)>;
+
+std::vector<int64_t> BruteTop3(std::vector<int64_t> values) {
+  std::sort(values.begin(), values.end(), std::greater<int64_t>());
+  if (values.size() > 3) {
+    values.resize(3);
+  }
+  return values;
+}
+
+TEST(SymTopK, ConcreteObserveKeepsDescendingTopK) {
+  SymTopK<3> t;
+  for (int64_t v : {5, 1, 9, 9, 2, 7}) {
+    t.Observe(v);
+  }
+  EXPECT_EQ(t.Values(), (std::vector<int64_t>{9, 9, 7}));
+}
+
+TEST(SymTopK, FewerThanKObservations) {
+  SymTopK<3> t;
+  t.Observe(4);
+  EXPECT_EQ(t.Values(), (std::vector<int64_t>{4}));
+}
+
+TEST(SymTopK, SymbolicNeverForks) {
+  Agg agg(&Top3Update);
+  SplitMix64 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    agg.Feed(rng.Range(-10000, 10000));
+    ASSERT_EQ(agg.live_path_count(), 1u);
+  }
+  EXPECT_EQ(agg.stats().decisions, 0u);
+}
+
+TEST(SymTopK, CompositionMatchesSequentialOnRandomChunkings) {
+  SplitMix64 rng(71);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = 5 + rng.Below(120);
+    std::vector<int64_t> all;
+    for (size_t i = 0; i < n; ++i) {
+      all.push_back(rng.Range(-500, 500));
+    }
+    std::vector<Summary<Top3State>> summaries;
+    size_t i = 0;
+    while (i < n) {
+      const size_t len = 1 + rng.Below(20);
+      Agg agg(&Top3Update);
+      for (size_t j = i; j < std::min(n, i + len); ++j) {
+        agg.Feed(all[j]);
+      }
+      i += len;
+      for (auto& s : agg.Finish()) {
+        // Wire round trip on the way.
+        BinaryWriter w;
+        s.Serialize(w);
+        Summary<Top3State> back;
+        BinaryReader r(w.buffer());
+        back.Deserialize(r);
+        summaries.push_back(std::move(back));
+      }
+    }
+    Top3State folded;
+    ASSERT_TRUE(ApplySummaries(summaries, folded));
+    EXPECT_EQ(folded.top.Values(), BruteTop3(all)) << trial;
+  }
+}
+
+TEST(SymTopK, SummaryIsOneCompactPath) {
+  Agg agg(&Top3Update);
+  for (int i = 0; i < 1000; ++i) {
+    agg.Feed(i);
+  }
+  const auto summaries = agg.Finish();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].path_count(), 1u);
+  BinaryWriter w;
+  summaries[0].Serialize(w);
+  EXPECT_LE(w.size(), 16u);  // flag + 3 varints + field + framing
+}
+
+TEST(SymTopK, SymbolicSegmentKeepsAtMostKCandidates) {
+  Top3State s;
+  MakeSymbolicState(s);
+  for (int i = 0; i < 100; ++i) {
+    s.top.Observe(i);
+  }
+  EXPECT_EQ(s.top.candidates(), (std::vector<int64_t>{99, 98, 97}));
+  EXPECT_FALSE(s.top.is_concrete());
+}
+
+TEST(SymTopK, EmptySegmentIsIdentity) {
+  Top3State seg;
+  MakeSymbolicState(seg);
+  Top3State in;
+  in.top.Observe(7);
+  in.top.Observe(3);
+  const auto out = ComposePath(seg, in);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->top.Values(), (std::vector<int64_t>{7, 3}));
+}
+
+TEST(SymTopK, OversizedWireCountRejected) {
+  BinaryWriter w;
+  w.WriteBool(true);
+  w.WriteVarUint(100);  // claims 100 candidates for K = 3
+  SymTopK<3> t;
+  BinaryReader r(w.buffer());
+  EXPECT_THROW(t.Deserialize(r), SympleError);
+}
+
+TEST(SymTopK, MergeRequiresIdenticalCandidates) {
+  Top3State a;
+  Top3State b;
+  MakeSymbolicState(a);
+  MakeSymbolicState(b);
+  a.top.Observe(5);
+  b.top.Observe(5);
+  EXPECT_TRUE(TryMergePaths(a, b));
+  b.top.Observe(6);
+  EXPECT_FALSE(TryMergePaths(a, b));
+}
+
+}  // namespace
+}  // namespace symple

@@ -1,0 +1,174 @@
+// Unit tests for SymVector append-only output vectors (paper Section 4.5):
+// symbolic elements, composition stitching, concretization.
+#include "core/sym_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/sym_bool.h"
+#include "core/sym_struct.h"
+#include "tests/test_util.h"
+
+namespace symple {
+namespace {
+
+struct CounterState {
+  SymInt count = 0;
+  SymVector<int64_t> out;
+  auto list_fields() { return std::tie(count, out); }
+};
+
+TEST(SymVectorConcrete, PushAndValues) {
+  SymVector<int64_t> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.is_concrete());
+  EXPECT_EQ(v.Values(), (std::vector<int64_t>{1, 2}));
+}
+
+TEST(SymVectorConcrete, StringElements) {
+  SymVector<std::string> v;
+  v.push_back(std::string("alpha"));
+  v.push_back(std::string("beta"));
+  EXPECT_EQ(v.Values(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(SymVectorConcrete, PushConcreteSymInt) {
+  SymVector<int64_t> v;
+  SymInt c = 7;
+  v.push_back(c);
+  EXPECT_TRUE(v.is_concrete());
+  EXPECT_EQ(v.Values(), (std::vector<int64_t>{7}));
+}
+
+TEST(SymVectorSymbolic, PushSymbolicElementThenValuesThrows) {
+  CounterState s;
+  MakeSymbolicState(s);
+  const auto paths = ExplorePaths(s, [](CounterState& st) {
+    st.count += 5;
+    st.out.push_back(st.count);  // x + 5: symbolic element
+  });
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_FALSE(paths[0].out.is_concrete());
+  EXPECT_THROW((void)paths[0].out.Values(), SympleError);
+}
+
+TEST(SymVectorCompose, StitchesInInputOrder) {
+  CounterState earlier;  // concrete: count 0, pushes 1, 2
+  earlier.out.push_back(1);
+  earlier.out.push_back(2);
+  CounterState later;
+  MakeSymbolicState(later);
+  auto paths = ExplorePaths(later, [](CounterState& st) {
+    st.out.push_back(int64_t{3});
+  });
+  const auto composed = ComposePath(paths[0], earlier);
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(composed->out.Values(), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(SymVectorCompose, SymbolicElementConcretizesWhenInputResolves) {
+  // The paper's example: a UDA appends x + 5; a later composition resolving x
+  // concretizes the element.
+  CounterState later;
+  MakeSymbolicState(later);
+  auto paths = ExplorePaths(later, [](CounterState& st) {
+    st.count += 5;
+    st.out.push_back(st.count);
+  });
+  CounterState earlier;
+  earlier.count = 37;  // concrete input: element becomes 42
+  const auto composed = ComposePath(paths[0], earlier);
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(composed->out.Values(), (std::vector<int64_t>{42}));
+  EXPECT_EQ(composed->count.Value(), 42);
+}
+
+TEST(SymVectorCompose, SymbolicElementRewritesThroughSymbolicChain) {
+  // Segment A: count = x*2 (no push). Segment B: count += 1; push count.
+  CounterState seg;
+  MakeSymbolicState(seg);
+  auto a = ExplorePaths(seg, [](CounterState& st) { st.count *= 2; });
+  auto b = ExplorePaths(seg, [](CounterState& st) {
+    st.count += 1;
+    st.out.push_back(st.count);
+  });
+  const auto ba = ComposePath(b[0], a[0]);
+  ASSERT_TRUE(ba.has_value());
+  EXPECT_FALSE(ba->out.is_concrete());  // still 2x + 1 over A's input
+  // Resolve with a concrete input of 10 -> element 21.
+  CounterState start;
+  start.count = 10;
+  const auto resolved = ComposePath(*ba, start);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->out.Values(), (std::vector<int64_t>{21}));
+}
+
+struct FlagVecState {
+  SymBool flag = false;
+  SymVector<int64_t> out;
+  auto list_fields() { return std::tie(flag, out); }
+};
+
+TEST(SymVectorCompose, EnumSnapshotConcretizes) {
+  FlagVecState later;
+  MakeSymbolicState(later);
+  auto paths = ExplorePaths(later, [](FlagVecState& st) {
+    st.out.push_back(st.flag);  // snapshot of the unknown boolean as 0/1
+  });
+  ASSERT_EQ(paths.size(), 1u);
+  FlagVecState earlier;
+  earlier.flag = true;
+  const auto composed = ComposePath(paths[0], earlier);
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(composed->out.Values(), (std::vector<int64_t>{1}));
+}
+
+TEST(SymVectorMerge, EqualContentsMergeDifferingDoNot) {
+  CounterState a;
+  a.out.push_back(1);
+  CounterState b;
+  b.out.push_back(1);
+  EXPECT_TRUE(TryMergePaths(a, b));
+  CounterState c;
+  c.out.push_back(2);
+  EXPECT_FALSE(TryMergePaths(a, c));  // different vector transfer functions
+}
+
+TEST(SymVectorSerialize, RoundTripMixedElements) {
+  CounterState s;
+  MakeSymbolicState(s);
+  auto paths = ExplorePaths(s, [](CounterState& st) {
+    st.out.push_back(int64_t{11});
+    st.count += 3;
+    st.out.push_back(st.count);
+  });
+  BinaryWriter w;
+  SerializeState(paths[0], w);
+  CounterState back;
+  BinaryReader r(w.buffer());
+  DeserializeState(back, r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(back.out.SameTransferFunction(paths[0].out));
+  // Deserialized symbolic elements still compose correctly.
+  CounterState start;
+  start.count = 1;
+  const auto resolved = ComposePath(back, start);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->out.Values(), (std::vector<int64_t>{11, 4}));
+}
+
+TEST(SymVectorMakeSymbolic, ClearsLocalAppends) {
+  CounterState s;
+  s.out.push_back(9);
+  MakeSymbolicState(s);
+  EXPECT_TRUE(s.out.empty());
+}
+
+}  // namespace
+}  // namespace symple

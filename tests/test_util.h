@@ -1,0 +1,49 @@
+// Shared helpers for the SYMPLE unit tests.
+#ifndef SYMPLE_TESTS_TEST_UTIL_H_
+#define SYMPLE_TESTS_TEST_UTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/exec_context.h"
+
+namespace symple {
+
+// Explores every feasible path of `body` starting from (a copy of) `start`,
+// returning the resulting path states — a miniature version of the
+// SymbolicAggregator record loop for driving a single update by hand.
+template <typename State, typename Fn>
+std::vector<State> ExplorePaths(const State& start, Fn&& body) {
+  ExecContext ctx;
+  std::vector<State> out;
+  bool more = true;
+  while (more) {
+    State copy = start;
+    ctx.choices().Rewind();
+    {
+      ScopedExecContext scope(&ctx);
+      body(copy);
+    }
+    out.push_back(std::move(copy));
+    more = ctx.choices().Advance();
+  }
+  return out;
+}
+
+// Runs `body` on a copy of `start` in symbolic mode following a single fixed
+// path (all-first-outcomes); convenient when the test knows the branch is
+// forced or wants just the first path.
+template <typename State, typename Fn>
+State RunFirstPath(const State& start, Fn&& body) {
+  ExecContext ctx;
+  State copy = start;
+  {
+    ScopedExecContext scope(&ctx);
+    body(copy);
+  }
+  return copy;
+}
+
+}  // namespace symple
+
+#endif  // SYMPLE_TESTS_TEST_UTIL_H_

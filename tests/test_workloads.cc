@@ -1,0 +1,228 @@
+// Tests for the synthetic workload generators: determinism, format, temporal
+// ordering, and the presence of the patterns each query mines.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/text.h"
+#include "queries/all_queries.h"
+#include "runtime/engine.h"
+#include "workloads/bing_gen.h"
+#include "workloads/github_gen.h"
+#include "workloads/gps_gen.h"
+#include "workloads/redshift_gen.h"
+#include "workloads/twitter_gen.h"
+#include "workloads/webshop_gen.h"
+
+namespace symple {
+namespace {
+
+template <typename GenFn, typename Params>
+void ExpectDeterministic(GenFn gen, const Params& params) {
+  const Dataset a = gen(params);
+  const Dataset b = gen(params);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  EXPECT_EQ(a.segments, b.segments);
+}
+
+TEST(GithubGen, DeterministicAndOrdered) {
+  GithubGenParams p;
+  p.num_records = 3000;
+  p.num_segments = 4;
+  ExpectDeterministic(&GenerateGithubLog, p);
+  const Dataset ds = GenerateGithubLog(p);
+  EXPECT_EQ(ds.TotalRecords(), 3000u);
+  EXPECT_EQ(ds.segment_count(), 4u);
+  int64_t prev = 0;
+  for (const std::string& seg : ds.segments) {
+    LineCursor cur(seg);
+    while (const auto line = cur.Next()) {
+      const auto rec = ParseGithubLine(*line);
+      ASSERT_TRUE(rec.has_value());
+      EXPECT_GE(rec->second.ts, prev);  // globally time-ordered across segments
+      prev = rec->second.ts;
+    }
+  }
+}
+
+TEST(GithubGen, EveryLineParses) {
+  GithubGenParams p;
+  p.num_records = 2000;
+  const Dataset ds = GenerateGithubLog(p);
+  uint64_t parsed = 0;
+  for (const std::string& seg : ds.segments) {
+    LineCursor cur(seg);
+    while (const auto line = cur.Next()) {
+      EXPECT_TRUE(ParseGithubLine(*line).has_value()) << *line;
+      ++parsed;
+    }
+  }
+  EXPECT_EQ(parsed, 2000u);
+}
+
+TEST(GithubGen, ContainsQueryPatterns) {
+  GithubGenParams p;
+  p.num_records = 20000;
+  p.num_repos = 300;
+  const Dataset ds = GenerateGithubLog(p);
+  // The patterns G1-G4 mine must actually occur.
+  const auto g1 = RunSequential<G1OnlyPushes>(ds).outputs;
+  size_t push_only = 0;
+  for (const auto& [k, v] : g1) {
+    push_only += v ? 1 : 0;
+  }
+  EXPECT_GT(push_only, 0u);
+  EXPECT_LT(push_only, g1.size());
+
+  size_t g2_hits = 0;
+  for (const auto& [k, v] : RunSequential<G2OpsBeforeDelete>(ds).outputs) {
+    g2_hits += v.size();
+  }
+  EXPECT_GT(g2_hits, 0u);
+
+  size_t g3_windows = 0;
+  for (const auto& [k, v] : RunSequential<G3PullWindowOps>(ds).outputs) {
+    g3_windows += v.size();
+  }
+  EXPECT_GT(g3_windows, 0u);
+
+  size_t g4_gaps = 0;
+  for (const auto& [k, v] : RunSequential<G4BranchGap>(ds).outputs) {
+    g4_gaps += v.size();
+  }
+  EXPECT_GT(g4_gaps, 0u);
+}
+
+TEST(RedshiftGen, CondensedVariantIsSmallerButSameColumns) {
+  RedshiftGenParams p;
+  p.num_records = 3000;
+  RedshiftGenParams pc = p;
+  pc.condensed = true;
+  const Dataset full = GenerateRedshiftLog(p);
+  const Dataset cond = GenerateRedshiftLog(pc);
+  EXPECT_EQ(full.TotalRecords(), cond.TotalRecords());
+  // The condensed variant keeps only the four used columns, so the queries
+  // see identical results on both variants.
+  EXPECT_LT(cond.TotalBytes() * 2, full.TotalBytes());
+  EXPECT_EQ(RunSequential<R1Impressions>(full).outputs,
+            RunSequential<R1Impressions>(cond).outputs);
+  EXPECT_EQ(RunSequential<R4CampaignRuns>(full).outputs,
+            RunSequential<R4CampaignRuns>(cond).outputs);
+}
+
+TEST(RedshiftGen, ContainsQueryPatterns) {
+  RedshiftGenParams p;
+  p.num_records = 20000;
+  p.num_advertisers = 200;
+  const Dataset ds = GenerateRedshiftLog(p);
+  const auto r2 = RunSequential<R2SingleCountry>(ds).outputs;
+  size_t single = 0;
+  for (const auto& [k, v] : r2) {
+    single += v ? 1 : 0;
+  }
+  EXPECT_GT(single, 0u);
+  EXPECT_LT(single, r2.size());
+
+  size_t gaps = 0;
+  for (const auto& [k, v] : RunSequential<R3AdGaps>(ds).outputs) {
+    gaps += v.size();
+  }
+  EXPECT_GT(gaps, 0u);  // >1h inactivity gaps genuinely occur
+
+  size_t runs = 0;
+  for (const auto& [k, v] : RunSequential<R4CampaignRuns>(ds).outputs) {
+    runs += v.size();
+  }
+  EXPECT_GT(runs, 0u);
+}
+
+TEST(BingGen, OutagesArePresent) {
+  BingGenParams p;
+  p.num_records = 30000;
+  const Dataset ds = GenerateBingLog(p);
+  const auto b1 = RunSequential<B1GlobalOutages>(ds).outputs;
+  ASSERT_EQ(b1.size(), 1u);
+  EXPECT_GT(b1.at(0).size(), 0u);  // the injected global outages are detected
+
+  size_t area_outages = 0;
+  for (const auto& [k, v] : RunSequential<B2AreaOutages>(ds).outputs) {
+    area_outages += v.size();
+  }
+  EXPECT_GE(area_outages, b1.at(0).size());  // local ones add to global ones
+}
+
+TEST(BingGen, SessionsHaveMultipleQueries) {
+  BingGenParams p;
+  p.num_records = 10000;
+  const Dataset ds = GenerateBingLog(p);
+  size_t multi_query_sessions = 0;
+  for (const auto& [k, v] : RunSequential<B3UserSessions>(ds).outputs) {
+    for (int64_t c : v.first) {
+      multi_query_sessions += c > 1 ? 1 : 0;
+    }
+  }
+  EXPECT_GT(multi_query_sessions, 0u);
+}
+
+TEST(TwitterGen, SpamBurstsDetectable) {
+  TwitterGenParams p;
+  p.num_records = 20000;
+  p.num_hashtags = 200;
+  const Dataset ds = GenerateTwitterLog(p);
+  const auto t1 = RunSequential<T1SpamLearning>(ds).outputs;
+  size_t reported = 0;
+  for (const auto& [k, v] : t1) {
+    reported += v >= 0 ? 1 : 0;
+  }
+  EXPECT_GT(reported, 0u);
+  EXPECT_LT(reported, t1.size());  // some hashtags never burst
+}
+
+TEST(GpsGen, SessionsSplit) {
+  GpsGenParams p;
+  p.num_records = 8000;
+  const Dataset ds = GenerateGpsLog(p);
+  size_t closed_sessions = 0;
+  for (const auto& [k, v] : RunSequential<GpsSessionQuery>(ds).outputs) {
+    closed_sessions += v.size();
+  }
+  EXPECT_GT(closed_sessions, 0u);
+}
+
+TEST(WebshopGen, FunnelsComplete) {
+  WebshopGenParams p;
+  p.num_records = 30000;
+  const Dataset ds = GenerateWebshopLog(p);
+  size_t reported_items = 0;
+  for (const auto& [k, v] : RunSequential<FunnelQuery>(ds).outputs) {
+    reported_items += v.size();
+  }
+  EXPECT_GT(reported_items, 0u);
+}
+
+TEST(AllGens, SegmentSplitIsBalanced) {
+  GithubGenParams p;
+  p.num_records = 1000;
+  p.num_segments = 7;
+  const Dataset ds = GenerateGithubLog(p);
+  for (const std::string& seg : ds.segments) {
+    LineCursor cur(seg);
+    size_t lines = 0;
+    while (cur.Next().has_value()) {
+      ++lines;
+    }
+    EXPECT_NEAR(static_cast<double>(lines), 1000.0 / 7.0, 1.0);
+  }
+}
+
+TEST(AllGens, DifferentSeedsDifferentData) {
+  GithubGenParams a;
+  a.num_records = 100;
+  GithubGenParams b = a;
+  b.seed = a.seed + 1;
+  EXPECT_NE(GenerateGithubLog(a).segments, GenerateGithubLog(b).segments);
+}
+
+}  // namespace
+}  // namespace symple
