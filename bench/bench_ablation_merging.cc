@@ -9,6 +9,7 @@
 // Merging is what keeps summaries canonical and small; the schedule trades
 // merge-pass cost against live-path count.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "queries/all_queries.h"
@@ -18,14 +19,16 @@ namespace symple {
 namespace {
 
 template <typename Query>
-void RunConfig(const char* label, const Dataset& data, bool enable_merging,
-               bool only_at_highwater) {
+void RunConfig(const char* id, const char* label, const Dataset& data,
+               bool enable_merging, bool only_at_highwater) {
   EngineOptions options;
   options.map_slots = 4;
   options.reduce_slots = 4;
   options.aggregator.enable_merging = enable_merging;
   options.aggregator.merge_only_at_highwater = only_at_highwater;
   const auto run = RunSymple<Query>(data, options);
+  bench::BenchReport::AddRun(id, "symple", std::string("merging=") + label,
+                             run.stats);
   std::printf("%12s %12llu %12llu %14s %12llu %10.1f\n", label,
               static_cast<unsigned long long>(run.stats.exploration.paths_produced),
               static_cast<unsigned long long>(run.stats.exploration.paths_merged),
@@ -35,14 +38,14 @@ void RunConfig(const char* label, const Dataset& data, bool enable_merging,
 }
 
 template <typename Query>
-void Sweep(const char* id, const Dataset& data) {
-  std::printf("\n%s:\n", id);
+void Sweep(const char* id, const char* desc, const Dataset& data) {
+  std::printf("\n%s (%s):\n", id, desc);
   std::printf("%12s %12s %12s %14s %12s %10s\n", "merging", "explored", "merged",
               "shuffle", "summaries", "cpu ms");
   bench::PrintRule(78);
-  RunConfig<Query>("off", data, false, true);
-  RunConfig<Query>("highwater", data, true, true);
-  RunConfig<Query>("eager", data, true, false);
+  RunConfig<Query>(id, "off", data, false, true);
+  RunConfig<Query>(id, "highwater", data, true, true);
+  RunConfig<Query>(id, "eager", data, true, false);
 }
 
 }  // namespace
@@ -50,14 +53,16 @@ void Sweep(const char* id, const Dataset& data) {
 
 int main() {
   using namespace symple;
+  bench::BenchReport::Open("ablation_merging");
   bench::PrintHeader("Ablation: path merging policy (Section 3.5)");
-  Sweep<G3PullWindowOps>("G3 (pull-window counting)", bench::BenchGithub());
-  Sweep<T1SpamLearning>("T1 (spam-burst counter)", bench::BenchTwitter());
-  Sweep<R4CampaignRuns>("R4 (campaign runs, SymPred)",
+  Sweep<G3PullWindowOps>("G3", "pull-window counting", bench::BenchGithub());
+  Sweep<T1SpamLearning>("T1", "spam-burst counter", bench::BenchTwitter());
+  Sweep<R4CampaignRuns>("R4", "campaign runs, SymPred",
                         bench::BenchRedshift(/*condensed=*/true));
   std::printf(
       "\nReading: without merging the engine restarts more often (more\n"
       "summaries, more shuffle); the paper's high-water policy recovers nearly\n"
       "all of eager merging's path reduction at a fraction of the merge passes.\n");
+  bench::BenchReport::Write();
   return 0;
 }

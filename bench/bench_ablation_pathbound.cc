@@ -8,6 +8,7 @@
 // would have collapsed anyway. The default of 8 sits at the flat part of the
 // curve — the design point the paper picked.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "queries/all_queries.h"
@@ -17,8 +18,8 @@ namespace symple {
 namespace {
 
 template <typename Query>
-void Sweep(const char* id, const Dataset& data) {
-  std::printf("\n%s:\n", id);
+void Sweep(const char* id, const char* desc, const Dataset& data) {
+  std::printf("\n%s (%s):\n", id, desc);
   std::printf("%10s %12s %14s %14s %12s\n", "bound", "summaries", "shuffle",
               "explored", "map cpu ms");
   bench::PrintRule(68);
@@ -28,6 +29,8 @@ void Sweep(const char* id, const Dataset& data) {
     options.reduce_slots = 4;
     options.aggregator.max_live_paths = bound;
     const auto run = RunSymple<Query>(data, options);
+    bench::BenchReport::AddRun(id, "symple",
+                               "max_live_paths=" + std::to_string(bound), run.stats);
     std::printf("%10zu %12llu %14s %14llu %12.1f\n", bound,
                 static_cast<unsigned long long>(run.stats.summaries),
                 bench::HumanBytes(run.stats.shuffle_bytes).c_str(),
@@ -41,15 +44,17 @@ void Sweep(const char* id, const Dataset& data) {
 
 int main() {
   using namespace symple;
+  bench::BenchReport::Open("ablation_pathbound");
   bench::PrintHeader(
       "Ablation: live-path bound (summary-restart threshold, paper default 8)");
-  Sweep<T1SpamLearning>("T1 (equality splits on a symbolic counter)",
+  Sweep<T1SpamLearning>("T1", "equality splits on a symbolic counter",
                         bench::BenchTwitter());
-  Sweep<B3UserSessions>("B3 (session splits per user)", bench::BenchBing());
-  Sweep<G3PullWindowOps>("G3 (pull-window counting)", bench::BenchGithub());
+  Sweep<B3UserSessions>("B3", "session splits per user", bench::BenchBing());
+  Sweep<G3PullWindowOps>("G3", "pull-window counting", bench::BenchGithub());
   std::printf(
       "\nReading: bound=1 restarts after nearly every record with surviving\n"
       "ambiguity; 8 (paper default) captures almost all of the shuffle savings;\n"
       "larger bounds mostly add exploration work.\n");
+  bench::BenchReport::Write();
   return 0;
 }

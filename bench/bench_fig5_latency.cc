@@ -11,6 +11,7 @@
 // scan-dominated complete datasets; 2.5-5.9x longer on the condensed variant,
 // with R3c the weakest condensed win (datetime parsing dominates).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -41,10 +42,14 @@ Row MeasureQuery(const char* id, const Dataset& data, const ClusterConfig& clust
   options.reduce_slots = 4;
   const auto mr = RunBaselineMapReduce<Query>(data, options);
   const auto sym = RunSymple<Query>(data, options);
+  bench::BenchReport::AddRun(id, "mapreduce", "4x4 slots", mr.stats);
+  bench::BenchReport::AddRun(id, "symple", "4x4 slots", sym.stats);
   Row row;
   row.id = id;
   row.mr_min = EstimateLatency(mr.stats, cluster, scale, scale).total_s() / 60.0;
   row.sym_min = EstimateLatency(sym.stats, cluster, scale, scale).total_s() / 60.0;
+  bench::BenchReport::AddScalar(std::string(id) + ".mr_modeled_min", row.mr_min);
+  bench::BenchReport::AddScalar(std::string(id) + ".sym_modeled_min", row.sym_min);
   return row;
 }
 
@@ -58,6 +63,7 @@ void PrintRow(const Row& r) {
 
 int main() {
   using namespace symple;
+  bench::BenchReport::Open("fig5_latency");
   bench::PrintHeader(
       "Figure 5: Amazon EMR end-to-end latency (modeled minutes at paper scale)");
   std::printf("%-5s %12s %12s %10s\n", "", "MapReduce", "SYMPLE", "speedup");
@@ -106,5 +112,6 @@ int main() {
       "datasets (G*, R*: ~1.15-1.45x), large speedups on the condensed variant\n"
       "(R1c-R4c: ~2.5-5.9x), R3c the smallest condensed win (datetime parsing\n"
       "dominates both engines).\n");
+  bench::BenchReport::Write();
   return 0;
 }

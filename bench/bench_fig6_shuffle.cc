@@ -32,8 +32,12 @@ Row MeasureQuery(const char* id, const Dataset& data) {
   options.reduce_slots = 4;
   Row row;
   row.id = id;
-  row.mr_bytes = RunBaselineMapReduce<Query>(data, options).stats.shuffle_bytes;
-  row.sym_bytes = RunSymple<Query>(data, options).stats.shuffle_bytes;
+  const auto mr = RunBaselineMapReduce<Query>(data, options);
+  const auto sym = RunSymple<Query>(data, options);
+  bench::BenchReport::AddRun(id, "mapreduce", "4x4 slots", mr.stats);
+  bench::BenchReport::AddRun(id, "symple", "4x4 slots", sym.stats);
+  row.mr_bytes = mr.stats.shuffle_bytes;
+  row.sym_bytes = sym.stats.shuffle_bytes;
   return row;
 }
 
@@ -49,6 +53,7 @@ void PrintRow(const Row& r) {
 
 int main() {
   using namespace symple;
+  bench::BenchReport::Open("fig6_shuffle");
   bench::PrintHeader("Figure 6: shuffle data size, MapReduce vs SYMPLE");
   std::printf("%-5s %14s %14s %10s\n", "", "MapReduce", "SYMPLE", "reduction");
   bench::PrintRule(48);
@@ -78,10 +83,12 @@ int main() {
   geo = std::pow(geo, 1.0 / static_cast<double>(rows.size()));
   bench::PrintRule(48);
   std::printf("%-5s %45.1fx (geomean)\n", "AVG", geo);
+  bench::BenchReport::AddScalar("shuffle_reduction_geomean", geo);
 
   std::printf(
       "\nShape check vs paper Fig.6: github queries reduce shuffle by single-digit\n"
       "factors (high groupby parallelism), RedShift queries by 1-2 orders of\n"
       "magnitude (records-per-group vastly exceeds summary size).\n");
+  bench::BenchReport::Write();
   return 0;
 }

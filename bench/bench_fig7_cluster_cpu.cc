@@ -16,6 +16,7 @@
 // large savings for B1/B2; ~30% for T1; none for B3 (per-user groups leave
 // nothing for symbolic parallelism to lift).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -53,10 +54,14 @@ Row MeasureQuery(const char* id, const Dataset& data, double paper_bytes) {
   options.reduce_slots = 8;
   const auto mr = RunBaselineMapReduce<Query>(data, options);
   const auto sym = RunSymple<Query>(data, options);
+  bench::BenchReport::AddRun(id, "mapreduce", "8x8 slots", mr.stats);
+  bench::BenchReport::AddRun(id, "symple", "8x8 slots", sym.stats);
   Row row;
   row.id = id;
   row.mr_kilosec = TotalCpuKiloSec(mr.stats, scale);
   row.sym_kilosec = TotalCpuKiloSec(sym.stats, scale);
+  bench::BenchReport::AddScalar(std::string(id) + ".mr_cpu_kilosec", row.mr_kilosec);
+  bench::BenchReport::AddScalar(std::string(id) + ".sym_cpu_kilosec", row.sym_kilosec);
   return row;
 }
 
@@ -70,6 +75,7 @@ void PrintRow(const Row& r) {
 
 int main() {
   using namespace symple;
+  bench::BenchReport::Open("fig7_cluster_cpu");
   bench::PrintHeader(
       "Figure 7: cluster CPU usage (x1000 core-seconds at paper scale)");
   std::printf("%-4s %16s %16s %10s\n", "", "MapReduce", "SYMPLE", "saving");
@@ -92,5 +98,6 @@ int main() {
       "\nShape check vs paper Fig.7: clear CPU savings on G1-G4 and B1/B2;\n"
       "small or no saving on B3 and T1, whose per-user/per-hashtag groups give\n"
       "each mapper only a handful of records per group.\n");
+  bench::BenchReport::Write();
   return 0;
 }

@@ -18,6 +18,8 @@ void MeasureAndPrint(const char* id, const Dataset& data) {
   options.reduce_slots = 8;
   const auto mr = RunBaselineMapReduce<Query>(data, options);
   const auto sym = RunSymple<Query>(data, options);
+  bench::BenchReport::AddRun(id, "mapreduce", "8x8 slots", mr.stats);
+  bench::BenchReport::AddRun(id, "symple", "8x8 slots", sym.stats);
   std::printf("%-4s %14s %14s %12.1fx %10llu\n", id,
               bench::HumanBytes(mr.stats.shuffle_bytes).c_str(),
               bench::HumanBytes(sym.stats.shuffle_bytes).c_str(),
@@ -31,6 +33,7 @@ void MeasureAndPrint(const char* id, const Dataset& data) {
 
 int main() {
   using namespace symple;
+  bench::BenchReport::Open("fig8_cluster_shuffle");
   bench::PrintHeader("Figure 8: cluster shuffle data, MapReduce vs SYMPLE (log-scale spread)");
   std::printf("%-4s %14s %14s %12s %10s\n", "", "MapReduce", "SYMPLE", "reduction",
               "#groups");
@@ -54,5 +57,6 @@ int main() {
       "mapper instead of every record; no groupby parallelism), very high for\n"
       "B2; modest for B3/T1 where mappers must still emit per-user/per-hashtag\n"
       "records. Reduction tracks records-per-group-per-mapper.\n");
+  bench::BenchReport::Write();
   return 0;
 }

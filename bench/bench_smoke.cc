@@ -1,0 +1,224 @@
+// Stats-schema smoke check, wired into tier-1 ctest: runs one tiny benchmark
+// per engine (threaded sequential/baseline/SYMPLE plus the forked-process
+// SYMPLE), emits every observability artifact — BENCH_smoke.json via the
+// bench emitter, a RunReport, and a Chrome trace — then re-parses each one
+// and asserts the required keys exist. A schema regression in any emitter
+// fails this binary, and therefore tier-1, before any downstream tooling
+// notices.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "queries/all_queries.h"
+#include "runtime/engine.h"
+#include "runtime/process_engine.h"
+#include "workloads/github_gen.h"
+
+namespace symple {
+namespace {
+
+int g_failures = 0;
+
+void Require(bool ok, const std::string& what) {
+  if (!ok) {
+    ++g_failures;
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+  }
+}
+
+const obs::JsonValue* RequireKey(const obs::JsonValue& v, const std::string& key) {
+  const obs::JsonValue* found = v.Find(key);
+  Require(found != nullptr, "missing key '" + key + "'");
+  return found;
+}
+
+void RequireNumberKey(const obs::JsonValue& v, const std::string& key) {
+  const obs::JsonValue* found = RequireKey(v, key);
+  if (found != nullptr) {
+    Require(found->is_number(), "key '" + key + "' is not a number");
+  }
+}
+
+void CheckHistogram(const obs::JsonValue* h, const std::string& label) {
+  Require(h != nullptr && h->is_object(), label + " histogram missing");
+  if (h == nullptr) {
+    return;
+  }
+  for (const char* key : {"count", "sum", "min", "max", "mean", "p50", "p95"}) {
+    RequireNumberKey(*h, key);
+  }
+}
+
+void CheckRunReport(const obs::JsonValue& report, bool expect_exploration) {
+  const obs::JsonValue* schema = RequireKey(report, "schema");
+  Require(schema != nullptr && schema->string_value == "symple.run_report/1",
+          "run_report schema tag");
+  RequireKey(report, "query");
+  RequireKey(report, "engine");
+  RequireKey(report, "config");
+  const obs::JsonValue* totals = RequireKey(report, "totals");
+  if (totals != nullptr) {
+    for (const char* key :
+         {"total_wall_ms", "map_wall_ms", "shuffle_wall_ms", "reduce_wall_ms",
+          "map_cpu_ms", "reduce_cpu_ms", "input_bytes", "input_records",
+          "parsed_records", "shuffle_bytes", "groups", "summaries", "summary_paths",
+          "throughput_mbps"}) {
+      RequireNumberKey(*totals, key);
+    }
+  }
+  const obs::JsonValue* exploration = RequireKey(report, "exploration");
+  if (exploration != nullptr && expect_exploration) {
+    const obs::JsonValue* runs = exploration->Find("runs");
+    Require(runs != nullptr && runs->number > 0, "symple exploration.runs > 0");
+  }
+  const obs::JsonValue* map_tasks = RequireKey(report, "map_tasks");
+  if (map_tasks != nullptr) {
+    RequireNumberKey(*map_tasks, "count");
+    CheckHistogram(map_tasks->Find("wall_us"), "map_tasks.wall_us");
+    CheckHistogram(map_tasks->Find("cpu_us"), "map_tasks.cpu_us");
+  }
+  const obs::JsonValue* reduce_tasks = RequireKey(report, "reduce_tasks");
+  if (reduce_tasks != nullptr) {
+    RequireNumberKey(*reduce_tasks, "count");
+    CheckHistogram(reduce_tasks->Find("wall_us"), "reduce_tasks.wall_us");
+  }
+  RequireKey(report, "groups");
+}
+
+}  // namespace
+}  // namespace symple
+
+int main() {
+  using namespace symple;
+
+  if (!obs::Enabled()) {
+    // The schema checks require live instrumentation; with SYMPLE_OBS_DISABLE
+    // set there is nothing to validate.
+    std::printf("bench_smoke: observability disabled via SYMPLE_OBS_DISABLE, "
+                "skipping\n");
+    return 0;
+  }
+
+  bench::BenchReport::Open("smoke");
+
+  GithubGenParams p;
+  p.num_records = 4000;
+  p.num_segments = 6;
+  p.num_repos = 60;
+  p.filler_bytes = 8;
+  const Dataset data = GenerateGithubLog(p);
+
+  obs::Tracer tracer;
+  std::vector<obs::RunReport> reports;
+
+  EngineOptions seq_opts;
+  obs::RunObserver seq_obs("sequential", &tracer, 1);
+  seq_opts.observer = &seq_obs;
+  const auto seq = RunSequential<G1OnlyPushes>(data, seq_opts);
+  bench::BenchReport::AddRun("G1", "sequential", "1 thread", seq.stats);
+  reports.push_back(MakeRunReport("G1", "sequential", seq_opts, seq.stats, &seq_obs));
+
+  EngineOptions mr_opts;
+  obs::RunObserver mr_obs("mapreduce", &tracer, 2);
+  mr_opts.observer = &mr_obs;
+  const auto mr = RunBaselineMapReduce<G1OnlyPushes>(data, mr_opts);
+  bench::BenchReport::AddRun("G1", "mapreduce", "4x4 slots", mr.stats);
+  reports.push_back(MakeRunReport("G1", "mapreduce", mr_opts, mr.stats, &mr_obs));
+  Require(mr.outputs == seq.outputs, "mapreduce output equals sequential");
+  Require(mr.stats.shuffle_wall_ms > 0,
+          "baseline mapreduce populates shuffle_wall_ms");
+
+  EngineOptions sym_opts;
+  obs::RunObserver sym_obs("symple", &tracer, 3);
+  sym_opts.observer = &sym_obs;
+  const auto sym = RunSymple<G1OnlyPushes>(data, sym_opts);
+  bench::BenchReport::AddRun("G1", "symple", "4x4 slots", sym.stats);
+  reports.push_back(MakeRunReport("G1", "symple", sym_opts, sym.stats, &sym_obs));
+  Require(sym.outputs == seq.outputs, "symple output equals sequential");
+
+  EngineOptions forked_opts;
+  forked_opts.map_slots = 2;
+  obs::RunObserver forked_obs("symple_forked", &tracer, 4);
+  forked_opts.observer = &forked_obs;
+  const auto forked = RunSympleForked<G1OnlyPushes>(data, forked_opts);
+  bench::BenchReport::AddRun("G1", "symple_forked", "2 processes", forked.stats);
+  reports.push_back(
+      MakeRunReport("G1", "symple_forked", forked_opts, forked.stats, &forked_obs));
+  Require(forked.outputs == seq.outputs, "forked symple output equals sequential");
+
+  // --- validate the RunReport JSON ----------------------------------------------
+  for (size_t i = 0; i < reports.size(); ++i) {
+    obs::JsonValue doc;
+    std::string error;
+    Require(obs::ParseJson(reports[i].ToJson(), &doc, &error),
+            "run report " + reports[i].engine + " parses: " + error);
+    CheckRunReport(doc, /*expect_exploration=*/reports[i].engine == "symple");
+  }
+
+  // --- validate the Chrome trace ------------------------------------------------
+  {
+    obs::JsonValue doc;
+    std::string error;
+    Require(obs::ParseJson(tracer.ToChromeTraceJson(), &doc, &error),
+            "chrome trace parses: " + error);
+    const obs::JsonValue* events = doc.Find("traceEvents");
+    Require(events != nullptr && events->is_array() && !events->array.empty(),
+            "trace has events");
+    if (events != nullptr) {
+      size_t map_spans = 0;
+      size_t reduce_spans = 0;
+      for (const obs::JsonValue& e : events->array) {
+        const obs::JsonValue* name = e.Find("name");
+        if (name == nullptr) {
+          continue;
+        }
+        map_spans += name->string_value == "map_task";
+        reduce_spans += name->string_value == "reduce_task";
+      }
+      // sequential(1) + mapreduce(6) + symple(6) + forked(2 workers) map spans.
+      Require(map_spans == 15, "trace records one span per map task");
+      Require(reduce_spans > 0, "trace records reduce task spans");
+    }
+  }
+
+  // --- validate the bench emitter JSON ------------------------------------------
+  {
+    obs::JsonValue doc;
+    std::string error;
+    Require(obs::ParseJson(bench::BenchReport::ToJson(), &doc, &error),
+            "bench report parses: " + error);
+    const obs::JsonValue* schema = doc.Find("schema");
+    Require(schema != nullptr && schema->string_value == "symple.bench/1",
+            "bench schema tag");
+    RequireNumberKey(doc, "scale");
+    const obs::JsonValue* runs = doc.Find("runs");
+    Require(runs != nullptr && runs->is_array() && runs->array.size() == 4,
+            "bench report has all four runs");
+    if (runs != nullptr) {
+      for (const obs::JsonValue& run : runs->array) {
+        RequireKey(run, "query");
+        RequireKey(run, "engine");
+        RequireKey(run, "config");
+        const obs::JsonValue* stats = RequireKey(run, "stats");
+        if (stats != nullptr) {
+          RequireNumberKey(*stats, "total_wall_ms");
+          RequireNumberKey(*stats, "shuffle_bytes");
+          RequireKey(*stats, "exploration");
+        }
+      }
+    }
+  }
+
+  bench::BenchReport::Write();
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "bench_smoke: %d check(s) failed\n", g_failures);
+    return 1;
+  }
+  std::printf("bench_smoke: all observability schema checks passed\n");
+  return 0;
+}

@@ -11,8 +11,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/json.h"
 #include "runtime/dataset.h"
+#include "runtime/engine_stats.h"
 #include "workloads/bing_gen.h"
 #include "workloads/github_gen.h"
 #include "workloads/gps_gen.h"
@@ -105,6 +109,101 @@ inline std::string HumanBytes(uint64_t bytes) {
   }
   return buf;
 }
+
+// --- machine-readable bench reports --------------------------------------------
+
+// Collects every engine run a bench binary measures and writes them as
+// BENCH_<name>.json next to the working directory (schema "symple.bench/1").
+// Usage: call BenchReport::Open("fig4_multicore") once at the top of main,
+// AddRun(...) wherever an EngineStats is measured, AddScalar(...) for derived
+// numbers (modeled throughputs, crossover points), and Write() before
+// returning. The emitted file is what the bench trajectory tooling ingests.
+class BenchReport {
+ public:
+  static BenchReport& Get() {
+    static BenchReport* report = new BenchReport();
+    return *report;
+  }
+
+  static void Open(const std::string& bench_name) { Get().name_ = bench_name; }
+
+  static void AddRun(const std::string& query, const std::string& engine,
+                     const std::string& config, const EngineStats& stats) {
+    Get().runs_.push_back(Run{query, engine, config, stats});
+  }
+
+  static void AddScalar(const std::string& name, double value) {
+    Get().scalars_.emplace_back(name, value);
+  }
+
+  // Serializes the report; exposed separately from Write() for validation.
+  static std::string ToJson() {
+    BenchReport& r = Get();
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.KV("schema", "symple.bench/1");
+    w.KV("bench", r.name_);
+    w.KV("scale", BenchScale());
+    w.Key("runs").BeginArray();
+    for (const Run& run : r.runs_) {
+      w.BeginObject();
+      w.KV("query", run.query);
+      w.KV("engine", run.engine);
+      w.KV("config", run.config);
+      w.Key("stats");
+      run.stats.AppendJson(w);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("scalars").BeginObject();
+    for (const auto& [name, value] : r.scalars_) {
+      w.KV(name, value);
+    }
+    w.EndObject();
+    w.EndObject();
+    return w.TakeString();
+  }
+
+  // Writes BENCH_<name>.json in the current directory (or `dir` when given).
+  // Returns true on success; failure is reported but non-fatal so benches
+  // still print their tables on read-only filesystems.
+  static bool Write(const std::string& dir = "") {
+    BenchReport& r = Get();
+    if (r.name_.empty()) {
+      return false;
+    }
+    const std::string path =
+        (dir.empty() ? std::string() : dir + "/") + "BENCH_" + r.name_ + ".json";
+    const std::string json = ToJson();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const bool closed = std::fclose(f) == 0;
+    if (written != json.size() || !closed) {
+      std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+      return false;
+    }
+    std::printf("bench report written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  BenchReport() = default;
+
+  struct Run {
+    std::string query;
+    std::string engine;
+    std::string config;
+    EngineStats stats;
+  };
+
+  std::string name_;
+  std::vector<Run> runs_;
+  std::vector<std::pair<std::string, double>> scalars_;
+};
 
 }  // namespace bench
 }  // namespace symple

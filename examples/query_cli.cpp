@@ -8,11 +8,17 @@
 //   $ ./query_cli R4 --engine symple
 //   $ ./query_cli G1 --save /tmp/github_ds       # generate + write to disk
 //   $ ./query_cli G1 --load /tmp/github_ds       # run from files on disk
+//   $ ./query_cli G3 --trace-out=/tmp/g3.trace.json   # chrome://tracing / Perfetto
+//   $ ./query_cli G3 --stats-json=/tmp/g3.json        # machine-readable RunReports
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "queries/all_queries.h"
 #include "runtime/dataset_io.h"
 #include "runtime/engine.h"
@@ -32,6 +38,8 @@ struct Options {
   size_t segments = 12;
   std::string save_dir;
   std::string load_dir;
+  std::string trace_out;   // Chrome trace_event JSON
+  std::string stats_json;  // RunReport set JSON
 };
 
 void PrintStats(const char* label, const symple::EngineStats& stats, bool ok) {
@@ -39,6 +47,16 @@ void PrintStats(const char* label, const symple::EngineStats& stats, bool ok) {
               label, stats.total_wall_ms, stats.map_cpu_ms,
               static_cast<double>(stats.shuffle_bytes) / 1e3,
               ok ? "matches sequential" : "(reference)");
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  return written == content.size() && closed;
 }
 
 template <typename Query>
@@ -57,14 +75,41 @@ int RunQuery(const Options& options, symple::Dataset data) {
               static_cast<unsigned long long>(data.TotalRecords()),
               data.segment_count());
 
-  const auto seq = RunSequential<Query>(data);
+  // One tracer shared by every engine run: each engine gets its own Chrome
+  // trace "process" lane, so the runs appear side by side in Perfetto.
+  const bool observing = !options.trace_out.empty() || !options.stats_json.empty();
+  obs::Tracer tracer;
+  std::vector<obs::RunReport> reports;
+
+  auto run_engine = [&](const char* name, uint32_t pid, auto run_fn) {
+    EngineOptions engine_options;
+    obs::RunObserver observer(name, options.trace_out.empty() ? nullptr : &tracer,
+                              pid);
+    if (observing) {
+      engine_options.observer = &observer;
+    }
+    auto result = run_fn(engine_options);
+    if (observing) {
+      reports.push_back(
+          MakeRunReport(Query::kName, name, engine_options, result.stats, &observer));
+    }
+    return result;
+  };
+
+  const auto seq = run_engine("sequential", 1, [&](const EngineOptions& opts) {
+    return RunSequential<Query>(data, opts);
+  });
   PrintStats("sequential", seq.stats, false);
   if (options.engine == "all" || options.engine == "mapreduce") {
-    const auto mr = RunBaselineMapReduce<Query>(data);
+    const auto mr = run_engine("mapreduce", 2, [&](const EngineOptions& opts) {
+      return RunBaselineMapReduce<Query>(data, opts);
+    });
     PrintStats("mapreduce", mr.stats, mr.outputs == seq.outputs);
   }
   if (options.engine == "all" || options.engine == "symple") {
-    const auto sym = RunSymple<Query>(data);
+    const auto sym = run_engine("symple", 3, [&](const EngineOptions& opts) {
+      return RunSymple<Query>(data, opts);
+    });
     PrintStats("symple", sym.stats, sym.outputs == seq.outputs);
     std::printf("symbolic:   %llu groups, %llu summaries, %llu paths, "
                 "%llu runs, %llu merges, %llu restarts\n",
@@ -79,8 +124,55 @@ int RunQuery(const Options& options, symple::Dataset data) {
       return 1;
     }
   }
+
+  if (!options.trace_out.empty()) {
+    if (tracer.WriteChromeTrace(options.trace_out)) {
+      std::printf("trace written to %s (open in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  options.trace_out.c_str());
+    } else {
+      std::printf("ERROR: failed to write trace to %s\n", options.trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!options.stats_json.empty()) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.KV("schema", "symple.run_report_set/1");
+    w.KV("query", Query::kName);
+    w.Key("reports").BeginArray();
+    for (const obs::RunReport& report : reports) {
+      report.AppendJson(w);
+    }
+    w.EndArray();
+    w.EndObject();
+    if (WriteFile(options.stats_json, w.TakeString())) {
+      std::printf("run reports written to %s\n", options.stats_json.c_str());
+    } else {
+      std::printf("ERROR: failed to write stats to %s\n", options.stats_json.c_str());
+      return 1;
+    }
+  }
   std::printf("\n");
   return 0;
+}
+
+// Accepts both "--flag value" and "--flag=value"; returns the value through
+// `out` and advances `i` past a space-separated value.
+bool FlagValue(int argc, char** argv, int& i, const char* flag, std::string* out) {
+  const size_t flag_len = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, flag_len) != 0) {
+    return false;
+  }
+  if (argv[i][flag_len] == '=') {
+    *out = argv[i] + flag_len + 1;
+    return true;
+  }
+  if (argv[i][flag_len] == '\0' && i + 1 < argc) {
+    *out = argv[++i];
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -89,23 +181,35 @@ int main(int argc, char** argv) {
   using namespace symple;
   Options options;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
-      options.records = static_cast<size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--segments") == 0 && i + 1 < argc) {
-      options.segments = static_cast<size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
-      options.engine = argv[++i];
-    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
-      options.save_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
-      options.load_dir = argv[++i];
+    std::string value;
+    if (FlagValue(argc, argv, i, "--records", &value)) {
+      options.records = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argc, argv, i, "--segments", &value)) {
+      options.segments = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argc, argv, i, "--engine", &value)) {
+      options.engine = value;
+    } else if (FlagValue(argc, argv, i, "--save", &value)) {
+      options.save_dir = value;
+    } else if (FlagValue(argc, argv, i, "--load", &value)) {
+      options.load_dir = value;
+    } else if (FlagValue(argc, argv, i, "--trace-out", &value)) {
+      options.trace_out = value;
+    } else if (FlagValue(argc, argv, i, "--stats-json", &value)) {
+      options.stats_json = value;
     } else {
       options.query = argv[i];
     }
   }
+  if (options.engine != "all" && options.engine != "sequential" &&
+      options.engine != "mapreduce" && options.engine != "symple") {
+    std::printf("unknown engine '%s' (expected sequential|mapreduce|symple|all)\n",
+                options.engine.c_str());
+    return 1;
+  }
   if (options.query.empty()) {
     std::printf("usage: query_cli <query> [--records N] [--segments N] "
-                "[--engine sequential|mapreduce|symple|all]\n\nqueries:\n");
+                "[--engine sequential|mapreduce|symple|all]\n"
+                "                 [--trace-out FILE] [--stats-json FILE]\n\nqueries:\n");
     for (const QueryInfo& info : AllQueryInfos()) {
       std::printf("  %-4s %-9s %s\n", info.id.c_str(), info.dataset.c_str(),
                   info.description.c_str());

@@ -106,8 +106,12 @@ class SymbolicAggregator {
       live_paths_.swap(scratch_paths_);
     }
 
+    if (live_paths_.size() > ctx_.stats().live_path_peak) {
+      ctx_.stats().live_path_peak = live_paths_.size();
+    }
     if (options_.enable_merging &&
         (!options_.merge_only_at_highwater || live_paths_.size() > highwater_)) {
+      ++ctx_.stats().merge_rounds;
       ctx_.stats().paths_merged += MergeStatePaths(live_paths_);
       if (live_paths_.size() > highwater_) {
         highwater_ = live_paths_.size();

@@ -20,20 +20,29 @@
 
 namespace symple {
 
-// Counters the engine exposes to benchmarks and tests.
+// Counters the engine exposes to benchmarks, tests, and the observability
+// subsystem (src/obs mirrors them into RunReport.exploration).
 struct ExplorationStats {
   uint64_t runs = 0;              // update-function executions
   uint64_t decisions = 0;         // both-feasible branch points hit
   uint64_t paths_produced = 0;    // feasible paths recorded
   uint64_t paths_merged = 0;      // paths eliminated by merging
+  uint64_t merge_rounds = 0;      // merge passes executed
   uint64_t summary_restarts = 0;  // fresh-state restarts (Section 5.2)
+  uint64_t live_path_peak = 0;    // max simultaneous live paths in any group
 
   ExplorationStats& operator+=(const ExplorationStats& o) {
     runs += o.runs;
     decisions += o.decisions;
     paths_produced += o.paths_produced;
     paths_merged += o.paths_merged;
+    merge_rounds += o.merge_rounds;
     summary_restarts += o.summary_restarts;
+    // The peak is a high-water mark, not additive: the merged view keeps the
+    // worst group seen anywhere.
+    if (o.live_path_peak > live_path_peak) {
+      live_path_peak = o.live_path_peak;
+    }
     return *this;
   }
 };

@@ -1,0 +1,110 @@
+// Minimal JSON support for the observability subsystem: a streaming writer
+// (used by the trace exporter, the run reporter, and the bench emitter) and a
+// small recursive-descent parser (used by tests and the bench smoke check to
+// validate emitted files). No external dependencies; the writer produces keys
+// in insertion order so golden-file tests are stable.
+#ifndef SYMPLE_OBS_JSON_H_
+#define SYMPLE_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symple {
+namespace obs {
+
+// --- writer --------------------------------------------------------------------
+
+// Streaming JSON writer. The caller is responsible for well-formedness
+// (matching Begin/End calls, Key before a value inside objects); the writer
+// handles commas, escaping, and number formatting. Doubles are printed with
+// enough precision to round-trip typical millisecond timings without noise.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  JsonWriter& Key(std::string_view name);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Key/value shorthands.
+  JsonWriter& KV(std::string_view key, std::string_view value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& KV(std::string_view key, const char* value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& KV(std::string_view key, uint64_t value) { return Key(key).Uint(value); }
+  JsonWriter& KV(std::string_view key, int64_t value) { return Key(key).Int(value); }
+  JsonWriter& KV(std::string_view key, int value) {
+    return Key(key).Int(static_cast<int64_t>(value));
+  }
+  JsonWriter& KV(std::string_view key, double value) { return Key(key).Double(value); }
+  JsonWriter& KV(std::string_view key, bool value) { return Key(key).Bool(value); }
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  static void AppendEscaped(std::string& out, std::string_view s);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // Whether the value about to be written at the current nesting level needs a
+  // preceding comma; one flag per open container.
+  std::vector<bool> need_comma_;
+  bool pending_key_ = false;  // a Key() was just written; next value follows ':'
+};
+
+// --- parsed value tree ---------------------------------------------------------
+
+// A parsed JSON document. Deliberately tiny: enough for tests and the bench
+// smoke binary to check "this file parses and these keys exist with sane
+// types". Numbers are kept as doubles (exact for the integer magnitudes the
+// reports contain).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const {
+    if (type != Type::kObject) {
+      return nullptr;
+    }
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+// Parses `text` into `out`. Returns false (and fills `error` with a position-
+// annotated message, when non-null) on malformed input or trailing garbage.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace symple
+
+#endif  // SYMPLE_OBS_JSON_H_

@@ -1,0 +1,230 @@
+#include "obs/report.h"
+
+#include "obs/json.h"
+
+namespace symple {
+namespace obs {
+
+void AppendHistogramJson(JsonWriter& w, const HistogramSnapshot& h) {
+  w.BeginObject();
+  w.KV("count", h.count);
+  w.KV("sum", h.sum);
+  w.KV("min", h.min);
+  w.KV("max", h.max);
+  w.KV("mean", h.Mean());
+  w.KV("p50", h.Quantile(0.50));
+  w.KV("p95", h.Quantile(0.95));
+  w.EndObject();
+}
+
+namespace {
+
+void AppendExplorationJson(JsonWriter& w, const ExplorationTotals& e) {
+  w.BeginObject();
+  w.KV("runs", e.runs);
+  w.KV("decisions", e.decisions);
+  w.KV("paths_produced", e.paths_produced);
+  w.KV("paths_merged", e.paths_merged);
+  w.KV("merge_rounds", e.merge_rounds);
+  w.KV("summary_restarts", e.summary_restarts);
+  w.KV("live_path_peak", e.live_path_peak);
+  w.EndObject();
+}
+
+}  // namespace
+
+void RunReport::AppendJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.KV("schema", "symple.run_report/1");
+  w.KV("query", query);
+  w.KV("engine", engine);
+
+  w.Key("config").BeginObject();
+  for (const auto& [key, value] : config) {
+    w.KV(key, value);
+  }
+  w.EndObject();
+
+  w.Key("totals").BeginObject();
+  w.KV("total_wall_ms", totals.total_wall_ms);
+  w.KV("map_wall_ms", totals.map_wall_ms);
+  w.KV("shuffle_wall_ms", totals.shuffle_wall_ms);
+  w.KV("reduce_wall_ms", totals.reduce_wall_ms);
+  w.KV("map_cpu_ms", totals.map_cpu_ms);
+  w.KV("reduce_cpu_ms", totals.reduce_cpu_ms);
+  w.KV("input_bytes", totals.input_bytes);
+  w.KV("input_records", totals.input_records);
+  w.KV("parsed_records", totals.parsed_records);
+  w.KV("shuffle_bytes", totals.shuffle_bytes);
+  w.KV("groups", totals.groups);
+  w.KV("summaries", totals.summaries);
+  w.KV("summary_paths", totals.summary_paths);
+  w.KV("throughput_mbps", totals.throughput_mbps);
+  w.EndObject();
+
+  w.Key("exploration");
+  AppendExplorationJson(w, exploration);
+
+  w.Key("map_tasks").BeginObject();
+  w.KV("count", map_task_count);
+  w.Key("wall_us");
+  AppendHistogramJson(w, map_wall_us);
+  w.Key("cpu_us");
+  AppendHistogramJson(w, map_cpu_us);
+  w.Key("parsed_records");
+  AppendHistogramJson(w, map_parsed_records);
+  w.Key("packets");
+  AppendHistogramJson(w, map_packets);
+  w.Key("shuffle_bytes");
+  AppendHistogramJson(w, map_shuffle_bytes);
+  w.Key("summary_paths");
+  AppendHistogramJson(w, map_summary_paths);
+  w.EndObject();
+
+  w.Key("reduce_tasks").BeginObject();
+  w.KV("count", reduce_task_count);
+  w.Key("wall_us");
+  AppendHistogramJson(w, reduce_wall_us);
+  w.Key("cpu_us");
+  AppendHistogramJson(w, reduce_cpu_us);
+  w.Key("groups");
+  AppendHistogramJson(w, reduce_groups);
+  w.EndObject();
+
+  w.Key("groups").BeginObject();
+  w.Key("paths_per_group");
+  AppendHistogramJson(w, paths_per_group);
+  w.Key("summaries_per_group");
+  AppendHistogramJson(w, summaries_per_group);
+  w.EndObject();
+
+  w.KV("dropped_spans", dropped_spans);
+  w.EndObject();
+}
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  AppendJson(w);
+  return w.TakeString();
+}
+
+RunObserver::RunObserver(std::string engine, Tracer* tracer, uint32_t trace_pid)
+    : engine_(std::move(engine)), tracer_(tracer), trace_pid_(trace_pid) {
+  if (tracer_ != nullptr) {
+    tracer_->NameProcess(trace_pid_, engine_);
+  }
+}
+
+void RunObserver::OnMapTask(const MapTaskObs& t) {
+  ++map_task_count_;
+  const uint64_t wall_us =
+      t.end_us > t.start_us ? static_cast<uint64_t>(t.end_us - t.start_us) : 0;
+  const uint64_t cpu_us = static_cast<uint64_t>(t.cpu_ms * 1e3);
+  map_wall_us_.Record(wall_us);
+  map_cpu_us_.Record(cpu_us);
+  map_parsed_records_.Record(t.parsed);
+  map_packets_.Record(t.packets);
+  map_shuffle_bytes_.Record(t.bytes);
+  map_summary_paths_.Record(t.summary_paths);
+  paths_per_group_.Merge(t.paths_per_group);
+  summaries_per_group_.Merge(t.summaries_per_group);
+
+  // Mirror into the process-wide registry so long-lived services can scrape
+  // across runs.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("engine.map_tasks")->Increment();
+  reg.GetCounter("engine.parsed_records")->Add(t.parsed);
+  reg.GetCounter("engine.shuffle_bytes")->Add(t.bytes);
+  reg.GetCounter("engine.summary_paths")->Add(t.summary_paths);
+  reg.GetHistogram("engine.map_task_wall_us")->Record(wall_us);
+  reg.GetHistogram("engine.map_task_cpu_us")->Record(cpu_us);
+
+  if (tracer_ != nullptr) {
+    TraceSpan span;
+    span.name = "map_task";
+    span.category = "map";
+    span.pid = trace_pid_;
+    span.tid = t.mapper_id;
+    span.start_us = t.start_us;
+    span.duration_us = t.end_us - t.start_us;
+    span.args.emplace_back("records", t.records);
+    span.args.emplace_back("parsed", t.parsed);
+    span.args.emplace_back("packets", t.packets);
+    span.args.emplace_back("bytes", t.bytes);
+    if (t.summaries > 0) {
+      span.args.emplace_back("summaries", t.summaries);
+      span.args.emplace_back("summary_paths", t.summary_paths);
+      span.args.emplace_back("sym_runs", t.exploration.runs);
+      span.args.emplace_back("sym_decisions", t.exploration.decisions);
+      span.args.emplace_back("sym_paths_merged", t.exploration.paths_merged);
+      span.args.emplace_back("sym_restarts", t.exploration.summary_restarts);
+    }
+    tracer_->Record(std::move(span));
+  }
+}
+
+void RunObserver::OnReduceTask(const ReduceTaskObs& t) {
+  ++reduce_task_count_;
+  const uint64_t wall_us =
+      t.end_us > t.start_us ? static_cast<uint64_t>(t.end_us - t.start_us) : 0;
+  const uint64_t cpu_us = static_cast<uint64_t>(t.cpu_ms * 1e3);
+  reduce_wall_us_.Record(wall_us);
+  reduce_cpu_us_.Record(cpu_us);
+  reduce_groups_.Record(t.groups);
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("engine.reduce_tasks")->Increment();
+  reg.GetHistogram("engine.reduce_task_wall_us")->Record(wall_us);
+
+  if (tracer_ != nullptr) {
+    TraceSpan span;
+    span.name = "reduce_task";
+    span.category = "reduce";
+    span.pid = trace_pid_;
+    span.tid = t.reducer_id;
+    span.start_us = t.start_us;
+    span.duration_us = t.end_us - t.start_us;
+    span.args.emplace_back("groups", t.groups);
+    span.args.emplace_back("packets", t.packets);
+    tracer_->Record(std::move(span));
+  }
+}
+
+void RunObserver::OnPhase(const std::string& name, double start_us, double end_us,
+                          uint64_t detail, const std::string& detail_key) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  TraceSpan span;
+  span.name = name;
+  span.category = "engine";
+  span.pid = trace_pid_;
+  span.tid = 0;
+  span.start_us = start_us;
+  span.duration_us = end_us - start_us;
+  if (!detail_key.empty()) {
+    span.args.emplace_back(detail_key, detail);
+  }
+  tracer_->Record(std::move(span));
+}
+
+void RunObserver::FillReport(RunReport* report) const {
+  report->engine = engine_;
+  report->map_task_count = map_task_count_;
+  report->map_wall_us = map_wall_us_;
+  report->map_cpu_us = map_cpu_us_;
+  report->map_parsed_records = map_parsed_records_;
+  report->map_packets = map_packets_;
+  report->map_shuffle_bytes = map_shuffle_bytes_;
+  report->map_summary_paths = map_summary_paths_;
+  report->reduce_task_count = reduce_task_count_;
+  report->reduce_wall_us = reduce_wall_us_;
+  report->reduce_cpu_us = reduce_cpu_us_;
+  report->reduce_groups = reduce_groups_;
+  report->paths_per_group = paths_per_group_;
+  report->summaries_per_group = summaries_per_group_;
+  report->dropped_spans = tracer_ != nullptr ? tracer_->dropped() : 0;
+}
+
+}  // namespace obs
+}  // namespace symple

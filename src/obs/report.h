@@ -1,0 +1,172 @@
+// Run reporting: per-task observations collected during one engine run and
+// serialized as a stable, machine-readable JSON RunReport.
+//
+// Layering: obs knows nothing about the engines. The runtime fills the plain
+// observation structs below; RunObserver folds them into per-task histograms,
+// mirrors them into the global MetricsRegistry, and (when a Tracer is
+// attached) emits one trace span per task. EngineStats in src/runtime remains
+// the stable whole-run snapshot; the RunReport embeds those totals plus the
+// per-task distributions the snapshot cannot carry.
+#ifndef SYMPLE_OBS_REPORT_H_
+#define SYMPLE_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace symple {
+namespace obs {
+
+class JsonWriter;
+
+// Mirror of the runtime's symbolic-exploration counters (plain fields so obs
+// stays independent of src/core).
+struct ExplorationTotals {
+  uint64_t runs = 0;
+  uint64_t decisions = 0;
+  uint64_t paths_produced = 0;
+  uint64_t paths_merged = 0;
+  uint64_t merge_rounds = 0;
+  uint64_t summary_restarts = 0;
+  uint64_t live_path_peak = 0;
+};
+
+// Whole-run totals (mirror of EngineStats).
+struct RunTotals {
+  double total_wall_ms = 0;
+  double map_wall_ms = 0;
+  double shuffle_wall_ms = 0;
+  double reduce_wall_ms = 0;
+  double map_cpu_ms = 0;
+  double reduce_cpu_ms = 0;
+  uint64_t input_bytes = 0;
+  uint64_t input_records = 0;
+  uint64_t parsed_records = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t groups = 0;
+  uint64_t summaries = 0;
+  uint64_t summary_paths = 0;
+  double throughput_mbps = 0;
+};
+
+// One completed map task, reported by the engine after the task finished.
+struct MapTaskObs {
+  uint32_t mapper_id = 0;
+  double start_us = 0;  // on the observer's clock (NowUs)
+  double end_us = 0;
+  double cpu_ms = 0;
+  uint64_t records = 0;  // input records scanned
+  uint64_t parsed = 0;   // records surviving the groupby filter
+  uint64_t packets = 0;  // shuffle packets emitted
+  uint64_t bytes = 0;    // serialized packet bytes emitted
+  uint64_t summaries = 0;
+  uint64_t summary_paths = 0;
+  ExplorationTotals exploration;
+  // Per-group distributions within this task (SYMPLE engine only).
+  HistogramSnapshot paths_per_group;
+  HistogramSnapshot summaries_per_group;
+};
+
+// One completed reduce task (one reduce slot's share of the key runs).
+struct ReduceTaskObs {
+  uint32_t reducer_id = 0;
+  double start_us = 0;
+  double end_us = 0;
+  double cpu_ms = 0;
+  uint64_t groups = 0;   // key runs this task reduced
+  uint64_t packets = 0;  // packets consumed
+};
+
+// The full machine-readable record of one engine run.
+struct RunReport {
+  std::string query;
+  std::string engine;  // "sequential" | "mapreduce" | "symple" | forked variants
+  std::vector<std::pair<std::string, std::string>> config;
+
+  RunTotals totals;
+  ExplorationTotals exploration;
+
+  uint64_t map_task_count = 0;
+  HistogramSnapshot map_wall_us;
+  HistogramSnapshot map_cpu_us;
+  HistogramSnapshot map_parsed_records;
+  HistogramSnapshot map_packets;
+  HistogramSnapshot map_shuffle_bytes;
+  HistogramSnapshot map_summary_paths;
+
+  uint64_t reduce_task_count = 0;
+  HistogramSnapshot reduce_wall_us;
+  HistogramSnapshot reduce_cpu_us;
+  HistogramSnapshot reduce_groups;
+
+  HistogramSnapshot paths_per_group;
+  HistogramSnapshot summaries_per_group;
+
+  uint64_t dropped_spans = 0;
+
+  // Appends this report as one JSON object ("symple.run_report/1").
+  void AppendJson(JsonWriter& w) const;
+  std::string ToJson() const;
+};
+
+// Appends a histogram as {"count","sum","min","max","mean","p50","p95"}.
+void AppendHistogramJson(JsonWriter& w, const HistogramSnapshot& h);
+
+// Collects task observations for one engine run. All On* methods are called
+// by the coordinating engine thread after the worker pool has quiesced, so no
+// locking is needed; timestamps were taken on the workers via NowUs(), which
+// is thread-safe.
+class RunObserver {
+ public:
+  // `tracer` may be null (report-only observation). `trace_pid` selects the
+  // Chrome-trace process lane for this run's spans, letting several engine
+  // runs share one trace file side by side.
+  explicit RunObserver(std::string engine, Tracer* tracer = nullptr,
+                       uint32_t trace_pid = 0);
+
+  Tracer* tracer() const { return tracer_; }
+  uint32_t trace_pid() const { return trace_pid_; }
+
+  // Clock for task timestamps: the attached tracer's epoch when present.
+  double NowUs() const { return tracer_ != nullptr ? tracer_->NowUs() : own_clock_.NowUs(); }
+
+  void OnMapTask(const MapTaskObs& t);
+  void OnReduceTask(const ReduceTaskObs& t);
+  // A named engine phase (e.g. "shuffle_sort"); also recorded as a span.
+  void OnPhase(const std::string& name, double start_us, double end_us,
+               uint64_t detail = 0, const std::string& detail_key = "");
+
+  // Folds everything observed into `report` (task histograms + counts).
+  void FillReport(RunReport* report) const;
+
+ private:
+  std::string engine_;
+  Tracer* tracer_;
+  Tracer own_clock_;  // unused for spans; provides NowUs when tracer_ is null
+  uint32_t trace_pid_;
+
+  uint64_t map_task_count_ = 0;
+  HistogramSnapshot map_wall_us_;
+  HistogramSnapshot map_cpu_us_;
+  HistogramSnapshot map_parsed_records_;
+  HistogramSnapshot map_packets_;
+  HistogramSnapshot map_shuffle_bytes_;
+  HistogramSnapshot map_summary_paths_;
+
+  uint64_t reduce_task_count_ = 0;
+  HistogramSnapshot reduce_wall_us_;
+  HistogramSnapshot reduce_cpu_us_;
+  HistogramSnapshot reduce_groups_;
+
+  HistogramSnapshot paths_per_group_;
+  HistogramSnapshot summaries_per_group_;
+};
+
+}  // namespace obs
+}  // namespace symple
+
+#endif  // SYMPLE_OBS_REPORT_H_

@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace symple {
+namespace obs {
+
+namespace {
+constexpr size_t kDefaultCapacity = 1 << 16;
+}  // namespace
+
+Tracer::Tracer(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity == 0 ? kDefaultCapacity : capacity) {}
+
+void Tracer::Record(TraceSpan span) {
+  if (!Enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void Tracer::NameProcess(uint32_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_names_.emplace_back(pid, std::move(name));
+}
+
+std::vector<TraceSpan> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  // Oldest-first: from the write cursor to the end, then the prefix.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  const std::vector<TraceSpan> spans = Spans();
+  std::vector<std::pair<uint32_t, std::string>> names;
+  uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names = process_names_;
+    dropped = dropped_;
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const auto& [pid, name] : names) {
+    w.BeginObject();
+    w.KV("name", "process_name");
+    w.KV("ph", "M");
+    w.KV("pid", static_cast<uint64_t>(pid));
+    w.KV("tid", static_cast<uint64_t>(0));
+    w.Key("args").BeginObject();
+    w.KV("name", name);
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const TraceSpan& s : spans) {
+    w.BeginObject();
+    w.KV("name", s.name);
+    w.KV("cat", s.category);
+    w.KV("ph", "X");  // complete event: ts + dur
+    w.KV("ts", s.start_us);
+    w.KV("dur", s.duration_us);
+    w.KV("pid", static_cast<uint64_t>(s.pid));
+    w.KV("tid", static_cast<uint64_t>(s.tid));
+    if (!s.args.empty()) {
+      w.Key("args").BeginObject();
+      for (const auto& [key, value] : s.args) {
+        w.KV(key, value);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KV("displayTimeUnit", "ms");
+  if (dropped > 0) {
+    w.KV("sympleDroppedSpans", dropped);
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ToChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  return written == json.size() && closed;
+}
+
+}  // namespace obs
+}  // namespace symple

@@ -1,0 +1,119 @@
+// Span tracer: per-task timing events recorded into a bounded ring buffer and
+// exported in the Chrome trace_event JSON format, loadable by
+// chrome://tracing and https://ui.perfetto.dev.
+//
+// Spans are recorded at task granularity (one per map task, reduce task,
+// shuffle sort, engine phase) — never per record — so even million-record
+// runs produce only segments+slots+a-few spans. The ring cap is a belt-and-
+// braces bound: once full, the oldest spans are overwritten and the exporter
+// reports how many were dropped.
+#ifndef SYMPLE_OBS_TRACE_H_
+#define SYMPLE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace symple {
+namespace obs {
+
+// One completed span. `args` are small key->integer annotations rendered into
+// the trace event's "args" object (record counts, byte counts, path counts).
+struct TraceSpan {
+  std::string name;      // e.g. "map_task"
+  std::string category;  // e.g. "map" | "shuffle" | "reduce" | "engine"
+  uint32_t pid = 0;      // logical process lane (one per engine run)
+  uint32_t tid = 0;      // logical thread lane (mapper/reducer id)
+  double start_us = 0;   // relative to the tracer epoch
+  double duration_us = 0;
+  std::vector<std::pair<std::string, uint64_t>> args;
+};
+
+class Tracer {
+ public:
+  // `capacity` bounds retained spans; 0 means the default (64K spans,
+  // ~10 MB worst case — far beyond any single run's task count).
+  explicit Tracer(size_t capacity = 0);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Microseconds since this tracer was constructed (the trace epoch).
+  double NowUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  // Records a completed span. Thread-safe; no-op when obs is disabled.
+  void Record(TraceSpan span);
+
+  // Names a pid lane ("process_name" metadata event), e.g. "symple engine".
+  void NameProcess(uint32_t pid, std::string name);
+
+  // Spans in recording order (oldest first). Snapshot under the lock.
+  std::vector<TraceSpan> Spans() const;
+
+  uint64_t dropped() const;
+  size_t size() const;
+
+  // Serializes everything as a Chrome trace_event JSON document.
+  std::string ToChromeTraceJson() const;
+
+  // Convenience: writes ToChromeTraceJson() to `path`. Returns false on I/O
+  // failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> ring_;
+  size_t next_ = 0;        // ring write cursor once full
+  uint64_t dropped_ = 0;   // spans overwritten after the ring filled
+  std::vector<std::pair<uint32_t, std::string>> process_names_;
+};
+
+// RAII span: measures construction-to-destruction and records on destruction.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string name, std::string category, uint32_t pid,
+             uint32_t tid)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      span_.name = std::move(name);
+      span_.category = std::move(category);
+      span_.pid = pid;
+      span_.tid = tid;
+      span_.start_us = tracer_->NowUs();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      span_.duration_us = tracer_->NowUs() - span_.start_us;
+      tracer_->Record(std::move(span_));
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void AddArg(std::string key, uint64_t value) {
+    if (tracer_ != nullptr) {
+      span_.args.emplace_back(std::move(key), value);
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  TraceSpan span_;
+};
+
+}  // namespace obs
+}  // namespace symple
+
+#endif  // SYMPLE_OBS_TRACE_H_

@@ -42,6 +42,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <string_view>
 #include <utility>
@@ -52,6 +53,7 @@
 #include "core/aggregator.h"
 #include "core/summary.h"
 #include "core/value_codec.h"
+#include "obs/report.h"
 #include "runtime/dataset.h"
 #include "runtime/engine_stats.h"
 #include "serialize/binary_io.h"
@@ -79,7 +81,39 @@ struct EngineOptions {
   ReduceMode reduce_mode = ReduceMode::kSequentialFold;
   // Symbolic exploration knobs (SYMPLE engine only).
   AggregatorOptions aggregator;
+  // Optional observability sink: when set, the engine reports one observation
+  // per map/reduce task (and trace spans, when the observer carries a
+  // Tracer). Null means zero instrumentation overhead beyond EngineStats.
+  obs::RunObserver* observer = nullptr;
 };
+
+// Fills an obs::RunReport from a finished run: engine config, the EngineStats
+// snapshot, and (when an observer was attached) the per-task distributions.
+inline obs::RunReport MakeRunReport(const std::string& query,
+                                    const std::string& engine_name,
+                                    const EngineOptions& options,
+                                    const EngineStats& stats,
+                                    const obs::RunObserver* observer = nullptr) {
+  obs::RunReport report;
+  if (observer != nullptr) {
+    observer->FillReport(&report);
+  }
+  report.query = query;
+  report.engine = engine_name;
+  report.config = {
+      {"map_slots", std::to_string(options.map_slots)},
+      {"reduce_slots", std::to_string(options.reduce_slots)},
+      {"reduce_mode",
+       options.reduce_mode == ReduceMode::kSequentialFold ? "fold" : "tree"},
+      {"max_live_paths", std::to_string(options.aggregator.max_live_paths)},
+      {"max_paths_per_record",
+       std::to_string(options.aggregator.max_paths_per_record)},
+      {"enable_merging", options.aggregator.enable_merging ? "true" : "false"},
+  };
+  report.totals = stats.ToRunTotals();
+  report.exploration = stats.ToExplorationTotals();
+  return report;
+}
 
 template <typename Query>
 struct RunResult {
@@ -141,10 +175,12 @@ uint64_t PacketBytes(const ShufflePacket<Key>& p) {
 // --- Sequential baseline ------------------------------------------------------
 
 template <typename Query>
-RunResult<Query> RunSequential(const Dataset& data) {
+RunResult<Query> RunSequential(const Dataset& data, const EngineOptions& options = {}) {
   using Key = typename Query::Key;
   using State = typename Query::State;
 
+  obs::RunObserver* observer = options.observer;
+  const double obs_start = observer != nullptr ? observer->NowUs() : 0;
   const auto t0 = std::chrono::steady_clock::now();
   RunResult<Query> result;
   result.stats.input_bytes = data.TotalBytes();
@@ -169,6 +205,17 @@ RunResult<Query> RunSequential(const Dataset& data) {
   result.stats.total_wall_ms = internal::MsSince(t0);
   result.stats.map_wall_ms = result.stats.total_wall_ms;
   result.stats.map_cpu_ms = result.stats.total_wall_ms;
+  if (observer != nullptr) {
+    // The whole scan is one logical map task (mapper 0, no shuffle/reduce).
+    obs::MapTaskObs t;
+    t.mapper_id = 0;
+    t.start_us = obs_start;
+    t.end_us = observer->NowUs();
+    t.cpu_ms = result.stats.map_cpu_ms;
+    t.records = result.stats.input_records;
+    t.parsed = result.stats.parsed_records;
+    observer->OnMapTask(t);
+  }
   return result;
 }
 
@@ -180,38 +227,85 @@ namespace internal {
 // packets and per-task stats. MapTask: (mapper_id) -> pair<packets, TaskStats>.
 struct TaskStats {
   double cpu_ms = 0;
+  uint64_t records = 0;  // input records scanned
   uint64_t parsed = 0;
   ExplorationStats exploration;
   uint64_t summaries = 0;
   uint64_t summary_paths = 0;
+  // Task wall span on the observer clock; 0/0 when no observer is attached.
+  double start_us = 0;
+  double end_us = 0;
+  // Per-group fan-out within this task (SYMPLE map tasks only).
+  obs::HistogramSnapshot paths_per_group;
+  obs::HistogramSnapshot summaries_per_group;
 };
+
+inline obs::ExplorationTotals ToObsExploration(const ExplorationStats& e) {
+  obs::ExplorationTotals t;
+  t.runs = e.runs;
+  t.decisions = e.decisions;
+  t.paths_produced = e.paths_produced;
+  t.paths_merged = e.paths_merged;
+  t.merge_rounds = e.merge_rounds;
+  t.summary_restarts = e.summary_restarts;
+  t.live_path_peak = e.live_path_peak;
+  return t;
+}
 
 template <typename Key, typename MapTaskFn>
 std::vector<ShufflePacket<Key>> RunMapPhase(size_t num_segments, size_t slots,
-                                            MapTaskFn map_task, EngineStats* stats) {
+                                            MapTaskFn map_task, EngineStats* stats,
+                                            obs::RunObserver* observer = nullptr) {
   std::vector<std::vector<ShufflePacket<Key>>> per_mapper(num_segments);
   std::vector<TaskStats> task_stats(num_segments);
   {
     ThreadPool pool(slots);
     for (size_t m = 0; m < num_segments; ++m) {
-      pool.Submit([m, &per_mapper, &task_stats, &map_task] {
+      pool.Submit([m, &per_mapper, &task_stats, &map_task, observer] {
+        TaskStats& ts = task_stats[m];
+        if (observer != nullptr) {
+          ts.start_us = observer->NowUs();
+        }
         const double cpu0 = ThreadCpuMs();
-        per_mapper[m] = map_task(static_cast<uint32_t>(m), &task_stats[m]);
-        task_stats[m].cpu_ms = ThreadCpuMs() - cpu0;
+        per_mapper[m] = map_task(static_cast<uint32_t>(m), &ts);
+        ts.cpu_ms = ThreadCpuMs() - cpu0;
+        if (observer != nullptr) {
+          ts.end_us = observer->NowUs();
+        }
       });
     }
     pool.Wait();
   }
   std::vector<ShufflePacket<Key>> packets;
   for (size_t m = 0; m < num_segments; ++m) {
-    stats->map_cpu_ms += task_stats[m].cpu_ms;
-    stats->parsed_records += task_stats[m].parsed;
-    stats->exploration += task_stats[m].exploration;
-    stats->summaries += task_stats[m].summaries;
-    stats->summary_paths += task_stats[m].summary_paths;
+    const TaskStats& ts = task_stats[m];
+    stats->map_cpu_ms += ts.cpu_ms;
+    stats->parsed_records += ts.parsed;
+    stats->exploration += ts.exploration;
+    stats->summaries += ts.summaries;
+    stats->summary_paths += ts.summary_paths;
+    uint64_t task_bytes = 0;
     for (auto& p : per_mapper[m]) {
-      stats->shuffle_bytes += PacketBytes(p);
+      task_bytes += PacketBytes(p);
       packets.push_back(std::move(p));
+    }
+    stats->shuffle_bytes += task_bytes;
+    if (observer != nullptr) {
+      obs::MapTaskObs t;
+      t.mapper_id = static_cast<uint32_t>(m);
+      t.start_us = ts.start_us;
+      t.end_us = ts.end_us;
+      t.cpu_ms = ts.cpu_ms;
+      t.records = ts.records;
+      t.parsed = ts.parsed;
+      t.packets = per_mapper[m].size();
+      t.bytes = task_bytes;
+      t.summaries = ts.summaries;
+      t.summary_paths = ts.summary_paths;
+      t.exploration = ToObsExploration(ts.exploration);
+      t.paths_per_group = ts.paths_per_group;
+      t.summaries_per_group = ts.summaries_per_group;
+      observer->OnMapTask(t);
     }
   }
   return packets;
@@ -221,10 +315,16 @@ std::vector<ShufflePacket<Key>> RunMapPhase(size_t num_segments, size_t slots,
 // `reduce_key(key, first, last)` on `slots` workers.
 template <typename Key, typename ReduceKeyFn>
 void RunShuffleAndReduce(std::vector<ShufflePacket<Key>>&& packets, size_t slots,
-                         ReduceKeyFn reduce_key, EngineStats* stats) {
+                         ReduceKeyFn reduce_key, EngineStats* stats,
+                         obs::RunObserver* observer = nullptr) {
+  const double obs_shuffle_start = observer != nullptr ? observer->NowUs() : 0;
   const auto t_shuffle = std::chrono::steady_clock::now();
   std::sort(packets.begin(), packets.end());
   stats->shuffle_wall_ms = MsSince(t_shuffle);
+  if (observer != nullptr) {
+    observer->OnPhase("shuffle_sort", obs_shuffle_start, observer->NowUs(),
+                      packets.size(), "packets");
+  }
 
   // Key runs.
   std::vector<std::pair<size_t, size_t>> runs;
@@ -238,27 +338,53 @@ void RunShuffleAndReduce(std::vector<ShufflePacket<Key>>&& packets, size_t slots
   }
   stats->groups = runs.size();
 
+  struct ReduceTaskStats {
+    double cpu_ms = 0;
+    double start_us = 0;
+    double end_us = 0;
+    uint64_t groups = 0;
+    uint64_t packets = 0;
+  };
   const auto t_reduce = std::chrono::steady_clock::now();
-  std::vector<double> task_cpu(slots, 0);
+  std::vector<ReduceTaskStats> task_stats(slots);
   {
     ThreadPool pool(slots);
     // Static partition of key runs over reduce slots (a key's packets must be
     // processed by a single reducer, like a Hadoop partition).
     for (size_t r = 0; r < slots; ++r) {
-      pool.Submit([r, slots, &runs, &packets, &reduce_key, &task_cpu] {
+      pool.Submit([r, slots, &runs, &packets, &reduce_key, &task_stats, observer] {
+        ReduceTaskStats& ts = task_stats[r];
+        if (observer != nullptr) {
+          ts.start_us = observer->NowUs();
+        }
         const double cpu0 = ThreadCpuMs();
         for (size_t k = r; k < runs.size(); k += slots) {
           reduce_key(packets[runs[k].first].key, &packets[runs[k].first],
                      &packets[runs[k].second]);
+          ++ts.groups;
+          ts.packets += runs[k].second - runs[k].first;
         }
-        task_cpu[r] = ThreadCpuMs() - cpu0;
+        ts.cpu_ms = ThreadCpuMs() - cpu0;
+        if (observer != nullptr) {
+          ts.end_us = observer->NowUs();
+        }
       });
     }
     pool.Wait();
   }
   stats->reduce_wall_ms = MsSince(t_reduce);
-  for (double ms : task_cpu) {
-    stats->reduce_cpu_ms += ms;
+  for (size_t r = 0; r < slots; ++r) {
+    stats->reduce_cpu_ms += task_stats[r].cpu_ms;
+    if (observer != nullptr) {
+      obs::ReduceTaskObs t;
+      t.reducer_id = static_cast<uint32_t>(r);
+      t.start_us = task_stats[r].start_us;
+      t.end_us = task_stats[r].end_us;
+      t.cpu_ms = task_stats[r].cpu_ms;
+      t.groups = task_stats[r].groups;
+      t.packets = task_stats[r].packets;
+      observer->OnReduceTask(t);
+    }
   }
 }
 
@@ -279,6 +405,7 @@ std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
   uint64_t rid = 0;
   while (const auto line = cursor.Next()) {
     const uint64_t record_id = rid++;
+    ++ts->records;
     auto rec = Query::Parse(*line);
     if (!rec.has_value()) {
       continue;
@@ -330,6 +457,7 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
   uint64_t rid = 0;
   while (const auto line = cursor.Next()) {
     const uint64_t record_id = rid++;
+    ++ts->records;
     auto rec = Query::Parse(*line);
     if (!rec.has_value()) {
       continue;
@@ -347,16 +475,20 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
     ts->exploration += group.agg.stats();
     std::vector<Summary<State>> summaries = group.agg.Finish();
     ts->summaries += summaries.size();
+    ts->summaries_per_group.Record(summaries.size());
     ShufflePacket<Key> p;
     p.key = key;
     p.mapper_id = mapper_id;
     p.record_id = group.first_record;
     BinaryWriter w;
     w.WriteVarUint(summaries.size());
+    uint64_t group_paths = 0;
     for (const Summary<State>& s : summaries) {
       ts->summary_paths += s.path_count();
+      group_paths += s.path_count();
       s.Serialize(w);
     }
+    ts->paths_per_group.Record(group_paths);
     p.blob = w.TakeBuffer();
     out.push_back(std::move(p));
   }
@@ -388,8 +520,9 @@ RunResult<Query> RunBaselineMapReduce(const Dataset& data,
                           internal::TaskStats* ts) -> std::vector<Packet> {
     return internal::BaselineMapSegment<Query>(data.segments[mapper_id], mapper_id, ts);
   };
-  std::vector<Packet> packets = internal::RunMapPhase<Key>(
-      data.segments.size(), options.map_slots, map_task, &result.stats);
+  std::vector<Packet> packets =
+      internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
+                                 &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   // Reduce: deserialize the ordered events and run the UDA concretely.
@@ -411,7 +544,7 @@ RunResult<Query> RunBaselineMapReduce(const Dataset& data,
         std::lock_guard<std::mutex> lock(out_mu);
         result.outputs.emplace(key, std::move(output));
       },
-      &result.stats);
+      &result.stats, options.observer);
 
   result.stats.total_wall_ms = internal::MsSince(t0);
   return result;
@@ -439,8 +572,9 @@ RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {
     return internal::SympleMapSegment<Query>(data.segments[mapper_id], mapper_id,
                                              options.aggregator, ts);
   };
-  std::vector<Packet> packets = internal::RunMapPhase<Key>(
-      data.segments.size(), options.map_slots, map_task, &result.stats);
+  std::vector<Packet> packets =
+      internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
+                                 &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   // Reduce: combine summaries in (mapper_id, record_id) order, either by
@@ -481,7 +615,7 @@ RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {
         std::lock_guard<std::mutex> lock(out_mu);
         result.outputs.emplace(key, std::move(output));
       },
-      &result.stats);
+      &result.stats, options.observer);
 
   result.stats.total_wall_ms = internal::MsSince(t0);
   return result;

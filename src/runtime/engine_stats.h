@@ -1,16 +1,44 @@
 // Measured statistics of one engine run — the raw material for every
 // evaluation figure (throughput, shuffle bytes, CPU seconds) and for the
-// cluster cost model.
+// cluster cost model. This struct is the *stable snapshot view*; per-task
+// distributions and traces live in the observability subsystem (src/obs),
+// which mirrors these totals into its machine-readable RunReport.
 #ifndef SYMPLE_RUNTIME_ENGINE_STATS_H_
 #define SYMPLE_RUNTIME_ENGINE_STATS_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <string>
 
 #include "core/exec_context.h"
+#include "obs/json.h"
+#include "obs/report.h"
 
 namespace symple {
+
+namespace internal {
+
+// Fixed-point decimal formatting without snprintf buffers: value rounded to
+// `decimals` fractional digits.
+inline std::string FormatFixed(double value, int decimals) {
+  if (value < 0) {
+    return "-" + FormatFixed(-value, decimals);
+  }
+  uint64_t scale = 1;
+  for (int i = 0; i < decimals; ++i) {
+    scale *= 10;
+  }
+  const uint64_t scaled = static_cast<uint64_t>(value * static_cast<double>(scale) + 0.5);
+  std::string out = std::to_string(scaled / scale);
+  if (decimals > 0) {
+    std::string frac = std::to_string(scaled % scale);
+    out.push_back('.');
+    out.append(static_cast<size_t>(decimals) - frac.size(), '0');
+    out += frac;
+  }
+  return out;
+}
+
+}  // namespace internal
 
 struct EngineStats {
   // Wall-clock phases (milliseconds), measured with steady_clock.
@@ -48,15 +76,77 @@ struct EngineStats {
   }
 
   std::string OneLine() const {
-    char buf[256];
-    snprintf(buf, sizeof(buf),
-             "wall=%.1fms (map %.1f, reduce %.1f) cpu=%.1fms shuffle=%.2fMB "
-             "groups=%llu summaries=%llu",
-             total_wall_ms, map_wall_ms, reduce_wall_ms, total_cpu_ms(),
-             static_cast<double>(shuffle_bytes) / 1e6,
-             static_cast<unsigned long long>(groups),
-             static_cast<unsigned long long>(summaries));
-    return buf;
+    std::string out = "wall=" + internal::FormatFixed(total_wall_ms, 1) + "ms (map " +
+                      internal::FormatFixed(map_wall_ms, 1) + ", shuffle " +
+                      internal::FormatFixed(shuffle_wall_ms, 1) + ", reduce " +
+                      internal::FormatFixed(reduce_wall_ms, 1) + ") cpu=" +
+                      internal::FormatFixed(total_cpu_ms(), 1) + "ms shuffle=" +
+                      internal::FormatFixed(static_cast<double>(shuffle_bytes) / 1e6, 2) +
+                      "MB groups=" + std::to_string(groups) +
+                      " summaries=" + std::to_string(summaries) +
+                      " summary_paths=" + std::to_string(summary_paths);
+    return out;
+  }
+
+  // Mirror into the observability report's plain totals struct.
+  obs::RunTotals ToRunTotals() const {
+    obs::RunTotals t;
+    t.total_wall_ms = total_wall_ms;
+    t.map_wall_ms = map_wall_ms;
+    t.shuffle_wall_ms = shuffle_wall_ms;
+    t.reduce_wall_ms = reduce_wall_ms;
+    t.map_cpu_ms = map_cpu_ms;
+    t.reduce_cpu_ms = reduce_cpu_ms;
+    t.input_bytes = input_bytes;
+    t.input_records = input_records;
+    t.parsed_records = parsed_records;
+    t.shuffle_bytes = shuffle_bytes;
+    t.groups = groups;
+    t.summaries = summaries;
+    t.summary_paths = summary_paths;
+    t.throughput_mbps = ThroughputMBps();
+    return t;
+  }
+
+  obs::ExplorationTotals ToExplorationTotals() const {
+    obs::ExplorationTotals e;
+    e.runs = exploration.runs;
+    e.decisions = exploration.decisions;
+    e.paths_produced = exploration.paths_produced;
+    e.paths_merged = exploration.paths_merged;
+    e.merge_rounds = exploration.merge_rounds;
+    e.summary_restarts = exploration.summary_restarts;
+    e.live_path_peak = exploration.live_path_peak;
+    return e;
+  }
+
+  // Appends the snapshot as a JSON object (used by the bench emitter).
+  void AppendJson(obs::JsonWriter& w) const {
+    w.BeginObject();
+    w.KV("total_wall_ms", total_wall_ms);
+    w.KV("map_wall_ms", map_wall_ms);
+    w.KV("shuffle_wall_ms", shuffle_wall_ms);
+    w.KV("reduce_wall_ms", reduce_wall_ms);
+    w.KV("map_cpu_ms", map_cpu_ms);
+    w.KV("reduce_cpu_ms", reduce_cpu_ms);
+    w.KV("input_bytes", input_bytes);
+    w.KV("input_records", input_records);
+    w.KV("parsed_records", parsed_records);
+    w.KV("shuffle_bytes", shuffle_bytes);
+    w.KV("groups", groups);
+    w.KV("summaries", summaries);
+    w.KV("summary_paths", summary_paths);
+    w.KV("throughput_mbps", ThroughputMBps());
+    w.Key("exploration").BeginObject();
+    w.KV("runs", exploration.runs);
+    w.KV("decisions", exploration.decisions);
+    w.KV("paths_produced", exploration.paths_produced);
+    w.KV("paths_merged", exploration.paths_merged);
+    w.KV("merge_rounds", exploration.merge_rounds);
+    w.KV("summary_restarts", exploration.summary_restarts);
+    w.KV("live_path_peak", exploration.live_path_peak);
+    w.EndObject();
+    w.EndObject();
   }
 };
 

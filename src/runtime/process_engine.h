@@ -87,12 +87,17 @@ ShufflePacket<Key> DeserializePacketFrame(BinaryReader& r) {
 
 // Forks `num_processes` workers; worker w runs map tasks for segments
 // s ≡ w (mod num_processes) via MapSegmentFn(segment, mapper_id) and streams
-// the packets back. Returns all packets; fills shuffle_bytes.
+// the packets back. Returns all packets; fills shuffle_bytes. With an
+// observer attached, the parent reports one observation per worker process
+// (its pipe-drain span plus packet/byte counts) — per-record counters die
+// with the worker, so forked-mode reports carry coarser map-side detail than
+// the threaded engines.
 template <typename Key, typename MapSegmentFn>
 std::vector<ShufflePacket<Key>> RunForkedMapPhase(const Dataset& data,
                                                   size_t num_processes,
                                                   MapSegmentFn map_segment,
-                                                  EngineStats* stats) {
+                                                  EngineStats* stats,
+                                                  obs::RunObserver* observer = nullptr) {
   if (num_processes == 0) {
     num_processes = 1;
   }
@@ -135,7 +140,11 @@ std::vector<ShufflePacket<Key>> RunForkedMapPhase(const Dataset& data,
 
   // Parent: drain every worker's stream.
   std::vector<ShufflePacket<Key>> packets;
+  uint32_t worker_id = 0;
   for (const Worker& worker : workers) {
+    const double drain_start = observer != nullptr ? observer->NowUs() : 0;
+    uint64_t worker_packets = 0;
+    uint64_t worker_bytes = 0;
     for (;;) {
       uint32_t size = 0;
       SYMPLE_CHECK(ReadAll(worker.read_fd, &size, sizeof(size)),
@@ -148,10 +157,23 @@ std::vector<ShufflePacket<Key>> RunForkedMapPhase(const Dataset& data,
                    "truncated packet frame from worker");
       BinaryReader r(payload.data(), payload.size());
       ShufflePacket<Key> p = DeserializePacketFrame<Key>(r);
-      stats->shuffle_bytes += PacketBytes(p);
+      const uint64_t bytes = PacketBytes(p);
+      stats->shuffle_bytes += bytes;
+      worker_bytes += bytes;
+      ++worker_packets;
       packets.push_back(std::move(p));
     }
     ::close(worker.read_fd);
+    if (observer != nullptr) {
+      obs::MapTaskObs t;
+      t.mapper_id = worker_id;
+      t.start_us = drain_start;
+      t.end_us = observer->NowUs();
+      t.packets = worker_packets;
+      t.bytes = worker_bytes;
+      observer->OnMapTask(t);
+    }
+    ++worker_id;
   }
   for (const Worker& worker : workers) {
     int status = 0;
@@ -185,7 +207,7 @@ RunResult<Query> RunSympleForked(const Dataset& data, const EngineOptions& optio
                                              &ts);
   };
   std::vector<Packet> packets = internal::RunForkedMapPhase<Key>(
-      data, options.map_slots, map_segment, &result.stats);
+      data, options.map_slots, map_segment, &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   std::mutex out_mu;
@@ -208,7 +230,7 @@ RunResult<Query> RunSympleForked(const Dataset& data, const EngineOptions& optio
         std::lock_guard<std::mutex> lock(out_mu);
         result.outputs.emplace(key, std::move(output));
       },
-      &result.stats);
+      &result.stats, options.observer);
   result.stats.total_wall_ms = internal::MsSince(t0);
   return result;
 }
@@ -233,7 +255,7 @@ RunResult<Query> RunBaselineForked(const Dataset& data,
     return internal::BaselineMapSegment<Query>(segment, mapper_id, &ts);
   };
   std::vector<Packet> packets = internal::RunForkedMapPhase<Key>(
-      data, options.map_slots, map_segment, &result.stats);
+      data, options.map_slots, map_segment, &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   std::mutex out_mu;
@@ -254,7 +276,7 @@ RunResult<Query> RunBaselineForked(const Dataset& data,
         std::lock_guard<std::mutex> lock(out_mu);
         result.outputs.emplace(key, std::move(output));
       },
-      &result.stats);
+      &result.stats, options.observer);
   result.stats.total_wall_ms = internal::MsSince(t0);
   return result;
 }

@@ -187,5 +187,55 @@ TEST(EngineEquivalenceNoMerge, MergingDisabled) {
   ExpectAllEnginesAgree<T1SpamLearning>(SmallTwitter(5), options);
 }
 
+// Observability must be a pure observer: running with a tracer + run observer
+// attached yields byte-identical query results to running without, and the
+// observer sees every task exactly once.
+TEST(EngineEquivalenceObservability, TracingOnMatchesTracingOff) {
+  const Dataset data = SmallGithub(7);
+
+  const RunResult<G3PullWindowOps> plain_seq = RunSequential<G3PullWindowOps>(data);
+  const RunResult<G3PullWindowOps> plain_mr = RunBaselineMapReduce<G3PullWindowOps>(data);
+  const RunResult<G3PullWindowOps> plain_sym = RunSymple<G3PullWindowOps>(data);
+
+  obs::Tracer tracer;
+  obs::RunObserver seq_obs("sequential", &tracer, 1);
+  obs::RunObserver mr_obs("mapreduce", &tracer, 2);
+  obs::RunObserver sym_obs("symple", &tracer, 3);
+  EngineOptions seq_options;
+  seq_options.observer = &seq_obs;
+  EngineOptions mr_options;
+  mr_options.observer = &mr_obs;
+  EngineOptions sym_options;
+  sym_options.observer = &sym_obs;
+
+  const RunResult<G3PullWindowOps> traced_seq =
+      RunSequential<G3PullWindowOps>(data, seq_options);
+  const RunResult<G3PullWindowOps> traced_mr =
+      RunBaselineMapReduce<G3PullWindowOps>(data, mr_options);
+  const RunResult<G3PullWindowOps> traced_sym =
+      RunSymple<G3PullWindowOps>(data, sym_options);
+
+  EXPECT_TRUE(traced_seq.outputs == plain_seq.outputs)
+      << "sequential diverged under tracing";
+  EXPECT_TRUE(traced_mr.outputs == plain_mr.outputs)
+      << "baseline diverged under tracing";
+  EXPECT_TRUE(traced_sym.outputs == plain_sym.outputs)
+      << "SYMPLE diverged under tracing";
+  // And the untraced/traced SYMPLE runs both still match sequential.
+  EXPECT_TRUE(traced_sym.outputs == traced_seq.outputs);
+
+  // The traced run observed every map task: 1 sequential scan + one task per
+  // segment for each of the two parallel engines.
+  obs::RunReport sym_report;
+  sym_obs.FillReport(&sym_report);
+  EXPECT_EQ(sym_report.map_task_count, data.segment_count());
+  EXPECT_GT(sym_report.reduce_task_count, 0u);
+  size_t map_spans = 0;
+  for (const obs::TraceSpan& span : tracer.Spans()) {
+    map_spans += span.name == "map_task";
+  }
+  EXPECT_EQ(map_spans, 1 + 2 * data.segment_count());
+}
+
 }  // namespace
 }  // namespace symple
