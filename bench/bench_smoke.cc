@@ -66,7 +66,8 @@ void CheckRunReport(const obs::JsonValue& report, bool expect_exploration) {
          {"total_wall_ms", "map_wall_ms", "shuffle_wall_ms", "reduce_wall_ms",
           "map_cpu_ms", "reduce_cpu_ms", "input_bytes", "input_records",
           "parsed_records", "shuffle_bytes", "groups", "summaries", "summary_paths",
-          "throughput_mbps"}) {
+          "throughput_mbps", "worker_retries", "worker_timeouts", "worker_crashes",
+          "fallback_segments"}) {
       RequireNumberKey(*totals, key);
     }
   }

@@ -10,6 +10,9 @@
 //   $ ./query_cli G1 --load /tmp/github_ds       # run from files on disk
 //   $ ./query_cli G3 --trace-out=/tmp/g3.trace.json   # chrome://tracing / Perfetto
 //   $ ./query_cli G3 --stats-json=/tmp/g3.json        # machine-readable RunReports
+//   $ ./query_cli G1 --engine forked                  # forked-process engines
+//   $ ./query_cli G1 --engine forked --fault crash:worker=1:frame=100
+//                                                     # fault-injected recovery demo
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +25,7 @@
 #include "queries/all_queries.h"
 #include "runtime/dataset_io.h"
 #include "runtime/engine.h"
+#include "runtime/process_engine.h"
 #include "workloads/bing_gen.h"
 #include "workloads/github_gen.h"
 #include "workloads/gps_gen.h"
@@ -33,13 +37,19 @@ namespace {
 
 struct Options {
   std::string query;
-  std::string engine = "all";  // sequential | mapreduce | symple | all
+  // sequential | mapreduce | symple | all | forked | symple-forked |
+  // mapreduce-forked ("forked" runs sequential + both forked engines)
+  std::string engine = "all";
   size_t records = 120000;
   size_t segments = 12;
   std::string save_dir;
   std::string load_dir;
   std::string trace_out;   // Chrome trace_event JSON
   std::string stats_json;  // RunReport set JSON
+  // Forked-engine fault-tolerance knobs (EngineOptions defaults when < 0).
+  int worker_timeout_ms = -1;
+  int worker_retries = -1;
+  int worker_backoff_ms = -1;
 };
 
 void PrintStats(const char* label, const symple::EngineStats& stats, bool ok) {
@@ -47,6 +57,20 @@ void PrintStats(const char* label, const symple::EngineStats& stats, bool ok) {
               label, stats.total_wall_ms, stats.map_cpu_ms,
               static_cast<double>(stats.shuffle_bytes) / 1e3,
               ok ? "matches sequential" : "(reference)");
+}
+
+void PrintWorkerFaults(const symple::EngineStats& stats) {
+  if (stats.worker_retries + stats.worker_timeouts + stats.worker_crashes +
+          stats.fallback_segments ==
+      0) {
+    return;
+  }
+  std::printf("  faults:   %llu retries, %llu timeouts, %llu crashes, "
+              "%llu segments ran in-process\n",
+              static_cast<unsigned long long>(stats.worker_retries),
+              static_cast<unsigned long long>(stats.worker_timeouts),
+              static_cast<unsigned long long>(stats.worker_crashes),
+              static_cast<unsigned long long>(stats.fallback_segments));
 }
 
 bool WriteFile(const std::string& path, const std::string& content) {
@@ -83,6 +107,15 @@ int RunQuery(const Options& options, symple::Dataset data) {
 
   auto run_engine = [&](const char* name, uint32_t pid, auto run_fn) {
     EngineOptions engine_options;
+    if (options.worker_timeout_ms >= 0) {
+      engine_options.worker_timeout_ms = options.worker_timeout_ms;
+    }
+    if (options.worker_retries >= 0) {
+      engine_options.worker_retry_limit = options.worker_retries;
+    }
+    if (options.worker_backoff_ms >= 0) {
+      engine_options.worker_retry_backoff_ms = options.worker_backoff_ms;
+    }
     obs::RunObserver observer(name, options.trace_out.empty() ? nullptr : &tracer,
                               pid);
     if (observing) {
@@ -105,6 +138,30 @@ int RunQuery(const Options& options, symple::Dataset data) {
       return RunBaselineMapReduce<Query>(data, opts);
     });
     PrintStats("mapreduce", mr.stats, mr.outputs == seq.outputs);
+  }
+  if (options.engine == "forked" || options.engine == "symple-forked") {
+    const auto sym_forked =
+        run_engine("symple-forked", 4, [&](const EngineOptions& opts) {
+          return RunSympleForked<Query>(data, opts);
+        });
+    PrintStats("sym-forked", sym_forked.stats, sym_forked.outputs == seq.outputs);
+    PrintWorkerFaults(sym_forked.stats);
+    if (sym_forked.outputs != seq.outputs) {
+      std::printf("ERROR: forked SYMPLE diverged from the sequential semantics\n");
+      return 1;
+    }
+  }
+  if (options.engine == "forked" || options.engine == "mapreduce-forked") {
+    const auto mr_forked =
+        run_engine("mapreduce-forked", 5, [&](const EngineOptions& opts) {
+          return RunBaselineForked<Query>(data, opts);
+        });
+    PrintStats("mr-forked", mr_forked.stats, mr_forked.outputs == seq.outputs);
+    PrintWorkerFaults(mr_forked.stats);
+    if (mr_forked.outputs != seq.outputs) {
+      std::printf("ERROR: forked baseline diverged from the sequential semantics\n");
+      return 1;
+    }
   }
   if (options.engine == "all" || options.engine == "symple") {
     const auto sym = run_engine("symple", 3, [&](const EngineOptions& opts) {
@@ -196,20 +253,37 @@ int main(int argc, char** argv) {
       options.trace_out = value;
     } else if (FlagValue(argc, argv, i, "--stats-json", &value)) {
       options.stats_json = value;
+    } else if (FlagValue(argc, argv, i, "--worker-timeout-ms", &value)) {
+      options.worker_timeout_ms = std::atoi(value.c_str());
+    } else if (FlagValue(argc, argv, i, "--worker-retries", &value)) {
+      options.worker_retries = std::atoi(value.c_str());
+    } else if (FlagValue(argc, argv, i, "--worker-backoff-ms", &value)) {
+      options.worker_backoff_ms = std::atoi(value.c_str());
+    } else if (FlagValue(argc, argv, i, "--fault", &value)) {
+      // Same syntax as SYMPLE_FAULT_SPEC (see docs/process_engine.md), e.g.
+      // --fault crash:worker=1:frame=100
+      ::setenv("SYMPLE_FAULT_SPEC", value.c_str(), 1);
     } else {
       options.query = argv[i];
     }
   }
   if (options.engine != "all" && options.engine != "sequential" &&
-      options.engine != "mapreduce" && options.engine != "symple") {
-    std::printf("unknown engine '%s' (expected sequential|mapreduce|symple|all)\n",
+      options.engine != "mapreduce" && options.engine != "symple" &&
+      options.engine != "forked" && options.engine != "symple-forked" &&
+      options.engine != "mapreduce-forked") {
+    std::printf("unknown engine '%s' (expected sequential|mapreduce|symple|all|"
+                "forked|symple-forked|mapreduce-forked)\n",
                 options.engine.c_str());
     return 1;
   }
   if (options.query.empty()) {
     std::printf("usage: query_cli <query> [--records N] [--segments N] "
-                "[--engine sequential|mapreduce|symple|all]\n"
-                "                 [--trace-out FILE] [--stats-json FILE]\n\nqueries:\n");
+                "[--engine sequential|mapreduce|symple|all|forked]\n"
+                "                 [--trace-out FILE] [--stats-json FILE]\n"
+                "                 [--worker-timeout-ms N] [--worker-retries N] "
+                "[--worker-backoff-ms N]\n"
+                "                 [--fault crash|hang|truncate:worker=<n|*>:frame=<k>]"
+                "\n\nqueries:\n");
     for (const QueryInfo& info : AllQueryInfos()) {
       std::printf("  %-4s %-9s %s\n", info.id.c_str(), info.dataset.c_str(),
                   info.description.c_str());

@@ -20,6 +20,18 @@ class SympleError : public std::runtime_error {
   explicit SympleError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Recoverable failure taxonomy. A SympleIoError marks a fault whose blast
+// radius is one worker/task, not the whole run: pipe I/O failures, truncated
+// or malformed wire data, a crashed or hung worker process. Because map tasks
+// are deterministic and start from unknown symbolic state (Section 2.3), any
+// task that produced a SympleIoError can be re-executed from scratch — this is
+// the classic MapReduce re-execution model. Plain SympleError remains fatal:
+// it signals a broken engine invariant, and re-running would not help.
+class SympleIoError : public SympleError {
+ public:
+  explicit SympleIoError(const std::string& what) : SympleError(what) {}
+};
+
 // Internal invariant check. Unlike assert() this is active in release builds:
 // the engine's soundness depends on these invariants, and the paper requires
 // exact sequential semantics (Section 2.3), so silent corruption is never

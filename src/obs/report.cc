@@ -60,6 +60,10 @@ void RunReport::AppendJson(JsonWriter& w) const {
   w.KV("summaries", totals.summaries);
   w.KV("summary_paths", totals.summary_paths);
   w.KV("throughput_mbps", totals.throughput_mbps);
+  w.KV("worker_retries", totals.worker_retries);
+  w.KV("worker_timeouts", totals.worker_timeouts);
+  w.KV("worker_crashes", totals.worker_crashes);
+  w.KV("fallback_segments", totals.fallback_segments);
   w.EndObject();
 
   w.Key("exploration");
@@ -98,6 +102,7 @@ void RunReport::AppendJson(JsonWriter& w) const {
   AppendHistogramJson(w, summaries_per_group);
   w.EndObject();
 
+  w.KV("worker_failures", worker_failures);
   w.KV("dropped_spans", dropped_spans);
   w.EndObject();
 }
@@ -190,6 +195,24 @@ void RunObserver::OnReduceTask(const ReduceTaskObs& t) {
   }
 }
 
+void RunObserver::OnWorkerFailure(uint32_t worker_id, const std::string& kind) {
+  ++worker_failures_;
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("engine.worker_failures")->Increment();
+  reg.GetCounter("engine.worker_failures." + kind)->Increment();
+  if (tracer_ != nullptr) {
+    TraceSpan span;
+    span.name = "worker_failure:" + kind;
+    span.category = "fault";
+    span.pid = trace_pid_;
+    span.tid = worker_id;
+    span.start_us = NowUs();
+    span.duration_us = 0;
+    span.args.emplace_back("worker", worker_id);
+    tracer_->Record(std::move(span));
+  }
+}
+
 void RunObserver::OnPhase(const std::string& name, double start_us, double end_us,
                           uint64_t detail, const std::string& detail_key) {
   if (tracer_ == nullptr) {
@@ -223,6 +246,7 @@ void RunObserver::FillReport(RunReport* report) const {
   report->reduce_groups = reduce_groups_;
   report->paths_per_group = paths_per_group_;
   report->summaries_per_group = summaries_per_group_;
+  report->worker_failures = worker_failures_;
   report->dropped_spans = tracer_ != nullptr ? tracer_->dropped() : 0;
 }
 

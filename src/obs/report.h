@@ -51,6 +51,11 @@ struct RunTotals {
   uint64_t summaries = 0;
   uint64_t summary_paths = 0;
   double throughput_mbps = 0;
+  // Forked-mode fault tolerance (see EngineStats).
+  uint64_t worker_retries = 0;
+  uint64_t worker_timeouts = 0;
+  uint64_t worker_crashes = 0;
+  uint64_t fallback_segments = 0;
 };
 
 // One completed map task, reported by the engine after the task finished.
@@ -106,6 +111,11 @@ struct RunReport {
   HistogramSnapshot paths_per_group;
   HistogramSnapshot summaries_per_group;
 
+  // Worker-failure events observed during the run (forked engines only):
+  // every crash/timeout/protocol kill, whether it led to a retry or to the
+  // in-process fallback.
+  uint64_t worker_failures = 0;
+
   uint64_t dropped_spans = 0;
 
   // Appends this report as one JSON object ("symple.run_report/1").
@@ -139,6 +149,10 @@ class RunObserver {
   // A named engine phase (e.g. "shuffle_sort"); also recorded as a span.
   void OnPhase(const std::string& name, double start_us, double end_us,
                uint64_t detail = 0, const std::string& detail_key = "");
+  // A forked worker was killed and its pending segments rescheduled. `kind`
+  // is "crash" | "timeout" | "protocol"; mirrored into the metrics registry
+  // (engine.worker_failures.<kind>) and recorded as an instant trace event.
+  void OnWorkerFailure(uint32_t worker_id, const std::string& kind);
 
   // Folds everything observed into `report` (task histograms + counts).
   void FillReport(RunReport* report) const;
@@ -164,6 +178,8 @@ class RunObserver {
 
   HistogramSnapshot paths_per_group_;
   HistogramSnapshot summaries_per_group_;
+
+  uint64_t worker_failures_ = 0;
 };
 
 }  // namespace obs

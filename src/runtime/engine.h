@@ -81,6 +81,15 @@ struct EngineOptions {
   ReduceMode reduce_mode = ReduceMode::kSequentialFold;
   // Symbolic exploration knobs (SYMPLE engine only).
   AggregatorOptions aggregator;
+  // Forked-process engines only (process_engine.h). A worker that delivers no
+  // bytes for worker_timeout_ms is declared hung, killed, and its incomplete
+  // segments re-executed; 0 disables the watchdog. Each worker lineage gets
+  // worker_retry_limit respawns (with worker_retry_backoff_ms base backoff,
+  // doubled per attempt) before the parent falls back to executing the
+  // remaining segments in-process.
+  int worker_timeout_ms = 30000;
+  int worker_retry_limit = 2;
+  int worker_retry_backoff_ms = 5;
   // Optional observability sink: when set, the engine reports one observation
   // per map/reduce task (and trace spans, when the observer carries a
   // Tracer). Null means zero instrumentation overhead beyond EngineStats.
@@ -109,6 +118,8 @@ inline obs::RunReport MakeRunReport(const std::string& query,
       {"max_paths_per_record",
        std::to_string(options.aggregator.max_paths_per_record)},
       {"enable_merging", options.aggregator.enable_merging ? "true" : "false"},
+      {"worker_timeout_ms", std::to_string(options.worker_timeout_ms)},
+      {"worker_retry_limit", std::to_string(options.worker_retry_limit)},
   };
   report.totals = stats.ToRunTotals();
   report.exploration = stats.ToExplorationTotals();

@@ -65,6 +65,15 @@ struct EngineStats {
   uint64_t summaries = 0;  // SYMPLE engine only: total summaries shipped
   uint64_t summary_paths = 0;
 
+  // Forked-mode fault tolerance (process_engine.h): worker respawns after a
+  // failure, hang-watchdog kills, crash/truncation/protocol failures, and
+  // segments executed in-process after the retry budget was spent. All zero
+  // for the threaded engines and for clean forked runs.
+  uint64_t worker_retries = 0;
+  uint64_t worker_timeouts = 0;
+  uint64_t worker_crashes = 0;
+  uint64_t fallback_segments = 0;
+
   // Symbolic exploration counters summed over all map tasks.
   ExplorationStats exploration;
 
@@ -85,6 +94,12 @@ struct EngineStats {
                       "MB groups=" + std::to_string(groups) +
                       " summaries=" + std::to_string(summaries) +
                       " summary_paths=" + std::to_string(summary_paths);
+    if (worker_retries + worker_timeouts + worker_crashes + fallback_segments > 0) {
+      out += " worker_retries=" + std::to_string(worker_retries) +
+             " worker_timeouts=" + std::to_string(worker_timeouts) +
+             " worker_crashes=" + std::to_string(worker_crashes) +
+             " fallback_segments=" + std::to_string(fallback_segments);
+    }
     return out;
   }
 
@@ -105,6 +120,10 @@ struct EngineStats {
     t.summaries = summaries;
     t.summary_paths = summary_paths;
     t.throughput_mbps = ThroughputMBps();
+    t.worker_retries = worker_retries;
+    t.worker_timeouts = worker_timeouts;
+    t.worker_crashes = worker_crashes;
+    t.fallback_segments = fallback_segments;
     return t;
   }
 
@@ -137,6 +156,10 @@ struct EngineStats {
     w.KV("summaries", summaries);
     w.KV("summary_paths", summary_paths);
     w.KV("throughput_mbps", ThroughputMBps());
+    w.KV("worker_retries", worker_retries);
+    w.KV("worker_timeouts", worker_timeouts);
+    w.KV("worker_crashes", worker_crashes);
+    w.KV("fallback_segments", fallback_segments);
     w.Key("exploration").BeginObject();
     w.KV("runs", exploration.runs);
     w.KV("decisions", exploration.decisions);

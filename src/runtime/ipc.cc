@@ -1,0 +1,276 @@
+#include "runtime/ipc.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace symple {
+namespace internal {
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) {
+    // EINTR after close() leaves the fd state unspecified on POSIX, but on
+    // Linux the descriptor is always released; retrying could close a
+    // descriptor reused by another thread, so don't.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    KillAndReap();
+    pid_ = other.Release();
+  }
+  return *this;
+}
+
+void ChildProcess::Kill(int sig) const {
+  if (pid_ > 0) {
+    ::kill(pid_, sig);
+  }
+}
+
+int ChildProcess::Reap() {
+  SYMPLE_CHECK(pid_ > 0, "Reap() on an empty ChildProcess");
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid_, &status, 0);
+    if (r == pid_) {
+      pid_ = -1;
+      return status;
+    }
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    const pid_t pid = pid_;
+    pid_ = -1;  // nothing more we can do with this handle
+    throw SympleIoError("waitpid(" + std::to_string(pid) +
+                        ") failed: " + std::strerror(errno));
+  }
+}
+
+void ChildProcess::KillAndReap() {
+  if (pid_ <= 0) {
+    return;
+  }
+  ::kill(pid_, SIGKILL);
+  for (;;) {
+    const pid_t r = ::waitpid(pid_, nullptr, 0);
+    if (r == pid_ || (r < 0 && errno != EINTR)) {
+      break;
+    }
+  }
+  pid_ = -1;
+}
+
+void MakePipe(UniqueFd* read_end, UniqueFd* write_end) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw SympleIoError(std::string("pipe() failed: ") + std::strerror(errno));
+  }
+  read_end->Reset(fds[0]);
+  write_end->Reset(fds[1]);
+}
+
+IoStatus ReadSome(int fd, void* buf, size_t capacity, size_t* n_out) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, capacity);
+    if (n > 0) {
+      *n_out = static_cast<size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) {
+      return IoStatus::kEof;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return IoStatus::kError;
+  }
+}
+
+bool WriteAll(int fd, const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+IoStatus ReadAll(int fd, void* data, size_t size) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  bool read_any = false;
+  while (size > 0) {
+    size_t n = 0;
+    const IoStatus s = ReadSome(fd, p, size, &n);
+    if (s == IoStatus::kEof) {
+      return read_any ? IoStatus::kError : IoStatus::kEof;
+    }
+    if (s == IoStatus::kError) {
+      return IoStatus::kError;
+    }
+    read_any = true;
+    p += n;
+    size -= n;
+  }
+  return IoStatus::kOk;
+}
+
+void SleepMs(long ms) {
+  if (ms <= 0) {
+    return;
+  }
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1000000L;
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+namespace {
+
+bool ConsumePrefix(std::string* s, const char* prefix) {
+  const size_t len = std::strlen(prefix);
+  if (s->compare(0, len, prefix) != 0) {
+    return false;
+  }
+  s->erase(0, len);
+  return true;
+}
+
+uint64_t ParseUint(const std::string& s, const char* what) {
+  SYMPLE_CHECK(!s.empty() && s.find_first_not_of("0123456789") == std::string::npos,
+               std::string("SYMPLE_FAULT_SPEC: bad ") + what + " '" + s + "'");
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::optional<FaultSpec> ParseFaultSpec(const char* spec) {
+  if (spec == nullptr || *spec == '\0') {
+    return std::nullopt;
+  }
+  // <mode>:worker=<n|*>:frame=<k>
+  std::string rest(spec);
+  FaultSpec f;
+  if (ConsumePrefix(&rest, "crash:")) {
+    f.mode = FaultSpec::Mode::kCrash;
+  } else if (ConsumePrefix(&rest, "hang:")) {
+    f.mode = FaultSpec::Mode::kHang;
+  } else if (ConsumePrefix(&rest, "truncate:")) {
+    f.mode = FaultSpec::Mode::kTruncate;
+  } else {
+    throw SympleError("SYMPLE_FAULT_SPEC: unknown mode in '" + std::string(spec) +
+                      "' (want crash|hang|truncate)");
+  }
+  SYMPLE_CHECK(ConsumePrefix(&rest, "worker="),
+               "SYMPLE_FAULT_SPEC: expected worker=<n|*> in '" + std::string(spec) + "'");
+  const size_t colon = rest.find(':');
+  SYMPLE_CHECK(colon != std::string::npos,
+               "SYMPLE_FAULT_SPEC: expected :frame=<k> in '" + std::string(spec) + "'");
+  const std::string worker = rest.substr(0, colon);
+  rest.erase(0, colon + 1);
+  if (worker == "*") {
+    f.all_workers = true;
+  } else {
+    f.worker = static_cast<uint32_t>(ParseUint(worker, "worker"));
+  }
+  SYMPLE_CHECK(ConsumePrefix(&rest, "frame="),
+               "SYMPLE_FAULT_SPEC: expected frame=<k> in '" + std::string(spec) + "'");
+  f.frame = ParseUint(rest, "frame");
+  return f;
+}
+
+std::optional<FaultSpec> FaultSpecFromEnv() {
+  return ParseFaultSpec(std::getenv("SYMPLE_FAULT_SPEC"));
+}
+
+FrameWriter::FrameWriter(int fd, const std::optional<FaultSpec>& fault,
+                         uint32_t spawn_seq)
+    : fd_(fd) {
+  if (fault.has_value() && (fault->all_workers || fault->worker == spawn_seq)) {
+    fault_ = *fault;
+  }
+}
+
+void FrameWriter::MaybeInjectFault(const uint8_t* header, size_t header_size,
+                                   const uint8_t* payload, size_t payload_size) {
+  if (fault_.mode == FaultSpec::Mode::kNone || frames_written_ != fault_.frame) {
+    return;
+  }
+  switch (fault_.mode) {
+    case FaultSpec::Mode::kCrash:
+      ::_exit(42);
+    case FaultSpec::Mode::kHang:
+      for (;;) {
+        ::pause();  // until the parent's watchdog delivers SIGKILL
+      }
+    case FaultSpec::Mode::kTruncate: {
+      // Half the frame, then a *clean* exit: the parent must catch the
+      // truncation from the stream itself, not from the exit status.
+      WriteAll(fd_, header, header_size);
+      WriteAll(fd_, payload, payload_size / 2);
+      ::_exit(0);
+    }
+    case FaultSpec::Mode::kNone:
+      break;
+  }
+}
+
+void FrameWriter::WriteFrame(const uint8_t* payload, size_t size) {
+  SYMPLE_CHECK(size <= FrameDecoder::kMaxFrameBytes, "frame payload too large");
+  uint8_t header[4];
+  const uint32_t size32 = static_cast<uint32_t>(size);
+  std::memcpy(header, &size32, sizeof(size32));
+  MaybeInjectFault(header, sizeof(header), payload, size);
+  ++frames_written_;
+  if (!WriteAll(fd_, header, sizeof(header)) || !WriteAll(fd_, payload, size)) {
+    throw SympleIoError(std::string("pipe write failed in worker: ") +
+                        std::strerror(errno));
+  }
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t size) {
+  // Compact once the consumed prefix dominates, keeping Feed amortized O(n).
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+bool FrameDecoder::Next(std::vector<uint8_t>* payload) {
+  if (buf_.size() - pos_ < sizeof(uint32_t)) {
+    return false;
+  }
+  uint32_t size = 0;
+  std::memcpy(&size, buf_.data() + pos_, sizeof(size));
+  if (size > kMaxFrameBytes) {
+    throw SympleIoError("corrupt frame header from worker (size " +
+                        std::to_string(size) + ")");
+  }
+  if (buf_.size() - pos_ - sizeof(uint32_t) < size) {
+    return false;
+  }
+  const uint8_t* begin = buf_.data() + pos_ + sizeof(uint32_t);
+  payload->assign(begin, begin + size);
+  pos_ += sizeof(uint32_t) + size;
+  return true;
+}
+
+}  // namespace internal
+}  // namespace symple

@@ -9,57 +9,59 @@
 // summaries genuinely cross a process boundary in their wire form, exactly
 // as they cross machines in the distributed setting.
 //
-// This mode exists for fidelity and for exercising the wire format under
-// real IPC; the threaded engines in engine.h remain the primary interface.
+// The parent's drain is a poll()-multiplexed loop over all worker pipes (no
+// head-of-line blocking when one worker fills its pipe buffer), and the
+// runtime is fault tolerant at segment granularity: a crashed, hung
+// (EngineOptions::worker_timeout_ms), or protocol-violating worker is killed,
+// reaped, and its not-yet-committed segments are re-executed in a respawned
+// worker (bounded retries with backoff), falling back to in-process execution
+// once the retry budget is spent. Re-execution is sound because map tasks are
+// deterministic and start from unknown symbolic state (Section 2.3) — the
+// classic MapReduce re-execution model. Fd and child ownership is RAII
+// (runtime/ipc.h): no error path leaks descriptors or zombie children.
+//
+// Wire protocol: a stream of [u32 LE size][payload] frames. Payload byte 0 is
+// the frame type; packets carry their segment id so the parent can buffer
+// them per segment and commit only on the segment-done marker:
+//
+//   kFramePacket      [type][varint segment_id][serialized ShufflePacket]
+//   kFrameSegmentDone [type][varint segment_id]
+//   kFrameStreamEnd   [type]
+//
+// See docs/process_engine.md for the full failure-semantics contract and the
+// SYMPLE_FAULT_SPEC fault-injection hook.
 #ifndef SYMPLE_RUNTIME_PROCESS_ENGINE_H_
 #define SYMPLE_RUNTIME_PROCESS_ENGINE_H_
 
+#include <poll.h>
+#include <signal.h>
 #include <sys/types.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <cstring>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
 #include "runtime/engine.h"
+#include "runtime/ipc.h"
 
 namespace symple {
 namespace internal {
 
-// Pipe framing: a stream of frames, each [u32 size][payload], terminated by a
-// zero-size frame. Sizes are little-endian fixed32 for simple blocking reads.
-
-inline void WriteAll(int fd, const void* data, size_t size) {
-  const uint8_t* p = static_cast<const uint8_t*>(data);
-  while (size > 0) {
-    const ssize_t n = ::write(fd, p, size);
-    SYMPLE_CHECK(n > 0, "pipe write failed in worker process");
-    p += n;
-    size -= static_cast<size_t>(n);
-  }
-}
-
-inline bool ReadAll(int fd, void* data, size_t size) {
-  uint8_t* p = static_cast<uint8_t*>(data);
-  while (size > 0) {
-    const ssize_t n = ::read(fd, p, size);
-    if (n <= 0) {
-      return false;
-    }
-    p += n;
-    size -= static_cast<size_t>(n);
-  }
-  return true;
-}
-
-inline void WriteFrame(int fd, const std::vector<uint8_t>& payload) {
-  const uint32_t size = static_cast<uint32_t>(payload.size());
-  WriteAll(fd, &size, sizeof(size));
-  if (size > 0) {
-    WriteAll(fd, payload.data(), payload.size());
-  }
-}
+enum ForkedFrameType : uint8_t {
+  kFramePacket = 1,
+  kFrameSegmentDone = 2,
+  kFrameStreamEnd = 3,
+};
 
 template <typename Key>
 void SerializePacketFrame(const ShufflePacket<Key>& p, BinaryWriter& w) {
@@ -79,110 +81,312 @@ ShufflePacket<Key> DeserializePacketFrame(BinaryReader& r) {
   const uint64_t blob_size = r.ReadVarUint();
   SYMPLE_CHECK(blob_size <= r.remaining(), "packet blob size exceeds frame");
   p.blob.resize(blob_size);
-  for (uint64_t i = 0; i < blob_size; ++i) {
-    p.blob[i] = r.ReadByte();
-  }
+  r.ReadBytes(p.blob.data(), p.blob.size());
   return p;
 }
 
-// Forks `num_processes` workers; worker w runs map tasks for segments
-// s ≡ w (mod num_processes) via MapSegmentFn(segment, mapper_id) and streams
-// the packets back. Returns all packets; fills shuffle_bytes. With an
-// observer attached, the parent reports one observation per worker process
-// (its pipe-drain span plus packet/byte counts) — per-record counters die
-// with the worker, so forked-mode reports carry coarser map-side detail than
-// the threaded engines.
+// Forks workers over the dataset's segments (worker w initially owns
+// s ≡ w (mod num_processes)), drains all pipes concurrently, and recovers
+// from worker failures by re-executing incomplete segments. Returns all
+// packets; fills shuffle_bytes plus the worker_retries / worker_timeouts /
+// worker_crashes / fallback_segments counters. With an observer attached,
+// the parent reports one observation per worker drain (per-record counters
+// die with the worker, so forked-mode reports carry coarser map-side detail
+// than the threaded engines) and one OnWorkerFailure event per kill.
 template <typename Key, typename MapSegmentFn>
 std::vector<ShufflePacket<Key>> RunForkedMapPhase(const Dataset& data,
-                                                  size_t num_processes,
+                                                  const EngineOptions& options,
                                                   MapSegmentFn map_segment,
                                                   EngineStats* stats,
                                                   obs::RunObserver* observer = nullptr) {
-  if (num_processes == 0) {
-    num_processes = 1;
-  }
-  struct Worker {
-    pid_t pid = -1;
-    int read_fd = -1;
-  };
-  std::vector<Worker> workers;
-  workers.reserve(num_processes);
+  using Packet = ShufflePacket<Key>;
+  using Clock = std::chrono::steady_clock;
+  const size_t num_processes = options.map_slots == 0 ? 1 : options.map_slots;
+  const std::optional<FaultSpec> fault = FaultSpecFromEnv();
 
-  for (size_t w = 0; w < num_processes; ++w) {
-    int fds[2];
-    SYMPLE_CHECK(::pipe(fds) == 0, "pipe() failed");
+  struct WorkerState {
+    ChildProcess child;
+    UniqueFd read_fd;
+    uint32_t spawn_seq = 0;
+    int attempt = 0;                  // respawns consumed for this lineage
+    std::vector<uint32_t> pending;    // segments not yet committed
+    std::map<uint32_t, std::vector<Packet>> partial;  // uncommitted packets
+    FrameDecoder decoder;
+    Clock::time_point last_progress;
+    bool stream_end = false;
+    uint64_t packets = 0;
+    uint64_t bytes = 0;
+    double drain_start_us = 0;
+  };
+
+  std::vector<Packet> out;
+  std::vector<std::unique_ptr<WorkerState>> workers;
+  uint32_t next_spawn_seq = 0;
+
+  auto spawn = [&](std::vector<uint32_t> segments,
+                   int attempt) -> std::unique_ptr<WorkerState> {
+    auto w = std::make_unique<WorkerState>();
+    w->spawn_seq = next_spawn_seq++;
+    w->attempt = attempt;
+    w->pending = std::move(segments);
+    UniqueFd write_end;
+    MakePipe(&w->read_fd, &write_end);
+    // Read ends the child must close: every live sibling's plus its own —
+    // a child holding a sibling's read end would break that pipe's EOF.
+    std::vector<int> parent_read_fds;
+    for (const auto& other : workers) {
+      if (other != nullptr && other->read_fd.valid()) {
+        parent_read_fds.push_back(other->read_fd.get());
+      }
+    }
+    parent_read_fds.push_back(w->read_fd.get());
     const pid_t pid = ::fork();
-    SYMPLE_CHECK(pid >= 0, "fork() failed");
+    if (pid < 0) {
+      throw SympleIoError("fork() failed");
+    }
     if (pid == 0) {
-      // Worker process: produce frames for our segments, then a terminator.
-      ::close(fds[0]);
+      // Worker process. Never returns; never runs parent-side destructors.
+      for (const int fd : parent_read_fds) {
+        ::close(fd);
+      }
+      ::signal(SIGPIPE, SIG_IGN);  // broken pipe surfaces as EPIPE, not death
       int exit_code = 0;
       try {
-        for (size_t s = w; s < data.segments.size(); s += num_processes) {
-          std::vector<ShufflePacket<Key>> packets =
+        FrameWriter writer(write_end.get(), fault, w->spawn_seq);
+        BinaryWriter payload;
+        for (const uint32_t s : w->pending) {
+          std::vector<Packet> packets =
               map_segment(data.segments[s], static_cast<uint32_t>(s));
-          for (const ShufflePacket<Key>& p : packets) {
-            BinaryWriter frame;
-            SerializePacketFrame(p, frame);
-            WriteFrame(fds[1], frame.buffer());
+          for (const Packet& p : packets) {
+            payload.Clear();
+            payload.WriteByte(kFramePacket);
+            payload.WriteVarUint(s);
+            SerializePacketFrame(p, payload);
+            writer.WriteFrame(payload.buffer());
           }
+          payload.Clear();
+          payload.WriteByte(kFrameSegmentDone);
+          payload.WriteVarUint(s);
+          writer.WriteFrame(payload.buffer());
         }
-        WriteFrame(fds[1], {});
+        payload.Clear();
+        payload.WriteByte(kFrameStreamEnd);
+        writer.WriteFrame(payload.buffer());
       } catch (...) {
-        exit_code = 1;  // parent sees the missing terminator / nonzero status
+        exit_code = 1;  // parent recovers via the missing stream-end marker
       }
-      ::close(fds[1]);
       ::_exit(exit_code);
     }
-    ::close(fds[1]);
-    workers.push_back(Worker{pid, fds[0]});
-  }
+    w->child = ChildProcess(pid);
+    w->last_progress = Clock::now();
+    w->drain_start_us = observer != nullptr ? observer->NowUs() : 0;
+    return w;
+  };
 
-  // Parent: drain every worker's stream.
-  std::vector<ShufflePacket<Key>> packets;
-  uint32_t worker_id = 0;
-  for (const Worker& worker : workers) {
-    const double drain_start = observer != nullptr ? observer->NowUs() : 0;
-    uint64_t worker_packets = 0;
-    uint64_t worker_bytes = 0;
-    for (;;) {
-      uint32_t size = 0;
-      SYMPLE_CHECK(ReadAll(worker.read_fd, &size, sizeof(size)),
-                   "worker pipe closed before terminator frame");
-      if (size == 0) {
-        break;
-      }
-      std::vector<uint8_t> payload(size);
-      SYMPLE_CHECK(ReadAll(worker.read_fd, payload.data(), size),
-                   "truncated packet frame from worker");
-      BinaryReader r(payload.data(), payload.size());
-      ShufflePacket<Key> p = DeserializePacketFrame<Key>(r);
+  // Commits one completed segment: its buffered packets become visible in the
+  // output and in the byte accounting. Until this point the segment leaves no
+  // trace, so discarding a failed worker's partial state and re-running its
+  // pending segments can never duplicate or drop packets.
+  auto commit_segment = [&](WorkerState& w, uint32_t seg) {
+    const auto pending_it = std::find(w.pending.begin(), w.pending.end(), seg);
+    if (pending_it == w.pending.end()) {
+      throw SympleIoError("segment-done for a segment this worker does not own");
+    }
+    w.pending.erase(pending_it);
+    auto it = w.partial.find(seg);
+    if (it == w.partial.end()) {
+      return;  // segment produced no packets (e.g. nothing parsed)
+    }
+    for (Packet& p : it->second) {
       const uint64_t bytes = PacketBytes(p);
       stats->shuffle_bytes += bytes;
-      worker_bytes += bytes;
-      ++worker_packets;
-      packets.push_back(std::move(p));
+      w.bytes += bytes;
+      ++w.packets;
+      out.push_back(std::move(p));
     }
-    ::close(worker.read_fd);
+    w.partial.erase(it);
+  };
+
+  auto process_frames = [&](WorkerState& w) {
+    std::vector<uint8_t> frame;
+    while (w.decoder.Next(&frame)) {
+      BinaryReader r(frame.data(), frame.size());
+      const uint8_t type = r.ReadByte();
+      if (type == kFramePacket) {
+        const uint32_t seg = static_cast<uint32_t>(r.ReadVarUint());
+        if (std::find(w.pending.begin(), w.pending.end(), seg) == w.pending.end()) {
+          throw SympleIoError("packet for a segment this worker does not own");
+        }
+        w.partial[seg].push_back(DeserializePacketFrame<Key>(r));
+      } else if (type == kFrameSegmentDone) {
+        commit_segment(w, static_cast<uint32_t>(r.ReadVarUint()));
+      } else if (type == kFrameStreamEnd) {
+        if (!w.pending.empty()) {
+          throw SympleIoError("stream end with incomplete segments");
+        }
+        w.stream_end = true;
+        return;
+      } else {
+        throw SympleIoError("unknown frame type from worker");
+      }
+    }
+  };
+
+  auto finalize_success = [&](WorkerState& w) {
+    w.read_fd.Reset();
+    if (w.child.valid()) {
+      w.child.Reap();  // all segments committed; exit status is moot
+    }
     if (observer != nullptr) {
       obs::MapTaskObs t;
-      t.mapper_id = worker_id;
-      t.start_us = drain_start;
+      t.mapper_id = w.spawn_seq;
+      t.start_us = w.drain_start_us;
       t.end_us = observer->NowUs();
-      t.packets = worker_packets;
-      t.bytes = worker_bytes;
+      t.packets = w.packets;
+      t.bytes = w.bytes;
       observer->OnMapTask(t);
     }
-    ++worker_id;
+  };
+
+  // Kills and reaps a failed worker, then either respawns a replacement for
+  // its pending segments or — once the retry budget is spent — executes them
+  // in-process. Committed segments are never re-run.
+  auto handle_failure = [&](std::unique_ptr<WorkerState>& slot, const char* kind) {
+    WorkerState& w = *slot;
+    if (std::strcmp(kind, "timeout") == 0) {
+      ++stats->worker_timeouts;
+    } else {
+      ++stats->worker_crashes;
+    }
+    w.child.KillAndReap();
+    w.read_fd.Reset();
+    if (observer != nullptr) {
+      observer->OnWorkerFailure(w.spawn_seq, kind);
+    }
+    std::vector<uint32_t> pending = std::move(w.pending);
+    const int attempt = w.attempt;
+    const uint32_t failed_seq = w.spawn_seq;
+    if (pending.empty()) {
+      // Nothing left to recover (e.g. the stream died after the last
+      // segment-done but before stream-end); the worker's output is complete.
+      slot.reset();
+      return;
+    }
+    if (attempt < options.worker_retry_limit) {
+      ++stats->worker_retries;
+      const int shift = attempt < 10 ? attempt : 10;
+      SleepMs(static_cast<long>(options.worker_retry_backoff_ms) << shift);
+      slot = spawn(std::move(pending), attempt + 1);
+      return;
+    }
+    // Final fallback: in-process execution, which cannot crash-loop.
+    stats->fallback_segments += pending.size();
+    const double fb_start = observer != nullptr ? observer->NowUs() : 0;
+    uint64_t fb_packets = 0;
+    uint64_t fb_bytes = 0;
+    for (const uint32_t s : pending) {
+      std::vector<Packet> packets =
+          map_segment(data.segments[s], static_cast<uint32_t>(s));
+      for (Packet& p : packets) {
+        const uint64_t bytes = PacketBytes(p);
+        stats->shuffle_bytes += bytes;
+        fb_bytes += bytes;
+        ++fb_packets;
+        out.push_back(std::move(p));
+      }
+    }
+    if (observer != nullptr) {
+      obs::MapTaskObs t;
+      t.mapper_id = failed_seq;
+      t.start_us = fb_start;
+      t.end_us = observer->NowUs();
+      t.packets = fb_packets;
+      t.bytes = fb_bytes;
+      observer->OnMapTask(t);
+    }
+    slot.reset();
+  };
+
+  for (size_t wi = 0; wi < num_processes; ++wi) {
+    std::vector<uint32_t> segments;
+    for (size_t s = wi; s < data.segments.size(); s += num_processes) {
+      segments.push_back(static_cast<uint32_t>(s));
+    }
+    workers.push_back(spawn(std::move(segments), 0));
   }
-  for (const Worker& worker : workers) {
-    int status = 0;
-    SYMPLE_CHECK(::waitpid(worker.pid, &status, 0) == worker.pid,
-                 "waitpid() failed");
-    SYMPLE_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0,
-                 "worker process failed");
+
+  const auto timeout =
+      std::chrono::milliseconds(options.worker_timeout_ms > 0 ? options.worker_timeout_ms : 0);
+  std::vector<uint8_t> read_buf(64 * 1024);
+  std::vector<struct pollfd> pfds;
+  for (;;) {
+    workers.erase(std::remove(workers.begin(), workers.end(), nullptr),
+                  workers.end());
+    if (workers.empty()) {
+      break;
+    }
+    pfds.clear();
+    for (const auto& w : workers) {
+      pfds.push_back({w->read_fd.get(), POLLIN, 0});
+    }
+    int poll_timeout_ms = -1;
+    if (options.worker_timeout_ms > 0) {
+      const auto now = Clock::now();
+      auto min_left = std::chrono::milliseconds::max();
+      for (const auto& w : workers) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            w->last_progress + timeout - now);
+        min_left = std::min(min_left, left);
+      }
+      // +1 so poll() sleeps past the deadline instead of spinning on a
+      // sub-millisecond remainder.
+      poll_timeout_ms = static_cast<int>(std::max<int64_t>(min_left.count(), 0)) + 1;
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), poll_timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw SympleIoError("poll() failed in forked-map drain");
+    }
+    const auto now = Clock::now();
+    for (size_t i = 0; i < workers.size(); ++i) {
+      std::unique_ptr<WorkerState>& slot = workers[i];
+      WorkerState& w = *slot;
+      const char* failure = nullptr;
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        size_t n = 0;
+        const IoStatus s = ReadSome(w.read_fd.get(), read_buf.data(),
+                                    read_buf.size(), &n);
+        if (s == IoStatus::kOk) {
+          w.last_progress = now;
+          try {
+            w.decoder.Feed(read_buf.data(), n);
+            process_frames(w);
+          } catch (const SympleError&) {
+            // Malformed wire data from this worker — its fault domain only.
+            failure = "protocol";
+          }
+          if (failure == nullptr && w.stream_end) {
+            finalize_success(w);
+            slot.reset();
+            continue;
+          }
+        } else {
+          // EOF before the stream-end marker (crash/truncation) or read error.
+          failure = "crash";
+        }
+      }
+      if (failure == nullptr && options.worker_timeout_ms > 0 &&
+          now - w.last_progress >= timeout) {
+        failure = "timeout";
+      }
+      if (failure != nullptr) {
+        handle_failure(slot, failure);
+      }
+    }
   }
-  return packets;
+  return out;
 }
 
 }  // namespace internal
@@ -207,7 +411,7 @@ RunResult<Query> RunSympleForked(const Dataset& data, const EngineOptions& optio
                                              &ts);
   };
   std::vector<Packet> packets = internal::RunForkedMapPhase<Key>(
-      data, options.map_slots, map_segment, &result.stats, options.observer);
+      data, options, map_segment, &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   std::mutex out_mu;
@@ -255,7 +459,7 @@ RunResult<Query> RunBaselineForked(const Dataset& data,
     return internal::BaselineMapSegment<Query>(segment, mapper_id, &ts);
   };
   std::vector<Packet> packets = internal::RunForkedMapPhase<Key>(
-      data, options.map_slots, map_segment, &result.stats, options.observer);
+      data, options, map_segment, &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   std::mutex out_mu;

@@ -65,7 +65,7 @@ uint8_t BinaryReader::ReadByte() {
 }
 
 uint64_t BinaryReader::ReadFixed64() {
-  if (pos_ + 8 > size_) {
+  if (size_ - pos_ < 8) {  // pos_ <= size_, so the subtraction cannot wrap
     throw SympleError("BinaryReader: fixed64 past end of buffer");
   }
   uint64_t value = 0;
@@ -85,12 +85,25 @@ double BinaryReader::ReadDouble() {
 
 std::string BinaryReader::ReadString() {
   const uint64_t size = ReadVarUint();
-  if (pos_ + size > size_) {
+  // Compare against the remaining bytes, never via pos_ + size: an
+  // adversarial varint near UINT64_MAX would wrap the addition and pass a
+  // `pos_ + size > size_` check, then read far out of bounds.
+  if (size > size_ - pos_) {
     throw SympleError("BinaryReader: string past end of buffer");
   }
   std::string value(reinterpret_cast<const char*>(data_ + pos_), size);
   pos_ += size;
   return value;
+}
+
+void BinaryReader::ReadBytes(void* out, size_t size) {
+  if (size > size_ - pos_) {
+    throw SympleError("BinaryReader: bytes past end of buffer");
+  }
+  if (size > 0) {  // empty blobs may pass out == nullptr
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
 }
 
 }  // namespace symple

@@ -54,6 +54,8 @@ class BinaryReader {
   uint64_t ReadFixed64();
   double ReadDouble();
   std::string ReadString();
+  // Copies `size` raw bytes into `out`; bulk counterpart of ReadByte.
+  void ReadBytes(void* out, size_t size);
 
   bool AtEnd() const { return pos_ == size_; }
   size_t position() const { return pos_; }

@@ -143,6 +143,54 @@ TEST(BinaryIo, TruncatedStringThrows) {
   EXPECT_THROW(r.ReadString(), SympleError);
 }
 
+TEST(BinaryIo, AdversarialHugeSizePrefixThrows) {
+  // A length prefix near UINT64_MAX must not wrap the bounds check
+  // (`pos_ + size` overflows; the check must compare against remaining()).
+  BinaryWriter w;
+  w.WriteVarUint(std::numeric_limits<uint64_t>::max());
+  w.WriteByte('x');
+  {
+    BinaryReader r(w.buffer());
+    EXPECT_THROW(r.ReadString(), SympleError);
+  }
+  // Same for a size that wraps exactly back into range: pos_ after the
+  // 10-byte varint is 10, so size = 2^64 - 7 makes pos_ + size wrap to 3,
+  // which is within the 13-byte buffer and would pass the old check.
+  BinaryWriter w2;
+  w2.WriteVarUint(std::numeric_limits<uint64_t>::max() - 6);
+  w2.WriteByte('a');
+  w2.WriteByte('b');
+  w2.WriteByte('c');
+  {
+    BinaryReader r(w2.buffer());
+    EXPECT_THROW(r.ReadString(), SympleError);
+  }
+}
+
+TEST(BinaryIo, ReadBytesRoundTrip) {
+  BinaryWriter w;
+  const std::vector<uint8_t> blob = {0x00, 0xFF, 0x7F, 0x80, 0x01, 0xAB};
+  w.WriteVarUint(blob.size());
+  w.WriteBytes(blob.data(), blob.size());
+  BinaryReader r(w.buffer());
+  std::vector<uint8_t> out(r.ReadVarUint());
+  r.ReadBytes(out.data(), out.size());
+  EXPECT_EQ(out, blob);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIo, ReadBytesPastEndThrows) {
+  BinaryWriter w;
+  w.WriteByte('a');
+  BinaryReader r(w.buffer());
+  uint8_t buf[4];
+  EXPECT_THROW(r.ReadBytes(buf, sizeof(buf)), SympleError);
+  // Empty reads succeed anywhere, even at the end of the buffer.
+  r.ReadByte();
+  r.ReadBytes(nullptr, 0);
+  EXPECT_TRUE(r.AtEnd());
+}
+
 TEST(BinaryIo, RandomizedRoundTrip) {
   SplitMix64 rng(2024);
   for (int trial = 0; trial < 50; ++trial) {

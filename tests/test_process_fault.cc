@@ -1,0 +1,203 @@
+// Fault-injection tests for the forked-process engine: crashed, hung, and
+// truncating workers must be killed, reaped, and recovered via segment
+// re-execution (bounded retries, then in-process fallback), with outputs
+// byte-identical to the sequential engine and no leaked fds or zombies.
+#include "runtime/process_engine.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "queries/all_queries.h"
+#include "workloads/github_gen.h"
+
+namespace symple {
+namespace {
+
+// Sets SYMPLE_FAULT_SPEC for one test body; restores on scope exit.
+class FaultGuard {
+ public:
+  explicit FaultGuard(const char* spec) { ::setenv("SYMPLE_FAULT_SPEC", spec, 1); }
+  ~FaultGuard() { ::unsetenv("SYMPLE_FAULT_SPEC"); }
+};
+
+size_t CountOpenFds() {
+  size_t count = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return 0;
+  }
+  while (::readdir(dir) != nullptr) {
+    ++count;
+  }
+  ::closedir(dir);
+  return count;
+}
+
+Dataset SmallGithub() {
+  GithubGenParams p;
+  p.num_records = 4000;
+  p.num_segments = 6;
+  p.num_repos = 100;
+  p.filler_bytes = 16;
+  return GenerateGithubLog(p);
+}
+
+EngineOptions FastRetryOptions(size_t processes) {
+  EngineOptions options;
+  options.map_slots = processes;
+  options.worker_retry_backoff_ms = 1;
+  return options;
+}
+
+TEST(ProcessFault, SpecParsing) {
+  EXPECT_FALSE(internal::ParseFaultSpec(nullptr).has_value());
+  EXPECT_FALSE(internal::ParseFaultSpec("").has_value());
+
+  const auto crash = internal::ParseFaultSpec("crash:worker=1:frame=3");
+  ASSERT_TRUE(crash.has_value());
+  EXPECT_EQ(crash->mode, internal::FaultSpec::Mode::kCrash);
+  EXPECT_FALSE(crash->all_workers);
+  EXPECT_EQ(crash->worker, 1u);
+  EXPECT_EQ(crash->frame, 3u);
+
+  const auto all = internal::ParseFaultSpec("hang:worker=*:frame=0");
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->mode, internal::FaultSpec::Mode::kHang);
+  EXPECT_TRUE(all->all_workers);
+
+  EXPECT_THROW(internal::ParseFaultSpec("explode:worker=1:frame=0"), SympleError);
+  EXPECT_THROW(internal::ParseFaultSpec("crash:frame=0"), SympleError);
+  EXPECT_THROW(internal::ParseFaultSpec("crash:worker=x:frame=0"), SympleError);
+  EXPECT_THROW(internal::ParseFaultSpec("crash:worker=1"), SympleError);
+}
+
+TEST(ProcessFault, WorkerCrashMidStreamRecovers) {
+  const Dataset data = SmallGithub();
+  const auto seq = RunSequential<G1OnlyPushes>(data);
+  const auto threaded = RunSymple<G1OnlyPushes>(data);
+
+  FaultGuard fault("crash:worker=1:frame=2");
+  const EngineOptions options = FastRetryOptions(3);
+  const auto forked = RunSympleForked<G1OnlyPushes>(data, options);
+  EXPECT_TRUE(forked.outputs == seq.outputs);
+  EXPECT_GE(forked.stats.worker_crashes, 1u);
+  EXPECT_GE(forked.stats.worker_retries, 1u);
+  EXPECT_EQ(forked.stats.fallback_segments, 0u);
+  // Partial segments were discarded and re-executed exactly once: the byte
+  // accounting must match the threaded engine's (same wire format).
+  EXPECT_EQ(forked.stats.shuffle_bytes, threaded.stats.shuffle_bytes);
+
+  const auto forked_mr = RunBaselineForked<G1OnlyPushes>(data, options);
+  EXPECT_TRUE(forked_mr.outputs == seq.outputs);
+  EXPECT_GE(forked_mr.stats.worker_retries, 1u);
+}
+
+TEST(ProcessFault, WorkerHangRecoversViaTimeout) {
+  const Dataset data = SmallGithub();
+  const auto seq = RunSequential<G3PullWindowOps>(data);
+
+  FaultGuard fault("hang:worker=0:frame=1");
+  EngineOptions options = FastRetryOptions(3);
+  options.worker_timeout_ms = 250;
+  const auto forked = RunSympleForked<G3PullWindowOps>(data, options);
+  EXPECT_TRUE(forked.outputs == seq.outputs);
+  EXPECT_GE(forked.stats.worker_timeouts, 1u);
+  EXPECT_GE(forked.stats.worker_retries, 1u);
+}
+
+TEST(ProcessFault, TruncatedStreamRecovers) {
+  // truncate exits 0 after half a frame: the parent must detect the
+  // mid-frame EOF from the stream itself, not from the exit status.
+  const Dataset data = SmallGithub();
+  const auto seq = RunSequential<G2OpsBeforeDelete>(data);
+
+  FaultGuard fault("truncate:worker=2:frame=4");
+  const EngineOptions options = FastRetryOptions(3);
+  const auto forked_mr = RunBaselineForked<G2OpsBeforeDelete>(data, options);
+  EXPECT_TRUE(forked_mr.outputs == seq.outputs);
+  EXPECT_GE(forked_mr.stats.worker_crashes, 1u);
+  EXPECT_GE(forked_mr.stats.worker_retries, 1u);
+}
+
+TEST(ProcessFault, RepeatedCrashesFallBackInProcess) {
+  // Every spawn (including retries) crashes before its first frame; after the
+  // retry budget every segment must be executed in-process, still correctly.
+  const Dataset data = SmallGithub();
+  const auto seq = RunSequential<G1OnlyPushes>(data);
+
+  FaultGuard fault("crash:worker=*:frame=0");
+  EngineOptions options = FastRetryOptions(2);
+  options.worker_retry_limit = 1;
+  const auto forked = RunSympleForked<G1OnlyPushes>(data, options);
+  EXPECT_TRUE(forked.outputs == seq.outputs);
+  EXPECT_EQ(forked.stats.fallback_segments, data.segments.size());
+  // Two initial workers, one respawn each.
+  EXPECT_EQ(forked.stats.worker_retries, 2u);
+  EXPECT_EQ(forked.stats.worker_crashes, 4u);
+}
+
+TEST(ProcessFault, NoFdLeaksOrZombiesAfterFailures) {
+  const Dataset data = SmallGithub();
+  // Warm up lazily-created fds (e.g. test infrastructure) before baselining.
+  { FaultGuard fault("crash:worker=0:frame=1");
+    RunSympleForked<G1OnlyPushes>(data, FastRetryOptions(3)); }
+
+  const size_t fds_before = CountOpenFds();
+  {
+    FaultGuard fault("crash:worker=1:frame=3");
+    const auto forked = RunSympleForked<G1OnlyPushes>(data, FastRetryOptions(3));
+    EXPECT_GE(forked.stats.worker_crashes, 1u);
+  }
+  {
+    FaultGuard fault("truncate:worker=*:frame=0");
+    EngineOptions options = FastRetryOptions(2);
+    options.worker_retry_limit = 0;  // straight to in-process fallback
+    const auto forked = RunBaselineForked<G1OnlyPushes>(data, options);
+    EXPECT_EQ(forked.stats.fallback_segments, data.segments.size());
+  }
+  EXPECT_EQ(CountOpenFds(), fds_before);
+  // Every worker was reaped: no zombies left behind.
+  errno = 0;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(ProcessFault, RunReportRecordsRetries) {
+  const Dataset data = SmallGithub();
+  FaultGuard fault("crash:worker=1:frame=2");
+  EngineOptions options = FastRetryOptions(3);
+  obs::RunObserver observer("symple-forked");
+  options.observer = &observer;
+  const auto forked = RunSympleForked<G1OnlyPushes>(data, options);
+  ASSERT_GE(forked.stats.worker_retries, 1u);
+
+  const obs::RunReport report = MakeRunReport("G1", "symple-forked", options,
+                                              forked.stats, &observer);
+  EXPECT_EQ(report.totals.worker_retries, forked.stats.worker_retries);
+  EXPECT_GE(report.worker_failures, 1u);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"worker_retries\":" +
+                      std::to_string(forked.stats.worker_retries)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"worker_failures\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"worker_retries\":0,"), std::string::npos);
+}
+
+TEST(ProcessFault, FaultFreeRunReportsZeroRetries) {
+  const Dataset data = SmallGithub();
+  const auto seq = RunSequential<G1OnlyPushes>(data);
+  const auto forked = RunSympleForked<G1OnlyPushes>(data, FastRetryOptions(3));
+  EXPECT_TRUE(forked.outputs == seq.outputs);
+  EXPECT_EQ(forked.stats.worker_retries, 0u);
+  EXPECT_EQ(forked.stats.worker_timeouts, 0u);
+  EXPECT_EQ(forked.stats.worker_crashes, 0u);
+  EXPECT_EQ(forked.stats.fallback_segments, 0u);
+}
+
+}  // namespace
+}  // namespace symple
