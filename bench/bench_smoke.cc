@@ -1,6 +1,6 @@
 // Stats-schema smoke check, wired into tier-1 ctest: runs one tiny benchmark
-// per engine (threaded sequential/baseline/SYMPLE plus the forked-process
-// SYMPLE), emits every observability artifact — BENCH_smoke.json via the
+// per engine (threaded sequential/baseline/SYMPLE, the forked-process SYMPLE,
+// and a force-degraded SYMPLE run), emits every observability artifact — BENCH_smoke.json via the
 // bench emitter, a RunReport, and a Chrome trace — then re-parses each one
 // and asserts the required keys exist. A schema regression in any emitter
 // fails this binary, and therefore tier-1, before any downstream tooling
@@ -67,9 +67,16 @@ void CheckRunReport(const obs::JsonValue& report, bool expect_exploration) {
           "map_cpu_ms", "reduce_cpu_ms", "input_bytes", "input_records",
           "parsed_records", "shuffle_bytes", "groups", "summaries", "summary_paths",
           "throughput_mbps", "worker_retries", "worker_timeouts", "worker_crashes",
-          "fallback_segments"}) {
+          "fallback_segments", "degraded_segments", "replayed_records",
+          "wire_corrupt_frames"}) {
       RequireNumberKey(*totals, key);
     }
+  }
+  const obs::JsonValue* degrades = RequireKey(report, "degrades");
+  if (degrades != nullptr) {
+    RequireNumberKey(*degrades, "events");
+    const obs::JsonValue* reasons = RequireKey(*degrades, "reasons");
+    Require(reasons != nullptr && reasons->is_object(), "degrades.reasons is an object");
   }
   const obs::JsonValue* exploration = RequireKey(report, "exploration");
   if (exploration != nullptr && expect_exploration) {
@@ -151,6 +158,19 @@ int main() {
       MakeRunReport("G1", "symple_forked", forked_opts, forked.stats, &forked_obs));
   Require(forked.outputs == seq.outputs, "forked symple output equals sequential");
 
+  EngineOptions degrade_opts;
+  degrade_opts.budgets.force_degrade = true;
+  obs::RunObserver degrade_obs("symple_degraded", &tracer, 5);
+  degrade_opts.observer = &degrade_obs;
+  const auto degraded = RunSymple<G1OnlyPushes>(data, degrade_opts);
+  bench::BenchReport::AddRun("G1", "symple_degraded", "forced degrade", degraded.stats);
+  reports.push_back(MakeRunReport("G1", "symple_degraded", degrade_opts,
+                                  degraded.stats, &degrade_obs));
+  Require(degraded.outputs == seq.outputs,
+          "force-degraded symple output equals sequential");
+  Require(degraded.stats.degraded_segments > 0,
+          "force-degraded run records degraded segments");
+
   // --- validate the RunReport JSON ----------------------------------------------
   for (size_t i = 0; i < reports.size(); ++i) {
     obs::JsonValue doc;
@@ -180,8 +200,9 @@ int main() {
         map_spans += name->string_value == "map_task";
         reduce_spans += name->string_value == "reduce_task";
       }
-      // sequential(1) + mapreduce(6) + symple(6) + forked(2 workers) map spans.
-      Require(map_spans == 15, "trace records one span per map task");
+      // sequential(1) + mapreduce(6) + symple(6) + forked(2 workers) +
+      // force-degraded symple(6) map spans.
+      Require(map_spans == 21, "trace records one span per map task");
       Require(reduce_spans > 0, "trace records reduce task spans");
     }
   }
@@ -197,8 +218,8 @@ int main() {
             "bench schema tag");
     RequireNumberKey(doc, "scale");
     const obs::JsonValue* runs = doc.Find("runs");
-    Require(runs != nullptr && runs->is_array() && runs->array.size() == 4,
-            "bench report has all four runs");
+    Require(runs != nullptr && runs->is_array() && runs->array.size() == 5,
+            "bench report has all five runs");
     if (runs != nullptr) {
       for (const obs::JsonValue& run : runs->array) {
         RequireKey(run, "query");

@@ -50,6 +50,10 @@ struct Options {
   int worker_timeout_ms = -1;
   int worker_retries = -1;
   int worker_backoff_ms = -1;
+  // Symbolic→concrete degradation knobs (docs/degradation.md); 0 = unlimited.
+  size_t path_budget = 0;
+  size_t summary_bytes_budget = 0;
+  bool force_degrade = false;
 };
 
 void PrintStats(const char* label, const symple::EngineStats& stats, bool ok) {
@@ -71,6 +75,24 @@ void PrintWorkerFaults(const symple::EngineStats& stats) {
               static_cast<unsigned long long>(stats.worker_timeouts),
               static_cast<unsigned long long>(stats.worker_crashes),
               static_cast<unsigned long long>(stats.fallback_segments));
+}
+
+void PrintDegrades(const symple::EngineStats& stats) {
+  if (stats.degraded_segments + stats.wire_corrupt_frames == 0) {
+    return;
+  }
+  std::printf("  degrades: %llu segments replayed concretely (%llu records), "
+              "%llu corrupt frames\n",
+              static_cast<unsigned long long>(stats.degraded_segments),
+              static_cast<unsigned long long>(stats.replayed_records),
+              static_cast<unsigned long long>(stats.wire_corrupt_frames));
+  for (size_t i = 0; i < symple::kDegradeReasonCount; ++i) {
+    if (stats.degrade_reasons[i] > 0) {
+      std::printf("            %s: %llu\n",
+                  symple::DegradeReasonName(static_cast<symple::DegradeReason>(i)),
+                  static_cast<unsigned long long>(stats.degrade_reasons[i]));
+    }
+  }
 }
 
 bool WriteFile(const std::string& path, const std::string& content) {
@@ -116,6 +138,10 @@ int RunQuery(const Options& options, symple::Dataset data) {
     if (options.worker_backoff_ms >= 0) {
       engine_options.worker_retry_backoff_ms = options.worker_backoff_ms;
     }
+    engine_options.budgets.max_paths_per_segment = options.path_budget;
+    engine_options.budgets.max_summary_bytes_per_segment =
+        options.summary_bytes_budget;
+    engine_options.budgets.force_degrade = options.force_degrade;
     obs::RunObserver observer(name, options.trace_out.empty() ? nullptr : &tracer,
                               pid);
     if (observing) {
@@ -146,6 +172,7 @@ int RunQuery(const Options& options, symple::Dataset data) {
         });
     PrintStats("sym-forked", sym_forked.stats, sym_forked.outputs == seq.outputs);
     PrintWorkerFaults(sym_forked.stats);
+    PrintDegrades(sym_forked.stats);
     if (sym_forked.outputs != seq.outputs) {
       std::printf("ERROR: forked SYMPLE diverged from the sequential semantics\n");
       return 1;
@@ -168,6 +195,7 @@ int RunQuery(const Options& options, symple::Dataset data) {
       return RunSymple<Query>(data, opts);
     });
     PrintStats("symple", sym.stats, sym.outputs == seq.outputs);
+    PrintDegrades(sym.stats);
     std::printf("symbolic:   %llu groups, %llu summaries, %llu paths, "
                 "%llu runs, %llu merges, %llu restarts\n",
                 static_cast<unsigned long long>(sym.stats.groups),
@@ -259,6 +287,12 @@ int main(int argc, char** argv) {
       options.worker_retries = std::atoi(value.c_str());
     } else if (FlagValue(argc, argv, i, "--worker-backoff-ms", &value)) {
       options.worker_backoff_ms = std::atoi(value.c_str());
+    } else if (FlagValue(argc, argv, i, "--path-budget", &value)) {
+      options.path_budget = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argc, argv, i, "--summary-bytes-budget", &value)) {
+      options.summary_bytes_budget = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (std::strcmp(argv[i], "--force-degrade") == 0) {
+      options.force_degrade = true;
     } else if (FlagValue(argc, argv, i, "--fault", &value)) {
       // Same syntax as SYMPLE_FAULT_SPEC (see docs/process_engine.md), e.g.
       // --fault crash:worker=1:frame=100
@@ -282,7 +316,10 @@ int main(int argc, char** argv) {
                 "                 [--trace-out FILE] [--stats-json FILE]\n"
                 "                 [--worker-timeout-ms N] [--worker-retries N] "
                 "[--worker-backoff-ms N]\n"
-                "                 [--fault crash|hang|truncate:worker=<n|*>:frame=<k>]"
+                "                 [--path-budget N] [--summary-bytes-budget N] "
+                "[--force-degrade]\n"
+                "                 [--fault crash|hang|truncate|corrupt:"
+                "worker=<n|*>:frame=<k>]"
                 "\n\nqueries:\n");
     for (const QueryInfo& info : AllQueryInfos()) {
       std::printf("  %-4s %-9s %s\n", info.id.c_str(), info.dataset.c_str(),

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Full per-PR gate: the tier-1 suite (default preset) followed by the
+# sanitized build running the fault-injection / wire-hardening / degradation
+# suites under ASan+UBSan (filter lives in CMakePresets.json).
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake --preset default
+cmake --build --preset default -j "${CI_JOBS:-$(nproc)}"
+ctest --preset default -j "${CI_JOBS:-$(nproc)}"
+
+cmake --preset asan
+cmake --build --preset asan -j "${CI_JOBS:-$(nproc)}"
+ctest --preset asan -j "${CI_JOBS:-$(nproc)}"
+
+echo "ci.sh: tier-1 + sanitized suites passed"

@@ -20,6 +20,34 @@ class SympleError : public std::runtime_error {
   explicit SympleError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Degrade-trigger taxonomy. These mark declared engine limitations that are
+// recoverable at *segment* granularity: the map phase catches them, emits a
+// DeferredConcrete marker instead of a summary, and the reducer replays the
+// segment concretely from the already-composed prefix state (docs/
+// degradation.md). They stay subclasses of SympleError so code that treats
+// them as fatal (e.g. a direct SymInt user outside the engine) is unchanged.
+
+// Symbolic coefficient overflow in an affine transfer function.
+class SympleOverflowError : public SympleError {
+ public:
+  explicit SympleOverflowError(const std::string& what) : SympleError(what) {}
+};
+
+// Path explosion: the UDA exceeded a per-record or per-run decision bound.
+class SymplePathExplosionError : public SympleError {
+ public:
+  explicit SymplePathExplosionError(const std::string& what)
+      : SympleError(what) {}
+};
+
+// The UDA used an operation the symbolic domain does not support (for
+// example a SymPred whose predicate id is not in the process registry).
+class SympleUnsupportedOpError : public SympleError {
+ public:
+  explicit SympleUnsupportedOpError(const std::string& what)
+      : SympleError(what) {}
+};
+
 // Recoverable failure taxonomy. A SympleIoError marks a fault whose blast
 // radius is one worker/task, not the whole run: pipe I/O failures, truncated
 // or malformed wire data, a crashed or hung worker process. Because map tasks
@@ -30,6 +58,17 @@ class SympleError : public std::runtime_error {
 class SympleIoError : public SympleError {
  public:
   explicit SympleIoError(const std::string& what) : SympleError(what) {}
+};
+
+// Corrupt or non-canonical wire bytes: a frame checksum mismatch, a summary
+// whose deserialized form violates a type invariant (SymInt with lb > ub,
+// SymEnum bits above the domain), or a read past the end of a buffer. The
+// payload cannot be trusted, but the segment that produced it can always be
+// replayed concretely, so this is a degrade trigger rather than a fatal
+// error when it happens on the summary path.
+class SympleWireError : public SympleIoError {
+ public:
+  explicit SympleWireError(const std::string& what) : SympleIoError(what) {}
 };
 
 // Internal invariant check. Unlike assert() this is active in release builds:

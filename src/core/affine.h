@@ -34,7 +34,7 @@ struct AffineForm {
 inline int64_t CheckedAdd(int64_t x, int64_t y) {
   int64_t r = 0;
   if (__builtin_add_overflow(x, y, &r)) {
-    throw SympleError("SymInt coefficient overflow in addition");
+    throw SympleOverflowError("SymInt coefficient overflow in addition");
   }
   return r;
 }
@@ -42,7 +42,7 @@ inline int64_t CheckedAdd(int64_t x, int64_t y) {
 inline int64_t CheckedSub(int64_t x, int64_t y) {
   int64_t r = 0;
   if (__builtin_sub_overflow(x, y, &r)) {
-    throw SympleError("SymInt coefficient overflow in subtraction");
+    throw SympleOverflowError("SymInt coefficient overflow in subtraction");
   }
   return r;
 }
@@ -50,14 +50,14 @@ inline int64_t CheckedSub(int64_t x, int64_t y) {
 inline int64_t CheckedMul(int64_t x, int64_t y) {
   int64_t r = 0;
   if (__builtin_mul_overflow(x, y, &r)) {
-    throw SympleError("SymInt coefficient overflow in multiplication");
+    throw SympleOverflowError("SymInt coefficient overflow in multiplication");
   }
   return r;
 }
 
 inline int64_t CheckedNeg(int64_t x) {
   if (x == std::numeric_limits<int64_t>::min()) {
-    throw SympleError("SymInt coefficient overflow in negation");
+    throw SympleOverflowError("SymInt coefficient overflow in negation");
   }
   return -x;
 }

@@ -134,6 +134,10 @@ class SymbolicAggregator {
   const ExplorationStats& stats() const { return ctx_.stats(); }
   size_t live_path_count() const { return live_paths_.size(); }
 
+  // Total paths this aggregator holds across emitted summaries plus the live
+  // frontier. The engine's per-segment path budget is enforced against this.
+  size_t total_paths() const { return emitted_paths_ + live_paths_.size(); }
+
  private:
   void StartFreshSegment() {
     State fresh{};
@@ -167,7 +171,7 @@ class SymbolicAggregator {
       out.push_back(std::move(copy));
       ++ctx_.stats().paths_produced;
       if (++produced > options_.max_paths_per_record) {
-        throw SympleError(
+        throw SymplePathExplosionError(
             "path explosion while processing a single record; the UDA "
             "potentially has a loop that depends on the aggregation state");
       }
@@ -178,6 +182,7 @@ class SymbolicAggregator {
   }
 
   void EmitCurrentSummary() {
+    emitted_paths_ += live_paths_.size();
     summaries_.emplace_back(std::move(live_paths_));
     live_paths_.clear();
   }
@@ -189,6 +194,7 @@ class SymbolicAggregator {
   std::vector<State> scratch_paths_;  // reused across Feed calls
   std::vector<Summary<State>> summaries_;
   size_t highwater_ = 1;
+  size_t emitted_paths_ = 0;
 };
 
 // Convenience: applies ordered summaries to a concrete initial state,

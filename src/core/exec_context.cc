@@ -13,7 +13,7 @@ ExecContext* ExecContext::Current() { return g_current_context; }
 
 uint32_t ExecContext::Choose(uint32_t arity) {
   if (choices_.size() >= max_decisions_per_run_ && choices_.FullyConsumed()) {
-    throw SympleError(
+    throw SymplePathExplosionError(
         "symbolic execution exceeded the per-run decision bound; the UDA "
         "potentially has a loop that depends on the aggregation state");
   }

@@ -45,7 +45,7 @@ bool (*LookupPred(PredId id))(const void*, const void*) {
   std::lock_guard<std::mutex> lock(RegistryMutex());
   std::vector<PredEntry>& entries = Registry();
   if (id >= entries.size()) {
-    throw SympleError("unknown predicate id " + std::to_string(id));
+    throw SympleUnsupportedOpError("unknown predicate id " + std::to_string(id));
   }
   return entries[id].fn;
 }

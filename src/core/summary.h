@@ -109,7 +109,9 @@ class Summary {
 
   void Deserialize(BinaryReader& r) {
     const uint64_t n = r.ReadVarUint();
-    SYMPLE_CHECK(n <= r.remaining(), "summary path count exceeds buffer");
+    if (n > r.remaining()) {
+      throw SympleWireError("summary path count exceeds buffer");
+    }
     paths_.clear();
     paths_.reserve(n);
     for (uint64_t i = 0; i < n; ++i) {

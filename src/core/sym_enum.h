@@ -64,11 +64,36 @@ class SymEnum {
     w.WriteVarUint(field_);
   }
 
+  // Strict canonical-form validation on deserialize (see SymInt): the
+  // bit-set must stay inside the domain and the value must be in the
+  // normalized form Serialize produces, or downstream bit tricks
+  // (popcount/countr_zero on set_, Bit(c_) indexing) operate on garbage.
   void Deserialize(BinaryReader& r) {
     const uint8_t packed = r.ReadByte();
+    if ((packed & 0x80) != 0) {
+      throw SympleWireError("SymEnum: unknown high bit in packed byte");
+    }
     bound_ = (packed & 0x40) != 0;
     c_ = packed & 0x3F;
     set_ = r.ReadVarUint();
+    if ((set_ & ~kFullSet) != 0) {
+      throw SympleWireError("SymEnum: constraint set has bits above the domain");
+    }
+    if (set_ == 0) {
+      throw SympleWireError("SymEnum: empty constraint set (infeasible path)");
+    }
+    if (bound_) {
+      if (c_ >= N) {
+        throw SympleWireError("SymEnum: bound constant outside the domain");
+      }
+    } else {
+      if (c_ != 0) {
+        throw SympleWireError("SymEnum: unbound value carries a constant");
+      }
+      if (std::popcount(set_) == 1) {
+        throw SympleWireError("SymEnum: unnormalized singleton set in wire form");
+      }
+    }
     field_ = static_cast<uint32_t>(r.ReadVarUint());
   }
 

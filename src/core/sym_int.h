@@ -77,20 +77,61 @@ class SymInt {
     w.WriteVarUint(field_);
   }
 
+  // Strict canonical-form validation on deserialize: a frame that passed the
+  // transport checksum can still carry non-canonical bytes (buggy or
+  // malicious peer). Rejecting them here keeps every in-memory SymInt a
+  // value Serialize could have produced, so decision procedures never see
+  // an invalid (lb > ub, redundant encoding, unnormalized point) state.
   void Deserialize(BinaryReader& r) {
     const uint8_t flags = r.ReadByte();
+    constexpr uint8_t kKnownFlags =
+        kLoIsMin | kHiIsMax | kAIsZero | kAIsOne | kBIsZero;
+    if ((flags & ~kKnownFlags) != 0) {
+      throw SympleWireError("SymInt: unknown flag bits in wire form");
+    }
+    if ((flags & kAIsZero) != 0 && (flags & kAIsOne) != 0) {
+      throw SympleWireError("SymInt: contradictory coefficient flags");
+    }
     if ((flags & kAIsZero) != 0) {
       value_.a = 0;
     } else if ((flags & kAIsOne) != 0) {
       value_.a = 1;
     } else {
       value_.a = r.ReadVarInt();
+      if (value_.a == 0 || value_.a == 1) {
+        throw SympleWireError("SymInt: non-canonical explicit coefficient");
+      }
     }
-    value_.b = (flags & kBIsZero) != 0 ? 0 : r.ReadVarInt();
-    domain_.lo = (flags & kLoIsMin) != 0 ? std::numeric_limits<int64_t>::min()
-                                         : r.ReadVarInt();
-    domain_.hi = (flags & kHiIsMax) != 0 ? std::numeric_limits<int64_t>::max()
-                                         : r.ReadVarInt();
+    if ((flags & kBIsZero) != 0) {
+      value_.b = 0;
+    } else {
+      value_.b = r.ReadVarInt();
+      if (value_.b == 0) {
+        throw SympleWireError("SymInt: non-canonical explicit offset");
+      }
+    }
+    if ((flags & kLoIsMin) != 0) {
+      domain_.lo = std::numeric_limits<int64_t>::min();
+    } else {
+      domain_.lo = r.ReadVarInt();
+      if (domain_.lo == std::numeric_limits<int64_t>::min()) {
+        throw SympleWireError("SymInt: non-canonical explicit lower bound");
+      }
+    }
+    if ((flags & kHiIsMax) != 0) {
+      domain_.hi = std::numeric_limits<int64_t>::max();
+    } else {
+      domain_.hi = r.ReadVarInt();
+      if (domain_.hi == std::numeric_limits<int64_t>::max()) {
+        throw SympleWireError("SymInt: non-canonical explicit upper bound");
+      }
+    }
+    if (domain_.lo > domain_.hi) {
+      throw SympleWireError("SymInt: wire form violates lb <= ub");
+    }
+    if (!value_.IsConcrete() && domain_.IsPoint()) {
+      throw SympleWireError("SymInt: unnormalized point domain in wire form");
+    }
     field_ = static_cast<uint32_t>(r.ReadVarUint());
   }
 

@@ -67,7 +67,9 @@ class SymPred {
   // outcomes are explored (subject to consistency with earlier evaluations of
   // an identical argument on this path).
   bool EvalPred(const T& arg) {
-    SYMPLE_CHECK(fn_ != nullptr, "SymPred has no registered predicate");
+    if (fn_ == nullptr) {
+      throw SympleUnsupportedOpError("SymPred has no registered predicate");
+    }
     if (bound_) {
       return fn_(&value_, &arg);
     }
@@ -108,12 +110,21 @@ class SymPred {
 
   void Deserialize(BinaryReader& r) {
     pred_ = static_cast<PredId>(r.ReadVarUint());
-    fn_ = LookupPred(pred_);
+    try {
+      fn_ = LookupPred(pred_);
+    } catch (const SympleUnsupportedOpError&) {
+      // Bytes referencing a predicate this process never registered cannot
+      // have come from a well-behaved peer: classify as wire corruption.
+      throw SympleWireError("SymPred references an unregistered predicate id " +
+                            std::to_string(pred_));
+    }
     bound_ = r.ReadBool();
     value_ = bound_ ? ValueCodec<T>::Read(r) : T{};
     trace_.clear();
     const uint64_t n = r.ReadVarUint();
-    SYMPLE_CHECK(n <= r.remaining(), "SymPred trace count exceeds buffer");
+    if (n > r.remaining()) {
+      throw SympleWireError("SymPred trace count exceeds buffer");
+    }
     trace_.reserve(n);
     for (uint64_t i = 0; i < n; ++i) {
       T arg = ValueCodec<T>::Read(r);

@@ -96,14 +96,25 @@ class SymVector {
     const uint64_t n = r.ReadVarUint();
     // Every element costs at least one byte on the wire: reject corrupted
     // counts before trusting them with an allocation.
-    SYMPLE_CHECK(n <= r.remaining(), "SymVector element count exceeds buffer");
+    if (n > r.remaining()) {
+      throw SympleWireError("SymVector element count exceeds buffer");
+    }
     std::vector<Element> elems;
     elems.reserve(n);
     for (uint64_t i = 0; i < n; ++i) {
       Element e;
-      e.symbolic = r.ReadBool();
+      const uint64_t tag = r.ReadVarUint();
+      if (tag > 1) {
+        throw SympleWireError("SymVector: element tag is not a bool");
+      }
+      e.symbolic = tag != 0;
       if (e.symbolic) {
         e.form.a = r.ReadVarInt();
+        if (e.form.a == 0) {
+          // Serialize only emits the symbolic encoding for non-concrete
+          // affine forms; a == 0 here is not a value we could have written.
+          throw SympleWireError("SymVector: symbolic element with zero slope");
+        }
         e.form.b = r.ReadVarInt();
         e.ref_field = static_cast<uint32_t>(r.ReadVarUint());
       } else {

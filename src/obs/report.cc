@@ -64,6 +64,9 @@ void RunReport::AppendJson(JsonWriter& w) const {
   w.KV("worker_timeouts", totals.worker_timeouts);
   w.KV("worker_crashes", totals.worker_crashes);
   w.KV("fallback_segments", totals.fallback_segments);
+  w.KV("degraded_segments", totals.degraded_segments);
+  w.KV("replayed_records", totals.replayed_records);
+  w.KV("wire_corrupt_frames", totals.wire_corrupt_frames);
   w.EndObject();
 
   w.Key("exploration");
@@ -100,6 +103,20 @@ void RunReport::AppendJson(JsonWriter& w) const {
   AppendHistogramJson(w, paths_per_group);
   w.Key("summaries_per_group");
   AppendHistogramJson(w, summaries_per_group);
+  w.EndObject();
+
+  w.Key("degrades").BeginObject();
+  w.KV("events", degraded_segment_events);
+  w.Key("reasons").BeginObject();
+  for (const auto& [reason, count] : degrade_reasons) {
+    w.KV(reason, count);
+  }
+  w.EndObject();
+  w.Key("messages").BeginArray();
+  for (const std::string& message : degrade_messages) {
+    w.String(message);
+  }
+  w.EndArray();
   w.EndObject();
 
   w.KV("worker_failures", worker_failures);
@@ -213,6 +230,29 @@ void RunObserver::OnWorkerFailure(uint32_t worker_id, const std::string& kind) {
   }
 }
 
+void RunObserver::OnSegmentDegraded(uint32_t segment_id,
+                                    const std::string& reason,
+                                    const std::string& message) {
+  ++degraded_segment_events_;
+  if (degrade_messages_.size() < kMaxDegradeMessages && !message.empty()) {
+    degrade_messages_.push_back(message);
+  }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("engine.degraded_segments")->Increment();
+  reg.GetCounter("engine.degrades." + reason)->Increment();
+  if (tracer_ != nullptr) {
+    TraceSpan span;
+    span.name = "segment_degraded:" + reason;
+    span.category = "degrade";
+    span.pid = trace_pid_;
+    span.tid = segment_id;
+    span.start_us = NowUs();
+    span.duration_us = 0;
+    span.args.emplace_back("segment", segment_id);
+    tracer_->Record(std::move(span));
+  }
+}
+
 void RunObserver::OnPhase(const std::string& name, double start_us, double end_us,
                           uint64_t detail, const std::string& detail_key) {
   if (tracer_ == nullptr) {
@@ -247,6 +287,8 @@ void RunObserver::FillReport(RunReport* report) const {
   report->paths_per_group = paths_per_group_;
   report->summaries_per_group = summaries_per_group_;
   report->worker_failures = worker_failures_;
+  report->degraded_segment_events = degraded_segment_events_;
+  report->degrade_messages = degrade_messages_;
   report->dropped_spans = tracer_ != nullptr ? tracer_->dropped() : 0;
 }
 

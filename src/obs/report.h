@@ -56,6 +56,10 @@ struct RunTotals {
   uint64_t worker_timeouts = 0;
   uint64_t worker_crashes = 0;
   uint64_t fallback_segments = 0;
+  // Symbolic→concrete degradation (see EngineStats).
+  uint64_t degraded_segments = 0;
+  uint64_t replayed_records = 0;
+  uint64_t wire_corrupt_frames = 0;
 };
 
 // One completed map task, reported by the engine after the task finished.
@@ -116,6 +120,16 @@ struct RunReport {
   // in-process fallback.
   uint64_t worker_failures = 0;
 
+  // Segment-degradation breakdown: one (reason name, count) pair per
+  // DegradeReason (filled from EngineStats by MakeRunReport; all reasons
+  // always present for a stable schema), the number of OnSegmentDegraded
+  // events observed, and a sample of the original error messages (capped at
+  // kMaxDegradeMessages — the satellite requirement that the triggering
+  // error's message survives into the run report).
+  std::vector<std::pair<std::string, uint64_t>> degrade_reasons;
+  uint64_t degraded_segment_events = 0;
+  std::vector<std::string> degrade_messages;
+
   uint64_t dropped_spans = 0;
 
   // Appends this report as one JSON object ("symple.run_report/1").
@@ -150,9 +164,16 @@ class RunObserver {
   void OnPhase(const std::string& name, double start_us, double end_us,
                uint64_t detail = 0, const std::string& detail_key = "");
   // A forked worker was killed and its pending segments rescheduled. `kind`
-  // is "crash" | "timeout" | "protocol"; mirrored into the metrics registry
-  // (engine.worker_failures.<kind>) and recorded as an instant trace event.
+  // is "crash" | "timeout" | "protocol" | "corrupt"; mirrored into the
+  // metrics registry (engine.worker_failures.<kind>) and recorded as an
+  // instant trace event.
   void OnWorkerFailure(uint32_t worker_id, const std::string& kind);
+  // A map segment degraded from symbolic summary to concrete replay.
+  // `reason` is a DegradeReasonName string; `message` preserves the original
+  // error text. Mirrored into the metrics registry (engine.degraded_segments
+  // and engine.degrades.<reason>) and recorded as an instant trace event.
+  void OnSegmentDegraded(uint32_t segment_id, const std::string& reason,
+                         const std::string& message);
 
   // Folds everything observed into `report` (task histograms + counts).
   void FillReport(RunReport* report) const;
@@ -180,6 +201,10 @@ class RunObserver {
   HistogramSnapshot summaries_per_group_;
 
   uint64_t worker_failures_ = 0;
+
+  static constexpr size_t kMaxDegradeMessages = 8;
+  uint64_t degraded_segment_events_ = 0;
+  std::vector<std::string> degrade_messages_;  // sampled, capped
 };
 
 }  // namespace obs

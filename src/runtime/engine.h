@@ -51,6 +51,7 @@
 #include "common/thread_pool.h"
 #include "common/text_key.h"
 #include "core/aggregator.h"
+#include "core/degrade.h"
 #include "core/summary.h"
 #include "core/value_codec.h"
 #include "obs/report.h"
@@ -71,6 +72,22 @@ enum class ReduceMode {
   kTreeCompose,
 };
 
+// Resource budgets bounding symbolic execution per segment (SYMPLE engines
+// only). A "segment" here is one (map chunk, group) sub-stream — the unit the
+// paper's summaries describe and the unit that degrades to concrete replay
+// when a budget trips (docs/degradation.md). 0 means unlimited.
+struct DegradeBudgets {
+  // Total symbolic paths (emitted + live) a segment may accumulate before it
+  // degrades with reason path_budget.
+  size_t max_paths_per_segment = 0;
+  // Serialized summary bytes a segment may produce before it degrades with
+  // reason summary_bytes.
+  size_t max_summary_bytes_per_segment = 0;
+  // Test hook: degrade every segment up front (reason forced), forcing the
+  // reducer down the concrete-replay path for the whole query.
+  bool force_degrade = false;
+};
+
 struct EngineOptions {
   // Worker threads executing map tasks (the paper's "mappers" axis in
   // Figure 4). Each dataset segment is one map task regardless.
@@ -81,6 +98,8 @@ struct EngineOptions {
   ReduceMode reduce_mode = ReduceMode::kSequentialFold;
   // Symbolic exploration knobs (SYMPLE engine only).
   AggregatorOptions aggregator;
+  // Symbolic→concrete degradation budgets (SYMPLE engines only).
+  DegradeBudgets budgets;
   // Forked-process engines only (process_engine.h). A worker that delivers no
   // bytes for worker_timeout_ms is declared hung, killed, and its incomplete
   // segments re-executed; 0 disables the watchdog. Each worker lineage gets
@@ -120,9 +139,20 @@ inline obs::RunReport MakeRunReport(const std::string& query,
       {"enable_merging", options.aggregator.enable_merging ? "true" : "false"},
       {"worker_timeout_ms", std::to_string(options.worker_timeout_ms)},
       {"worker_retry_limit", std::to_string(options.worker_retry_limit)},
+      {"max_paths_per_segment",
+       std::to_string(options.budgets.max_paths_per_segment)},
+      {"max_summary_bytes_per_segment",
+       std::to_string(options.budgets.max_summary_bytes_per_segment)},
+      {"force_degrade", options.budgets.force_degrade ? "true" : "false"},
   };
   report.totals = stats.ToRunTotals();
   report.exploration = stats.ToExplorationTotals();
+  report.degrade_reasons.clear();
+  for (size_t i = 0; i < kDegradeReasonCount; ++i) {
+    report.degrade_reasons.emplace_back(
+        DegradeReasonName(static_cast<DegradeReason>(i)),
+        stats.degrade_reasons[i]);
+  }
   return report;
 }
 
@@ -179,6 +209,80 @@ uint64_t PacketBytes(const ShufflePacket<Key>& p) {
   header.WriteVarUint(p.record_id);
   header.WriteVarUint(p.blob.size());
   return header.size() + p.blob.size();
+}
+
+// SYMPLE packet blobs lead with a kind byte (SegmentResult tag): a segment's
+// packet either carries its ordered symbolic summaries or a DeferredConcrete
+// marker telling the reducer to replay the segment from the raw input.
+// Baseline packets are untagged (they are already concrete rows).
+inline constexpr uint8_t kSegmentSymbolic = 0;
+inline constexpr uint8_t kSegmentDeferred = 1;
+
+// DeferredConcrete marker: [kSegmentDeferred][varint segment_id][u8 reason]
+// [string message]. segment_id duplicates the packet's mapper_id as a
+// cross-check; the message preserves the original error for the run report.
+inline std::vector<uint8_t> MakeDeferredBlob(uint32_t segment_id,
+                                             DegradeReason reason,
+                                             std::string_view message) {
+  BinaryWriter w;
+  w.WriteByte(kSegmentDeferred);
+  w.WriteVarUint(segment_id);
+  w.WriteByte(static_cast<uint8_t>(reason));
+  w.WriteString(message);
+  return w.TakeBuffer();
+}
+
+// Degrade bookkeeping shared by concurrent map tasks and reduce workers. The
+// RunObserver contract is single-threaded post-quiesce, so events accumulate
+// here under a mutex and FoldDegrades flushes them from the coordinating
+// thread after each phase's pool has quiesced.
+struct DegradeEvent {
+  uint32_t segment_id = 0;
+  DegradeReason reason = DegradeReason::kOther;
+  std::string message;
+};
+
+struct DegradeAccounting {
+  std::mutex mu;
+  uint64_t degraded_segments = 0;
+  uint64_t replayed_records = 0;
+  uint64_t reasons[kDegradeReasonCount] = {};
+  std::vector<DegradeEvent> events;  // sampled, capped at kMaxEvents
+  static constexpr size_t kMaxEvents = 64;
+
+  void Record(uint32_t segment_id, DegradeReason reason,
+              std::string_view message, uint64_t replayed = 0) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++degraded_segments;
+    replayed_records += replayed;
+    ++reasons[static_cast<size_t>(reason)];
+    if (events.size() < kMaxEvents) {
+      events.push_back(DegradeEvent{segment_id, reason, std::string(message)});
+    }
+  }
+};
+
+// Folds accumulated degrade events into the run's EngineStats and notifies
+// the observer. Must run on the coordinating thread after pool quiesce.
+inline void FoldDegrades(DegradeAccounting& acct, EngineStats* stats,
+                         obs::RunObserver* observer) {
+  stats->degraded_segments += acct.degraded_segments;
+  stats->replayed_records += acct.replayed_records;
+  for (size_t i = 0; i < kDegradeReasonCount; ++i) {
+    stats->degrade_reasons[i] += acct.reasons[i];
+  }
+  if (observer != nullptr) {
+    for (const DegradeEvent& e : acct.events) {
+      observer->OnSegmentDegraded(e.segment_id, DegradeReasonName(e.reason),
+                                  e.message);
+    }
+  }
+  acct.degraded_segments = 0;
+  acct.replayed_records = 0;
+  for (uint64_t& r : acct.reasons) {
+    r = 0;
+  }
+  acct.events.clear();
 }
 
 }  // namespace internal
@@ -448,11 +552,14 @@ std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
 }
 
 // One SYMPLE map task: parse + groupby + symbolic UDA over one segment,
-// emitting ordered serialized summaries per (mapper, key).
+// emitting one SegmentResult packet per (mapper, key) — ordered serialized
+// summaries, or a DeferredConcrete marker when the group's symbolic
+// execution hit a budget or a declared limitation. Degradation is segment-
+// granular: other groups in the same chunk keep their symbolic summaries.
 template <typename Query>
 std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
     const std::string& segment, uint32_t mapper_id, const AggregatorOptions& options,
-    TaskStats* ts) {
+    const DegradeBudgets& budgets, TaskStats* ts) {
   using Key = typename Query::Key;
   using State = typename Query::State;
   using UpdateFn = void (*)(State&, const typename Query::Event&);
@@ -462,6 +569,9 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
         : agg(&Query::Update, agg_options) {}
     Aggregator agg;
     uint64_t first_record = 0;
+    bool degraded = false;
+    DegradeReason reason = DegradeReason::kOther;
+    std::string message;
   };
   std::unordered_map<Key, GroupAgg> groups;
   LineCursor cursor(segment);
@@ -475,32 +585,230 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
     }
     ++ts->parsed;
     auto [it, inserted] = groups.try_emplace(rec->first, options);
+    GroupAgg& group = it->second;
     if (inserted) {
-      it->second.first_record = record_id;
+      group.first_record = record_id;
+      if (budgets.force_degrade) {
+        group.degraded = true;
+        group.reason = DegradeReason::kForced;
+        group.message = "degradation forced by configuration";
+      }
     }
-    it->second.agg.Feed(rec->second);
+    if (group.degraded) {
+      continue;  // the reducer will replay this segment from the raw input
+    }
+    try {
+      group.agg.Feed(rec->second);
+      if (budgets.max_paths_per_segment > 0 &&
+          group.agg.total_paths() > budgets.max_paths_per_segment) {
+        group.degraded = true;
+        group.reason = DegradeReason::kPathBudget;
+        group.message = "segment exceeded max_paths_per_segment = " +
+                        std::to_string(budgets.max_paths_per_segment);
+      }
+    } catch (const SympleError& e) {
+      // Path explosion, coefficient overflow, unsupported op: a declared
+      // limitation of *this group's* UDA stream, not of the query. Degrade
+      // the segment; the original message reaches the run report.
+      group.degraded = true;
+      group.reason = ClassifyDegradeError(e);
+      group.message = e.what();
+    }
   }
   std::vector<ShufflePacket<Key>> out;
   out.reserve(groups.size());
   for (auto& [key, group] : groups) {
     ts->exploration += group.agg.stats();
-    std::vector<Summary<State>> summaries = group.agg.Finish();
-    ts->summaries += summaries.size();
-    ts->summaries_per_group.Record(summaries.size());
     ShufflePacket<Key> p;
     p.key = key;
     p.mapper_id = mapper_id;
     p.record_id = group.first_record;
-    BinaryWriter w;
-    w.WriteVarUint(summaries.size());
-    uint64_t group_paths = 0;
-    for (const Summary<State>& s : summaries) {
-      ts->summary_paths += s.path_count();
-      group_paths += s.path_count();
-      s.Serialize(w);
+    if (!group.degraded) {
+      std::vector<Summary<State>> summaries = group.agg.Finish();
+      BinaryWriter body;
+      uint64_t group_paths = 0;
+      for (const Summary<State>& s : summaries) {
+        group_paths += s.path_count();
+        s.Serialize(body);
+      }
+      if (budgets.max_summary_bytes_per_segment > 0 &&
+          body.size() > budgets.max_summary_bytes_per_segment) {
+        group.degraded = true;
+        group.reason = DegradeReason::kSummaryBytes;
+        group.message = "segment summary of " + std::to_string(body.size()) +
+                        " bytes exceeded max_summary_bytes_per_segment = " +
+                        std::to_string(budgets.max_summary_bytes_per_segment);
+      } else {
+        ts->summaries += summaries.size();
+        ts->summaries_per_group.Record(summaries.size());
+        ts->summary_paths += group_paths;
+        ts->paths_per_group.Record(group_paths);
+        BinaryWriter w;
+        w.WriteByte(kSegmentSymbolic);
+        w.WriteVarUint(summaries.size());
+        w.WriteBytes(body.buffer().data(), body.size());
+        p.blob = w.TakeBuffer();
+      }
     }
-    ts->paths_per_group.Record(group_paths);
-    p.blob = w.TakeBuffer();
+    if (group.degraded) {
+      // Accounting happens at the reducer when the marker is replayed: in
+      // forked mode this code runs in a child process, so the marker itself
+      // is the only record of the degrade that survives the pipe.
+      p.blob = MakeDeferredBlob(mapper_id, group.reason, group.message);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// Concrete replay of one deferred segment: re-runs the UDA sequentially over
+// the key's records in data.segments[segment_id], continuing from the
+// already-composed prefix state. Because packets are ordered by (key,
+// mapper, record) and each (mapper, key) sub-stream is replayed in input
+// order, the result is byte-identical to the sequential engine.
+template <typename Query>
+uint64_t ReplaySegmentForKey(const Dataset& data, uint32_t segment_id,
+                             const typename Query::Key& key,
+                             typename Query::State& state) {
+  SYMPLE_CHECK(segment_id < data.segments.size(),
+               "deferred segment id out of range at the reducer");
+  uint64_t replayed = 0;
+  LineCursor cursor(data.segments[segment_id]);
+  while (const auto line = cursor.Next()) {
+    auto rec = Query::Parse(*line);
+    if (rec.has_value() && rec->first == key) {
+      Query::Update(state, rec->second);
+      ++replayed;
+    }
+  }
+  return replayed;
+}
+
+// Reduces one key's ordered packet run, degrading per packet: a deferred
+// marker, a malformed blob, or a summary that fails validation/application
+// replays that segment concretely from the prefix state instead of aborting
+// the query. Shared by RunSymple and RunSympleForked.
+template <typename Query>
+void SympleReduceKey(const Dataset& data, ReduceMode mode,
+                     const typename Query::Key& key,
+                     const ShufflePacket<typename Query::Key>* first,
+                     const ShufflePacket<typename Query::Key>* last,
+                     typename Query::State& state, DegradeAccounting* acct) {
+  using State = typename Query::State;
+  for (const auto* p = first; p != last; ++p) {
+    const auto replay = [&](DegradeReason reason, std::string_view message) {
+      const uint64_t replayed =
+          ReplaySegmentForKey<Query>(data, p->mapper_id, key, state);
+      acct->Record(p->mapper_id, reason, message, replayed);
+    };
+    if (p->blob.empty()) {
+      replay(DegradeReason::kWireCorrupt, "empty segment blob at the reducer");
+      continue;
+    }
+    if (p->blob[0] == kSegmentDeferred) {
+      // DeferredConcrete marker. Parse defensively: the marker may itself
+      // have crossed a hostile wire, and replay is correct regardless of
+      // what it says — only the reported reason/message depend on it.
+      DegradeReason reason = DegradeReason::kWireCorrupt;
+      std::string message = "malformed deferred-segment marker";
+      try {
+        BinaryReader r(p->blob.data(), p->blob.size());
+        r.ReadByte();
+        const uint64_t seg = r.ReadVarUint();
+        const uint8_t raw_reason = r.ReadByte();
+        std::string msg = r.ReadString();
+        if (seg == p->mapper_id && raw_reason < kDegradeReasonCount &&
+            r.AtEnd()) {
+          reason = static_cast<DegradeReason>(raw_reason);
+          message = std::move(msg);
+        }
+      } catch (const SympleError&) {
+        // keep the wire-corrupt classification
+      }
+      replay(reason, message);
+      continue;
+    }
+    // Symbolic summaries. Snapshot the prefix state so a failure mid-packet
+    // (summary i applied, summary i+1 corrupt) can rewind and replay the
+    // whole segment without double-applying.
+    const State snapshot = state;
+    bool ok = true;
+    std::string message;
+    try {
+      BinaryReader r(p->blob.data(), p->blob.size());
+      if (r.ReadByte() != kSegmentSymbolic) {
+        throw SympleWireError("unknown segment blob kind");
+      }
+      const uint64_t n = r.ReadVarUint();
+      if (n == 0 || n > r.remaining()) {
+        throw SympleWireError("implausible summary count in segment blob");
+      }
+      if (mode == ReduceMode::kTreeCompose && n > 1) {
+        std::vector<Summary<State>> ordered;
+        ordered.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          Summary<State> s;
+          s.Deserialize(r);
+          ordered.push_back(std::move(s));
+        }
+        if (!r.AtEnd()) {
+          throw SympleWireError("trailing bytes after segment summaries");
+        }
+        // Composing within the packet and folding packet-by-packet is
+        // identical to a global tree compose (composition is associative)
+        // and keeps degrade blast radius to one segment.
+        ok = ComposeAll(ordered).ApplyTo(state);
+      } else {
+        for (uint64_t i = 0; i < n && ok; ++i) {
+          Summary<State> s;
+          s.Deserialize(r);
+          ok = s.ApplyTo(state);
+        }
+        if (ok && !r.AtEnd()) {
+          throw SympleWireError("trailing bytes after segment summaries");
+        }
+      }
+      if (!ok) {
+        message = "summary rejected the prefix state";
+      }
+    } catch (const SympleError& e) {
+      ok = false;
+      message = e.what();
+    }
+    if (!ok) {
+      state = snapshot;
+      replay(DegradeReason::kWireCorrupt, message);
+    }
+  }
+}
+
+// Expands one raw input segment into per-key DeferredConcrete packets: one
+// marker per distinct key, ordered at that key's first record. Used by the
+// forked engines when a worker's frames fail validation — the pipe content
+// is untrusted, so the whole pending segment degrades to concrete replay.
+template <typename Query>
+std::vector<ShufflePacket<typename Query::Key>> DeferSegmentPackets(
+    const std::string& segment, uint32_t segment_id, DegradeReason reason,
+    std::string_view message) {
+  using Key = typename Query::Key;
+  std::unordered_map<Key, uint64_t> first_record;
+  LineCursor cursor(segment);
+  uint64_t rid = 0;
+  while (const auto line = cursor.Next()) {
+    const uint64_t record_id = rid++;
+    auto rec = Query::Parse(*line);
+    if (rec.has_value()) {
+      first_record.try_emplace(rec->first, record_id);
+    }
+  }
+  std::vector<ShufflePacket<Key>> out;
+  out.reserve(first_record.size());
+  for (const auto& [key, record_id] : first_record) {
+    ShufflePacket<Key> p;
+    p.key = key;
+    p.mapper_id = segment_id;
+    p.record_id = record_id;
+    p.blob = MakeDeferredBlob(segment_id, reason, message);
     out.push_back(std::move(p));
   }
   return out;
@@ -581,7 +889,7 @@ RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {
   auto map_task = [&data, &options](uint32_t mapper_id,
                                     internal::TaskStats* ts) -> std::vector<Packet> {
     return internal::SympleMapSegment<Query>(data.segments[mapper_id], mapper_id,
-                                             options.aggregator, ts);
+                                             options.aggregator, options.budgets, ts);
   };
   std::vector<Packet> packets =
       internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
@@ -590,43 +898,23 @@ RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {
 
   // Reduce: combine summaries in (mapper_id, record_id) order, either by
   // folding them onto the concrete initial state or by associative tree
-  // composition (Section 3.6).
+  // composition (Section 3.6). Deferred or invalid segments replay
+  // concretely from the prefix state (docs/degradation.md).
   std::mutex out_mu;
+  internal::DegradeAccounting degrades;
   internal::RunShuffleAndReduce<Key>(
       std::move(packets), options.reduce_slots,
-      [&result, &out_mu, &options](const Key& key, const Packet* first,
-                                   const Packet* last) {
+      [&result, &out_mu, &options, &data, &degrades](
+          const Key& key, const Packet* first, const Packet* last) {
         State state{};
-        bool ok = true;
-        if (options.reduce_mode == ReduceMode::kSequentialFold) {
-          for (const Packet* p = first; p != last && ok; ++p) {
-            BinaryReader r(p->blob.data(), p->blob.size());
-            const uint64_t n = r.ReadVarUint();
-            for (uint64_t i = 0; i < n && ok; ++i) {
-              Summary<State> s;
-              s.Deserialize(r);
-              ok = s.ApplyTo(state);
-            }
-          }
-        } else {
-          std::vector<Summary<State>> ordered;
-          for (const Packet* p = first; p != last; ++p) {
-            BinaryReader r(p->blob.data(), p->blob.size());
-            const uint64_t n = r.ReadVarUint();
-            for (uint64_t i = 0; i < n; ++i) {
-              Summary<State> s;
-              s.Deserialize(r);
-              ordered.push_back(std::move(s));
-            }
-          }
-          ok = ComposeAll(ordered).ApplyTo(state);
-        }
-        SYMPLE_CHECK(ok, "summary application failed at the reducer");
+        internal::SympleReduceKey<Query>(data, options.reduce_mode, key, first,
+                                         last, state, &degrades);
         auto output = Query::Result(state, key);
         std::lock_guard<std::mutex> lock(out_mu);
         result.outputs.emplace(key, std::move(output));
       },
       &result.stats, options.observer);
+  internal::FoldDegrades(degrades, &result.stats, options.observer);
 
   result.stats.total_wall_ms = internal::MsSince(t0);
   return result;

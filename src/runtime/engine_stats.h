@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/degrade.h"
 #include "core/exec_context.h"
 #include "obs/json.h"
 #include "obs/report.h"
@@ -74,6 +75,16 @@ struct EngineStats {
   uint64_t worker_crashes = 0;
   uint64_t fallback_segments = 0;
 
+  // Symbolic→concrete degradation (SYMPLE engines, docs/degradation.md):
+  // (chunk, group) segments whose symbolic summary was replaced by concrete
+  // replay, the records re-executed by those replays, IPC frames rejected by
+  // checksum/version validation, and the per-reason breakdown (indexed by
+  // DegradeReason). All zero for clean runs.
+  uint64_t degraded_segments = 0;
+  uint64_t replayed_records = 0;
+  uint64_t wire_corrupt_frames = 0;
+  uint64_t degrade_reasons[kDegradeReasonCount] = {};
+
   // Symbolic exploration counters summed over all map tasks.
   ExplorationStats exploration;
 
@@ -100,6 +111,11 @@ struct EngineStats {
              " worker_crashes=" + std::to_string(worker_crashes) +
              " fallback_segments=" + std::to_string(fallback_segments);
     }
+    if (degraded_segments + wire_corrupt_frames > 0) {
+      out += " degraded_segments=" + std::to_string(degraded_segments) +
+             " replayed_records=" + std::to_string(replayed_records) +
+             " wire_corrupt_frames=" + std::to_string(wire_corrupt_frames);
+    }
     return out;
   }
 
@@ -124,6 +140,9 @@ struct EngineStats {
     t.worker_timeouts = worker_timeouts;
     t.worker_crashes = worker_crashes;
     t.fallback_segments = fallback_segments;
+    t.degraded_segments = degraded_segments;
+    t.replayed_records = replayed_records;
+    t.wire_corrupt_frames = wire_corrupt_frames;
     return t;
   }
 
@@ -160,6 +179,14 @@ struct EngineStats {
     w.KV("worker_timeouts", worker_timeouts);
     w.KV("worker_crashes", worker_crashes);
     w.KV("fallback_segments", fallback_segments);
+    w.KV("degraded_segments", degraded_segments);
+    w.KV("replayed_records", replayed_records);
+    w.KV("wire_corrupt_frames", wire_corrupt_frames);
+    w.Key("degrade_reasons").BeginObject();
+    for (size_t i = 0; i < kDegradeReasonCount; ++i) {
+      w.KV(DegradeReasonName(static_cast<DegradeReason>(i)), degrade_reasons[i]);
+    }
+    w.EndObject();
     w.Key("exploration").BeginObject();
     w.KV("runs", exploration.runs);
     w.KV("decisions", exploration.decisions);

@@ -173,9 +173,11 @@ std::optional<FaultSpec> ParseFaultSpec(const char* spec) {
     f.mode = FaultSpec::Mode::kHang;
   } else if (ConsumePrefix(&rest, "truncate:")) {
     f.mode = FaultSpec::Mode::kTruncate;
+  } else if (ConsumePrefix(&rest, "corrupt:")) {
+    f.mode = FaultSpec::Mode::kCorrupt;
   } else {
     throw SympleError("SYMPLE_FAULT_SPEC: unknown mode in '" + std::string(spec) +
-                      "' (want crash|hang|truncate)");
+                      "' (want crash|hang|truncate|corrupt)");
   }
   SYMPLE_CHECK(ConsumePrefix(&rest, "worker="),
                "SYMPLE_FAULT_SPEC: expected worker=<n|*> in '" + std::string(spec) + "'");
@@ -207,10 +209,10 @@ FrameWriter::FrameWriter(int fd, const std::optional<FaultSpec>& fault,
   }
 }
 
-void FrameWriter::MaybeInjectFault(const uint8_t* header, size_t header_size,
+bool FrameWriter::MaybeInjectFault(const uint8_t* header, size_t header_size,
                                    const uint8_t* payload, size_t payload_size) {
   if (fault_.mode == FaultSpec::Mode::kNone || frames_written_ != fault_.frame) {
-    return;
+    return false;
   }
   switch (fault_.mode) {
     case FaultSpec::Mode::kCrash:
@@ -226,9 +228,23 @@ void FrameWriter::MaybeInjectFault(const uint8_t* header, size_t header_size,
       WriteAll(fd_, payload, payload_size / 2);
       ::_exit(0);
     }
+    case FaultSpec::Mode::kCorrupt: {
+      // A well-framed payload with one bit flipped in its last byte (inside
+      // the checksummed region), and the worker keeps running: only the
+      // parent's validation can tell this frame is bad. The parent is
+      // expected to kill this worker once it sees the corruption.
+      WriteAll(fd_, header, header_size);
+      if (payload_size > 0) {
+        std::vector<uint8_t> altered(payload, payload + payload_size);
+        altered.back() ^= 0x01;
+        WriteAll(fd_, altered.data(), altered.size());
+      }
+      return true;
+    }
     case FaultSpec::Mode::kNone:
       break;
   }
+  return false;
 }
 
 void FrameWriter::WriteFrame(const uint8_t* payload, size_t size) {
@@ -236,8 +252,11 @@ void FrameWriter::WriteFrame(const uint8_t* payload, size_t size) {
   uint8_t header[4];
   const uint32_t size32 = static_cast<uint32_t>(size);
   std::memcpy(header, &size32, sizeof(size32));
-  MaybeInjectFault(header, sizeof(header), payload, size);
+  const bool handled = MaybeInjectFault(header, sizeof(header), payload, size);
   ++frames_written_;
+  if (handled) {
+    return;
+  }
   if (!WriteAll(fd_, header, sizeof(header)) || !WriteAll(fd_, payload, size)) {
     throw SympleIoError(std::string("pipe write failed in worker: ") +
                         std::strerror(errno));

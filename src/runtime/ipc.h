@@ -114,14 +114,17 @@ void SleepMs(long ms);
 //
 //   <mode>:worker=<n|*>:frame=<k>
 //
-// where <mode> is crash | hang | truncate, <n> is the worker's spawn sequence
-// number within the run (`*` matches every spawn, including retry respawns),
-// and <k> is the 0-based index of the frame whose write triggers the fault.
-// crash: _exit(42) before writing the frame; hang: block forever (the parent's
-// worker_timeout_ms watchdog must fire); truncate: write half the frame, then
-// _exit(0) — a silently truncated stream with a clean exit status.
+// where <mode> is crash | hang | truncate | corrupt, <n> is the worker's
+// spawn sequence number within the run (`*` matches every spawn, including
+// retry respawns), and <k> is the 0-based index of the frame whose write
+// triggers the fault. crash: _exit(42) before writing the frame; hang: block
+// forever (the parent's worker_timeout_ms watchdog must fire); truncate:
+// write half the frame, then _exit(0) — a silently truncated stream with a
+// clean exit status; corrupt: write the frame with one bit flipped in the
+// last payload byte and keep running — the parent's checksum validation
+// must catch it and degrade the worker's segments to concrete replay.
 struct FaultSpec {
-  enum class Mode { kNone, kCrash, kHang, kTruncate };
+  enum class Mode { kNone, kCrash, kHang, kTruncate, kCorrupt };
   Mode mode = Mode::kNone;
   bool all_workers = false;
   uint32_t worker = 0;
@@ -145,8 +148,10 @@ class FrameWriter {
   }
 
  private:
-  // May _exit or block forever instead of returning.
-  void MaybeInjectFault(const uint8_t* header, size_t header_size,
+  // May _exit or block forever instead of returning. Returns true when the
+  // fault already wrote this frame in altered form (kCorrupt), in which case
+  // the caller must skip the normal write.
+  bool MaybeInjectFault(const uint8_t* header, size_t header_size,
                         const uint8_t* payload, size_t payload_size);
 
   int fd_;

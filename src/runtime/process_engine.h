@@ -20,13 +20,25 @@
 // classic MapReduce re-execution model. Fd and child ownership is RAII
 // (runtime/ipc.h): no error path leaks descriptors or zombie children.
 //
-// Wire protocol: a stream of [u32 LE size][payload] frames. Payload byte 0 is
-// the frame type; packets carry their segment id so the parent can buffer
-// them per segment and commit only on the segment-done marker:
+// Wire protocol: a stream of [u32 LE size][payload] frames. Every payload is
+// a checksummed, versioned envelope
 //
-//   kFramePacket      [type][varint segment_id][serialized ShufflePacket]
-//   kFrameSegmentDone [type][varint segment_id]
-//   kFrameStreamEnd   [type]
+//   [u32 LE crc][u8 type][u8 version][body]
+//
+// where the CRC-32 covers everything after the crc field (type, version and
+// body), so a single flipped bit anywhere in the payload fails validation.
+// The frame types and their bodies:
+//
+//   kFramePacket      body = [varint segment_id][serialized ShufflePacket]
+//   kFrameSegmentDone body = [varint segment_id]
+//   kFrameStreamEnd   body = (empty)
+//
+// A frame that fails envelope validation (short, bad checksum, wrong
+// version) is a "corrupt" worker failure: the worker is killed and — in the
+// SYMPLE engine — its uncommitted segments are degraded to concrete-replay
+// markers instead of being retried, since re-running a deterministically
+// corrupting worker cannot help (docs/degradation.md). Engines without a
+// degrade path (the baseline) treat corruption like a crash and retry.
 //
 // See docs/process_engine.md for the full failure-semantics contract and the
 // SYMPLE_FAULT_SPEC fault-injection hook.
@@ -44,6 +56,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -53,6 +66,7 @@
 #include "common/error.h"
 #include "runtime/engine.h"
 #include "runtime/ipc.h"
+#include "serialize/checksum.h"
 
 namespace symple {
 namespace internal {
@@ -62,6 +76,56 @@ enum ForkedFrameType : uint8_t {
   kFrameSegmentDone = 2,
   kFrameStreamEnd = 3,
 };
+
+// Bumped whenever the frame envelope or any body layout changes; a version
+// mismatch is indistinguishable from corruption to the parent and handled
+// the same way (kill + degrade/retry), never by guessing the old layout.
+inline constexpr uint8_t kForkedWireVersion = 2;
+
+// Frame payloads shorter than the envelope cannot carry a checksum.
+inline constexpr size_t kFrameEnvelopeBytes = 6;  // crc(4) + type + version
+
+// Assembles [u32 LE crc][type][version][body] into `payload` (cleared first).
+inline void BuildWorkerFrame(uint8_t type, const BinaryWriter& body,
+                             BinaryWriter* payload) {
+  const uint8_t head[2] = {type, kForkedWireVersion};
+  uint32_t crc = Crc32(head, sizeof(head));
+  crc = Crc32Extend(crc, body.buffer().data(), body.size());
+  payload->Clear();
+  for (int shift = 0; shift < 32; shift += 8) {
+    payload->WriteByte(static_cast<uint8_t>(crc >> shift));
+  }
+  payload->WriteByte(type);
+  payload->WriteByte(kForkedWireVersion);
+  payload->WriteBytes(body.buffer().data(), body.size());
+}
+
+// Validates one decoded frame's envelope and returns a reader positioned at
+// the body, storing the frame type in *type_out. Throws SympleWireError on a
+// short frame, checksum mismatch, or version mismatch — the caller treats
+// any of these as a corrupt worker stream.
+inline BinaryReader ValidateWorkerFrame(const std::vector<uint8_t>& frame,
+                                        uint8_t* type_out) {
+  if (frame.size() < kFrameEnvelopeBytes) {
+    throw SympleWireError("worker frame shorter than its envelope (" +
+                          std::to_string(frame.size()) + " bytes)");
+  }
+  uint32_t stored = 0;
+  for (int i = 3; i >= 0; --i) {
+    stored = (stored << 8) | frame[static_cast<size_t>(i)];
+  }
+  const uint32_t actual = Crc32(frame.data() + 4, frame.size() - 4);
+  if (stored != actual) {
+    throw SympleWireError("worker frame checksum mismatch");
+  }
+  if (frame[5] != kForkedWireVersion) {
+    throw SympleWireError("worker frame version " + std::to_string(frame[5]) +
+                          " (expected " + std::to_string(kForkedWireVersion) + ")");
+  }
+  *type_out = frame[4];
+  return BinaryReader(frame.data() + kFrameEnvelopeBytes,
+                      frame.size() - kFrameEnvelopeBytes);
+}
 
 template <typename Key>
 void SerializePacketFrame(const ShufflePacket<Key>& p, BinaryWriter& w) {
@@ -93,12 +157,18 @@ ShufflePacket<Key> DeserializePacketFrame(BinaryReader& r) {
 // the parent reports one observation per worker drain (per-record counters
 // die with the worker, so forked-mode reports carry coarser map-side detail
 // than the threaded engines) and one OnWorkerFailure event per kill.
+//
+// `degrade_segment`, when provided, handles corrupt worker streams (frames
+// failing checksum/version validation): instead of retrying — pointless when
+// the corruption is deterministic — each uncommitted segment is replaced by
+// the packets this callback returns (deferred-replay markers in the SYMPLE
+// engine). Without it, corruption falls back to the crash/retry path.
 template <typename Key, typename MapSegmentFn>
-std::vector<ShufflePacket<Key>> RunForkedMapPhase(const Dataset& data,
-                                                  const EngineOptions& options,
-                                                  MapSegmentFn map_segment,
-                                                  EngineStats* stats,
-                                                  obs::RunObserver* observer = nullptr) {
+std::vector<ShufflePacket<Key>> RunForkedMapPhase(
+    const Dataset& data, const EngineOptions& options, MapSegmentFn map_segment,
+    EngineStats* stats, obs::RunObserver* observer = nullptr,
+    std::function<std::vector<ShufflePacket<Key>>(const std::string&, uint32_t)>
+        degrade_segment = nullptr) {
   using Packet = ShufflePacket<Key>;
   using Clock = std::chrono::steady_clock;
   const size_t num_processes = options.map_slots == 0 ? 1 : options.map_slots;
@@ -153,24 +223,25 @@ std::vector<ShufflePacket<Key>> RunForkedMapPhase(const Dataset& data,
       int exit_code = 0;
       try {
         FrameWriter writer(write_end.get(), fault, w->spawn_seq);
+        BinaryWriter body;
         BinaryWriter payload;
         for (const uint32_t s : w->pending) {
           std::vector<Packet> packets =
               map_segment(data.segments[s], static_cast<uint32_t>(s));
           for (const Packet& p : packets) {
-            payload.Clear();
-            payload.WriteByte(kFramePacket);
-            payload.WriteVarUint(s);
-            SerializePacketFrame(p, payload);
+            body.Clear();
+            body.WriteVarUint(s);
+            SerializePacketFrame(p, body);
+            BuildWorkerFrame(kFramePacket, body, &payload);
             writer.WriteFrame(payload.buffer());
           }
-          payload.Clear();
-          payload.WriteByte(kFrameSegmentDone);
-          payload.WriteVarUint(s);
+          body.Clear();
+          body.WriteVarUint(s);
+          BuildWorkerFrame(kFrameSegmentDone, body, &payload);
           writer.WriteFrame(payload.buffer());
         }
-        payload.Clear();
-        payload.WriteByte(kFrameStreamEnd);
+        body.Clear();
+        BuildWorkerFrame(kFrameStreamEnd, body, &payload);
         writer.WriteFrame(payload.buffer());
       } catch (...) {
         exit_code = 1;  // parent recovers via the missing stream-end marker
@@ -210,8 +281,8 @@ std::vector<ShufflePacket<Key>> RunForkedMapPhase(const Dataset& data,
   auto process_frames = [&](WorkerState& w) {
     std::vector<uint8_t> frame;
     while (w.decoder.Next(&frame)) {
-      BinaryReader r(frame.data(), frame.size());
-      const uint8_t type = r.ReadByte();
+      uint8_t type = 0;
+      BinaryReader r = ValidateWorkerFrame(frame, &type);
       if (type == kFramePacket) {
         const uint32_t seg = static_cast<uint32_t>(r.ReadVarUint());
         if (std::find(w.pending.begin(), w.pending.end(), seg) == w.pending.end()) {
@@ -248,14 +319,18 @@ std::vector<ShufflePacket<Key>> RunForkedMapPhase(const Dataset& data,
     }
   };
 
-  // Kills and reaps a failed worker, then either respawns a replacement for
-  // its pending segments or — once the retry budget is spent — executes them
-  // in-process. Committed segments are never re-run.
+  // Kills and reaps a failed worker, then recovers its pending segments:
+  // corrupt streams degrade to the caller's replacement packets (when a
+  // degrade path exists), everything else respawns a replacement worker or —
+  // once the retry budget is spent — executes in-process. Committed segments
+  // are never re-run.
   auto handle_failure = [&](std::unique_ptr<WorkerState>& slot, const char* kind) {
     WorkerState& w = *slot;
+    const bool degrading =
+        std::strcmp(kind, "corrupt") == 0 && degrade_segment != nullptr;
     if (std::strcmp(kind, "timeout") == 0) {
       ++stats->worker_timeouts;
-    } else {
+    } else if (!degrading) {
       ++stats->worker_crashes;
     }
     w.child.KillAndReap();
@@ -269,6 +344,22 @@ std::vector<ShufflePacket<Key>> RunForkedMapPhase(const Dataset& data,
     if (pending.empty()) {
       // Nothing left to recover (e.g. the stream died after the last
       // segment-done but before stream-end); the worker's output is complete.
+      slot.reset();
+      return;
+    }
+    if (degrading) {
+      // Nothing read from this pipe can be trusted and re-running a
+      // deterministically corrupting worker cannot help, so don't retry:
+      // every uncommitted segment is replaced by the caller's degrade packets
+      // (deferred-replay markers), which the reducer resolves concretely.
+      for (const uint32_t s : pending) {
+        std::vector<Packet> packets =
+            degrade_segment(data.segments[s], static_cast<uint32_t>(s));
+        for (Packet& p : packets) {
+          stats->shuffle_bytes += PacketBytes(p);
+          out.push_back(std::move(p));
+        }
+      }
       slot.reset();
       return;
     }
@@ -363,6 +454,11 @@ std::vector<ShufflePacket<Key>> RunForkedMapPhase(const Dataset& data,
           try {
             w.decoder.Feed(read_buf.data(), n);
             process_frames(w);
+          } catch (const SympleWireError&) {
+            // Envelope validation failed (checksum/version/short frame): the
+            // stream carried bytes the worker never meant to send.
+            ++stats->wire_corrupt_frames;
+            failure = "corrupt";
           } catch (const SympleError&) {
             // Malformed wire data from this worker — its fault domain only.
             failure = "protocol";
@@ -408,33 +504,36 @@ RunResult<Query> RunSympleForked(const Dataset& data, const EngineOptions& optio
                                 uint32_t mapper_id) -> std::vector<Packet> {
     internal::TaskStats ts;  // per-process stats die with the worker
     return internal::SympleMapSegment<Query>(segment, mapper_id, options.aggregator,
-                                             &ts);
+                                             options.budgets, &ts);
+  };
+  // Replacement packets for a segment whose worker produced a corrupt
+  // stream: deferred-replay markers, resolved concretely at the reducer.
+  auto degrade_segment = [](const std::string& segment,
+                            uint32_t segment_id) -> std::vector<Packet> {
+    return internal::DeferSegmentPackets<Query>(
+        segment, segment_id, DegradeReason::kWireCorrupt,
+        "corrupt summary frame from worker");
   };
   std::vector<Packet> packets = internal::RunForkedMapPhase<Key>(
-      data, options, map_segment, &result.stats, options.observer);
+      data, options, map_segment, &result.stats, options.observer,
+      degrade_segment);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   std::mutex out_mu;
+  internal::DegradeAccounting degrades;
   internal::RunShuffleAndReduce<Key>(
       std::move(packets), options.reduce_slots,
-      [&result, &out_mu](const Key& key, const Packet* first, const Packet* last) {
+      [&result, &out_mu, &data, &options, &degrades](
+          const Key& key, const Packet* first, const Packet* last) {
         State state{};
-        bool ok = true;
-        for (const Packet* p = first; p != last && ok; ++p) {
-          BinaryReader r(p->blob.data(), p->blob.size());
-          const uint64_t n = r.ReadVarUint();
-          for (uint64_t i = 0; i < n && ok; ++i) {
-            Summary<State> s;
-            s.Deserialize(r);
-            ok = s.ApplyTo(state);
-          }
-        }
-        SYMPLE_CHECK(ok, "summary application failed at the reducer");
+        internal::SympleReduceKey<Query>(data, options.reduce_mode, key, first,
+                                         last, state, &degrades);
         auto output = Query::Result(state, key);
         std::lock_guard<std::mutex> lock(out_mu);
         result.outputs.emplace(key, std::move(output));
       },
       &result.stats, options.observer);
+  internal::FoldDegrades(degrades, &result.stats, options.observer);
   result.stats.total_wall_ms = internal::MsSince(t0);
   return result;
 }

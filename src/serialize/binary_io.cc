@@ -41,11 +41,11 @@ uint64_t BinaryReader::ReadVarUint() {
   int shift = 0;
   for (;;) {
     if (pos_ >= size_) {
-      throw SympleError("BinaryReader: varint past end of buffer");
+      throw SympleWireError("BinaryReader: varint past end of buffer");
     }
     const uint8_t byte = data_[pos_++];
     if (shift >= 64 || (shift == 63 && (byte & 0x7F) > 1)) {
-      throw SympleError("BinaryReader: varint overflows uint64");
+      throw SympleWireError("BinaryReader: varint overflows uint64");
     }
     value |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) {
@@ -59,14 +59,14 @@ int64_t BinaryReader::ReadVarInt() { return ZigzagDecode(ReadVarUint()); }
 
 uint8_t BinaryReader::ReadByte() {
   if (pos_ >= size_) {
-    throw SympleError("BinaryReader: read past end of buffer");
+    throw SympleWireError("BinaryReader: read past end of buffer");
   }
   return data_[pos_++];
 }
 
 uint64_t BinaryReader::ReadFixed64() {
   if (size_ - pos_ < 8) {  // pos_ <= size_, so the subtraction cannot wrap
-    throw SympleError("BinaryReader: fixed64 past end of buffer");
+    throw SympleWireError("BinaryReader: fixed64 past end of buffer");
   }
   uint64_t value = 0;
   for (int i = 0; i < 8; ++i) {
@@ -89,7 +89,7 @@ std::string BinaryReader::ReadString() {
   // adversarial varint near UINT64_MAX would wrap the addition and pass a
   // `pos_ + size > size_` check, then read far out of bounds.
   if (size > size_ - pos_) {
-    throw SympleError("BinaryReader: string past end of buffer");
+    throw SympleWireError("BinaryReader: string past end of buffer");
   }
   std::string value(reinterpret_cast<const char*>(data_ + pos_), size);
   pos_ += size;
@@ -98,7 +98,7 @@ std::string BinaryReader::ReadString() {
 
 void BinaryReader::ReadBytes(void* out, size_t size) {
   if (size > size_ - pos_) {
-    throw SympleError("BinaryReader: bytes past end of buffer");
+    throw SympleWireError("BinaryReader: bytes past end of buffer");
   }
   if (size > 0) {  // empty blobs may pass out == nullptr
     std::memcpy(out, data_ + pos_, size);

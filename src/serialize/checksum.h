@@ -1,0 +1,25 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) for wire-frame
+// integrity. The forked engines wrap every IPC frame payload in a
+// versioned, checksummed envelope (docs/process_engine.md); a mismatch on
+// a summary frame downgrades the affected segments to concrete replay
+// instead of crashing the parent. No external dependency: the table is
+// generated at compile time.
+#ifndef SYMPLE_SERIALIZE_CHECKSUM_H_
+#define SYMPLE_SERIALIZE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace symple {
+
+// CRC32 of `size` bytes starting at `data`. Standard parameters: init and
+// final xor 0xFFFFFFFF; Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t size);
+
+// Incremental form: pass the previous return value as `seed` to extend a
+// checksum across multiple buffers. Start from 0.
+uint32_t Crc32Extend(uint32_t seed, const void* data, size_t size);
+
+}  // namespace symple
+
+#endif  // SYMPLE_SERIALIZE_CHECKSUM_H_
