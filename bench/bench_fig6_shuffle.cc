@@ -36,6 +36,12 @@ Row MeasureQuery(const char* id, const Dataset& data) {
   const auto sym = RunSymple<Query>(data, options);
   bench::BenchReport::AddRun(id, "mapreduce", "4x4 slots", mr.stats);
   bench::BenchReport::AddRun(id, "symple", "4x4 slots", sym.stats);
+  // Shuffle trajectory: per-query shuffle+reduce wall alongside the byte
+  // counts, so BENCH_fig6_shuffle.json records scheduling improvements too.
+  bench::BenchReport::AddScalar(std::string(id) + "_mr_shuffle_reduce_wall_ms",
+                                mr.stats.shuffle_wall_ms + mr.stats.reduce_wall_ms);
+  bench::BenchReport::AddScalar(std::string(id) + "_sym_shuffle_reduce_wall_ms",
+                                sym.stats.shuffle_wall_ms + sym.stats.reduce_wall_ms);
   row.mr_bytes = mr.stats.shuffle_bytes;
   row.sym_bytes = sym.stats.shuffle_bytes;
   return row;

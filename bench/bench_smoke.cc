@@ -65,7 +65,8 @@ void CheckRunReport(const obs::JsonValue& report, bool expect_exploration) {
     for (const char* key :
          {"total_wall_ms", "map_wall_ms", "shuffle_wall_ms", "reduce_wall_ms",
           "map_cpu_ms", "reduce_cpu_ms", "input_bytes", "input_records",
-          "parsed_records", "shuffle_bytes", "groups", "summaries", "summary_paths",
+          "parsed_records", "shuffle_bytes", "groups", "reduce_partitions",
+          "partition_skew", "summaries", "summary_paths",
           "throughput_mbps", "worker_retries", "worker_timeouts", "worker_crashes",
           "fallback_segments", "degraded_segments", "replayed_records",
           "wire_corrupt_frames"}) {
@@ -93,6 +94,14 @@ void CheckRunReport(const obs::JsonValue& report, bool expect_exploration) {
   if (reduce_tasks != nullptr) {
     RequireNumberKey(*reduce_tasks, "count");
     CheckHistogram(reduce_tasks->Find("wall_us"), "reduce_tasks.wall_us");
+    CheckHistogram(reduce_tasks->Find("queue_wait_us"), "reduce_tasks.queue_wait_us");
+  }
+  const obs::JsonValue* shuffle = RequireKey(report, "shuffle");
+  if (shuffle != nullptr) {
+    RequireNumberKey(*shuffle, "partition_count");
+    CheckHistogram(shuffle->Find("partition_bytes"), "shuffle.partition_bytes");
+    CheckHistogram(shuffle->Find("partition_packets"), "shuffle.partition_packets");
+    CheckHistogram(shuffle->Find("partition_runs"), "shuffle.partition_runs");
   }
   RequireKey(report, "groups");
 }
@@ -147,6 +156,10 @@ int main() {
   bench::BenchReport::AddRun("G1", "symple", "4x4 slots", sym.stats);
   reports.push_back(MakeRunReport("G1", "symple", sym_opts, sym.stats, &sym_obs));
   Require(sym.outputs == seq.outputs, "symple output equals sequential");
+  Require(sym.stats.reduce_partitions == sym_opts.reduce_slots,
+          "symple auto partition count equals reduce slots");
+  Require(sym.stats.partition_skew >= 1.0,
+          "non-empty shuffle reports partition skew >= 1");
 
   EngineOptions forked_opts;
   forked_opts.map_slots = 2;
@@ -229,6 +242,8 @@ int main() {
         if (stats != nullptr) {
           RequireNumberKey(*stats, "total_wall_ms");
           RequireNumberKey(*stats, "shuffle_bytes");
+          RequireNumberKey(*stats, "reduce_partitions");
+          RequireNumberKey(*stats, "partition_skew");
           RequireKey(*stats, "exploration");
         }
       }

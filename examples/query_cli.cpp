@@ -54,6 +54,9 @@ struct Options {
   size_t path_budget = 0;
   size_t summary_bytes_budget = 0;
   bool force_degrade = false;
+  // Shuffle knobs (docs/shuffle.md). partitions 0 = auto (one per reduce slot).
+  size_t reduce_partitions = 0;
+  std::string reduce_schedule = "largest-first";  // or "static"
 };
 
 void PrintStats(const char* label, const symple::EngineStats& stats, bool ok) {
@@ -142,6 +145,10 @@ int RunQuery(const Options& options, symple::Dataset data) {
     engine_options.budgets.max_summary_bytes_per_segment =
         options.summary_bytes_budget;
     engine_options.budgets.force_degrade = options.force_degrade;
+    engine_options.reduce_partitions = options.reduce_partitions;
+    engine_options.reduce_schedule = options.reduce_schedule == "static"
+                                         ? ReduceSchedule::kStatic
+                                         : ReduceSchedule::kLargestFirst;
     obs::RunObserver observer(name, options.trace_out.empty() ? nullptr : &tracer,
                               pid);
     if (observing) {
@@ -291,6 +298,10 @@ int main(int argc, char** argv) {
       options.path_budget = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (FlagValue(argc, argv, i, "--summary-bytes-budget", &value)) {
       options.summary_bytes_budget = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argc, argv, i, "--reduce-partitions", &value)) {
+      options.reduce_partitions = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argc, argv, i, "--reduce-schedule", &value)) {
+      options.reduce_schedule = value;
     } else if (std::strcmp(argv[i], "--force-degrade") == 0) {
       options.force_degrade = true;
     } else if (FlagValue(argc, argv, i, "--fault", &value)) {
@@ -310,6 +321,12 @@ int main(int argc, char** argv) {
                 options.engine.c_str());
     return 1;
   }
+  if (options.reduce_schedule != "largest-first" &&
+      options.reduce_schedule != "static") {
+    std::printf("unknown reduce schedule '%s' (expected largest-first|static)\n",
+                options.reduce_schedule.c_str());
+    return 1;
+  }
   if (options.query.empty()) {
     std::printf("usage: query_cli <query> [--records N] [--segments N] "
                 "[--engine sequential|mapreduce|symple|all|forked]\n"
@@ -318,6 +335,8 @@ int main(int argc, char** argv) {
                 "[--worker-backoff-ms N]\n"
                 "                 [--path-budget N] [--summary-bytes-budget N] "
                 "[--force-degrade]\n"
+                "                 [--reduce-partitions N] "
+                "[--reduce-schedule largest-first|static]\n"
                 "                 [--fault crash|hang|truncate|corrupt:"
                 "worker=<n|*>:frame=<k>]"
                 "\n\nqueries:\n");

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Full per-PR gate: the tier-1 suite (default preset) followed by the
 # sanitized build running the fault-injection / wire-hardening / degradation
-# suites under ASan+UBSan (filter lives in CMakePresets.json).
+# / shuffle suites under ASan+UBSan (filter lives in CMakePresets.json).
 set -eu
 cd "$(dirname "$0")/.."
 

@@ -19,28 +19,37 @@ namespace symple {
 template <typename T>
 struct ValueCodec;  // specialize: static Write(BinaryWriter&, const T&) / static T Read(BinaryReader&)
 
+// Optional third member: static size_t WireSize(const T&), the exact number of
+// bytes Write would append. Codecs that provide it let hot paths (the shuffle
+// packet accounting) compute serialized sizes arithmetically; WireSizeOf falls
+// back to a scratch serialization for codecs that do not.
+
 template <std::signed_integral T>
 struct ValueCodec<T> {
   static void Write(BinaryWriter& w, const T& v) { w.WriteVarInt(v); }
   static T Read(BinaryReader& r) { return static_cast<T>(r.ReadVarInt()); }
+  static size_t WireSize(const T& v) { return VarIntSize(v); }
 };
 
 template <std::unsigned_integral T>
 struct ValueCodec<T> {
   static void Write(BinaryWriter& w, const T& v) { w.WriteVarUint(v); }
   static T Read(BinaryReader& r) { return static_cast<T>(r.ReadVarUint()); }
+  static size_t WireSize(const T& v) { return VarUintSize(v); }
 };
 
 template <>
 struct ValueCodec<std::string> {
   static void Write(BinaryWriter& w, const std::string& v) { w.WriteString(v); }
   static std::string Read(BinaryReader& r) { return r.ReadString(); }
+  static size_t WireSize(const std::string& v) { return StringWireSize(v); }
 };
 
 template <>
 struct ValueCodec<double> {
   static void Write(BinaryWriter& w, const double& v) { w.WriteDouble(v); }
   static double Read(BinaryReader& r) { return r.ReadDouble(); }
+  static size_t WireSize(const double&) { return 8; }  // fixed64 payload
 };
 
 template <typename A, typename B>
@@ -54,7 +63,24 @@ struct ValueCodec<std::pair<A, B>> {
     B b = ValueCodec<B>::Read(r);
     return {std::move(a), std::move(b)};
   }
+  static size_t WireSize(const std::pair<A, B>& v) {
+    return ValueCodec<A>::WireSize(v.first) + ValueCodec<B>::WireSize(v.second);
+  }
 };
+
+// Exact serialized size of `v` under ValueCodec<T>: arithmetic when the codec
+// declares WireSize, otherwise measured through a scratch writer (correct for
+// any codec, but not suitable for per-packet hot paths).
+template <typename T>
+size_t WireSizeOf(const T& v) {
+  if constexpr (requires { { ValueCodec<T>::WireSize(v) } -> std::convertible_to<size_t>; }) {
+    return ValueCodec<T>::WireSize(v);
+  } else {
+    BinaryWriter w;
+    ValueCodec<T>::Write(w, v);
+    return w.size();
+  }
+}
 
 }  // namespace symple
 

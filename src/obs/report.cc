@@ -57,6 +57,8 @@ void RunReport::AppendJson(JsonWriter& w) const {
   w.KV("parsed_records", totals.parsed_records);
   w.KV("shuffle_bytes", totals.shuffle_bytes);
   w.KV("groups", totals.groups);
+  w.KV("reduce_partitions", totals.reduce_partitions);
+  w.KV("partition_skew", totals.partition_skew);
   w.KV("summaries", totals.summaries);
   w.KV("summary_paths", totals.summary_paths);
   w.KV("throughput_mbps", totals.throughput_mbps);
@@ -96,6 +98,18 @@ void RunReport::AppendJson(JsonWriter& w) const {
   AppendHistogramJson(w, reduce_cpu_us);
   w.Key("groups");
   AppendHistogramJson(w, reduce_groups);
+  w.Key("queue_wait_us");
+  AppendHistogramJson(w, reduce_queue_wait_us);
+  w.EndObject();
+
+  w.Key("shuffle").BeginObject();
+  w.KV("partition_count", shuffle_partition_count);
+  w.Key("partition_bytes");
+  AppendHistogramJson(w, shuffle_partition_bytes);
+  w.Key("partition_packets");
+  AppendHistogramJson(w, shuffle_partition_packets);
+  w.Key("partition_runs");
+  AppendHistogramJson(w, shuffle_partition_runs);
   w.EndObject();
 
   w.Key("groups").BeginObject();
@@ -193,6 +207,7 @@ void RunObserver::OnReduceTask(const ReduceTaskObs& t) {
   reduce_wall_us_.Record(wall_us);
   reduce_cpu_us_.Record(cpu_us);
   reduce_groups_.Record(t.groups);
+  reduce_queue_wait_us_.Merge(t.queue_wait_us);
 
   MetricsRegistry& reg = MetricsRegistry::Global();
   reg.GetCounter("engine.reduce_tasks")->Increment();
@@ -208,6 +223,35 @@ void RunObserver::OnReduceTask(const ReduceTaskObs& t) {
     span.duration_us = t.end_us - t.start_us;
     span.args.emplace_back("groups", t.groups);
     span.args.emplace_back("packets", t.packets);
+    if (t.queue_wait_us.count > 0) {
+      span.args.emplace_back("queue_wait_us_p95", t.queue_wait_us.Quantile(0.95));
+    }
+    tracer_->Record(std::move(span));
+  }
+}
+
+void RunObserver::OnShufflePartition(uint32_t partition_id, uint64_t bytes,
+                                     uint64_t packets, uint64_t runs) {
+  ++shuffle_partition_count_;
+  shuffle_partition_bytes_.Record(bytes);
+  shuffle_partition_packets_.Record(packets);
+  shuffle_partition_runs_.Record(runs);
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("engine.shuffle_partitions")->Increment();
+  reg.GetHistogram("engine.shuffle_partition_bytes")->Record(bytes);
+
+  if (tracer_ != nullptr) {
+    TraceSpan span;
+    span.name = "shuffle_partition";
+    span.category = "shuffle";
+    span.pid = trace_pid_;
+    span.tid = partition_id;
+    span.start_us = NowUs();
+    span.duration_us = 0;
+    span.args.emplace_back("bytes", bytes);
+    span.args.emplace_back("packets", packets);
+    span.args.emplace_back("runs", runs);
     tracer_->Record(std::move(span));
   }
 }
@@ -284,6 +328,11 @@ void RunObserver::FillReport(RunReport* report) const {
   report->reduce_wall_us = reduce_wall_us_;
   report->reduce_cpu_us = reduce_cpu_us_;
   report->reduce_groups = reduce_groups_;
+  report->reduce_queue_wait_us = reduce_queue_wait_us_;
+  report->shuffle_partition_count = shuffle_partition_count_;
+  report->shuffle_partition_bytes = shuffle_partition_bytes_;
+  report->shuffle_partition_packets = shuffle_partition_packets_;
+  report->shuffle_partition_runs = shuffle_partition_runs_;
   report->paths_per_group = paths_per_group_;
   report->summaries_per_group = summaries_per_group_;
   report->worker_failures = worker_failures_;

@@ -48,6 +48,8 @@ struct RunTotals {
   uint64_t parsed_records = 0;
   uint64_t shuffle_bytes = 0;
   uint64_t groups = 0;
+  uint64_t reduce_partitions = 0;
+  double partition_skew = 0;  // max/mean partition bytes; see EngineStats
   uint64_t summaries = 0;
   uint64_t summary_paths = 0;
   double throughput_mbps = 0;
@@ -81,6 +83,8 @@ struct MapTaskObs {
 };
 
 // One completed reduce task (one reduce slot's share of the key runs).
+// Reduce workers that processed zero groups are never reported — an idle
+// slot is a scheduling artifact, not a task.
 struct ReduceTaskObs {
   uint32_t reducer_id = 0;
   double start_us = 0;
@@ -88,6 +92,9 @@ struct ReduceTaskObs {
   double cpu_ms = 0;
   uint64_t groups = 0;   // key runs this task reduced
   uint64_t packets = 0;  // packets consumed
+  // Per-run wait between reduce-stage start and this worker picking the run
+  // off the shared queue (microseconds) — the skew-scheduling signal.
+  HistogramSnapshot queue_wait_us;
 };
 
 // The full machine-readable record of one engine run.
@@ -111,6 +118,14 @@ struct RunReport {
   HistogramSnapshot reduce_wall_us;
   HistogramSnapshot reduce_cpu_us;
   HistogramSnapshot reduce_groups;
+  HistogramSnapshot reduce_queue_wait_us;
+
+  // Hash-partitioned shuffle (docs/shuffle.md): per-partition distributions
+  // over the run's partitions.
+  uint64_t shuffle_partition_count = 0;
+  HistogramSnapshot shuffle_partition_bytes;
+  HistogramSnapshot shuffle_partition_packets;
+  HistogramSnapshot shuffle_partition_runs;
 
   HistogramSnapshot paths_per_group;
   HistogramSnapshot summaries_per_group;
@@ -160,6 +175,9 @@ class RunObserver {
 
   void OnMapTask(const MapTaskObs& t);
   void OnReduceTask(const ReduceTaskObs& t);
+  // One shuffle hash partition after its parallel sort and run detection.
+  void OnShufflePartition(uint32_t partition_id, uint64_t bytes,
+                          uint64_t packets, uint64_t runs);
   // A named engine phase (e.g. "shuffle_sort"); also recorded as a span.
   void OnPhase(const std::string& name, double start_us, double end_us,
                uint64_t detail = 0, const std::string& detail_key = "");
@@ -196,6 +214,12 @@ class RunObserver {
   HistogramSnapshot reduce_wall_us_;
   HistogramSnapshot reduce_cpu_us_;
   HistogramSnapshot reduce_groups_;
+  HistogramSnapshot reduce_queue_wait_us_;
+
+  uint64_t shuffle_partition_count_ = 0;
+  HistogramSnapshot shuffle_partition_bytes_;
+  HistogramSnapshot shuffle_partition_packets_;
+  HistogramSnapshot shuffle_partition_runs_;
 
   HistogramSnapshot paths_per_group_;
   HistogramSnapshot summaries_per_group_;

@@ -36,10 +36,13 @@
 #define SYMPLE_RUNTIME_ENGINE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <ctime>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -72,6 +75,18 @@ enum class ReduceMode {
   kTreeCompose,
 };
 
+// How key runs are assigned to reduce workers (docs/shuffle.md).
+enum class ReduceSchedule {
+  // Static stride: worker r takes runs r, r+slots, r+2*slots, ... One hot
+  // group pins one worker while the rest idle — kept for comparison and as
+  // the pre-partitioning behavior.
+  kStatic,
+  // Skew-aware: runs are ordered largest-first (by serialized bytes) in a
+  // shared work queue and workers steal the next run dynamically, so a hot
+  // group starts immediately and the tail packs around it (LPT scheduling).
+  kLargestFirst,
+};
+
 // Resource budgets bounding symbolic execution per segment (SYMPLE engines
 // only). A "segment" here is one (map chunk, group) sub-stream — the unit the
 // paper's summaries describe and the unit that degrades to concrete replay
@@ -96,6 +111,14 @@ struct EngineOptions {
   size_t reduce_slots = 4;
   // Summary combination strategy at the reducer (SYMPLE engine only).
   ReduceMode reduce_mode = ReduceMode::kSequentialFold;
+  // Hash partitions for the parallel shuffle: mappers route each packet to
+  // hash(key) % P as they emit, and each partition is sorted independently in
+  // parallel. 0 = auto (one partition per reduce slot). A key's packets always
+  // land in exactly one partition, so the Section 5.4 per-key composition
+  // order is preserved (docs/shuffle.md).
+  size_t reduce_partitions = 0;
+  // Key-run dispatch policy across reduce workers.
+  ReduceSchedule reduce_schedule = ReduceSchedule::kLargestFirst;
   // Symbolic exploration knobs (SYMPLE engine only).
   AggregatorOptions aggregator;
   // Symbolic→concrete degradation budgets (SYMPLE engines only).
@@ -133,6 +156,10 @@ inline obs::RunReport MakeRunReport(const std::string& query,
       {"reduce_slots", std::to_string(options.reduce_slots)},
       {"reduce_mode",
        options.reduce_mode == ReduceMode::kSequentialFold ? "fold" : "tree"},
+      {"reduce_partitions", std::to_string(options.reduce_partitions)},
+      {"reduce_schedule",
+       options.reduce_schedule == ReduceSchedule::kStatic ? "static"
+                                                          : "largest-first"},
       {"max_live_paths", std::to_string(options.aggregator.max_live_paths)},
       {"max_paths_per_record",
        std::to_string(options.aggregator.max_paths_per_record)},
@@ -202,13 +229,130 @@ struct ShufflePacket {
 
 template <typename Key>
 uint64_t PacketBytes(const ShufflePacket<Key>& p) {
-  // Key + ids ship inside the packet header; measure them via serialization.
-  BinaryWriter header;
-  ValueCodec<Key>::Write(header, p.key);
-  header.WriteVarUint(p.mapper_id);
-  header.WriteVarUint(p.record_id);
-  header.WriteVarUint(p.blob.size());
-  return header.size() + p.blob.size();
+  // Key + ids ship inside the packet header. This runs once per packet on the
+  // map hot path, so the header is sized arithmetically (WireSizeOf is pure
+  // arithmetic for every codec that declares WireSize) instead of through a
+  // scratch BinaryWriter.
+  return WireSizeOf(p.key) + VarUintSize(p.mapper_id) + VarUintSize(p.record_id) +
+         VarUintSize(p.blob.size()) + p.blob.size();
+}
+
+// --- hash-partitioned shuffle ---------------------------------------------------
+
+// splitmix64 finalizer: decorrelates std::hash results (identity for integers
+// in libstdc++) so sequential keys do not all stride into adjacent partitions
+// in lockstep with the partition count.
+inline uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Stable partition routing: every packet of a key maps to the same partition,
+// so a key's full (mapper, record)-ordered run lives in exactly one partition.
+// Keys without std::hash are hashed over their serialized ValueCodec bytes.
+template <typename Key>
+size_t ShufflePartitionOf(const Key& key, size_t num_partitions) {
+  uint64_t h;
+  if constexpr (requires { { std::hash<Key>{}(key) } -> std::convertible_to<size_t>; }) {
+    h = static_cast<uint64_t>(std::hash<Key>{}(key));
+  } else {
+    BinaryWriter w;
+    ValueCodec<Key>::Write(w, key);
+    h = 0xcbf29ce484222325ull;  // FNV-1a over the canonical encoding
+    for (const uint8_t b : w.buffer()) {
+      h = (h ^ b) * 0x100000001b3ull;
+    }
+  }
+  return static_cast<size_t>(MixHash64(h) % num_partitions);
+}
+
+// The mapper->reducer exchange: P lock-striped partitions that map tasks (or
+// the forked-mode parent drain) route packets into as they emit. Each
+// partition is later sorted independently and in parallel, replacing the old
+// single-threaded global sort. Byte counts accumulate per partition so the
+// run report can surface partition skew.
+template <typename Key>
+class ShuffleBuffer {
+ public:
+  using Packet = ShufflePacket<Key>;
+
+  explicit ShuffleBuffer(size_t num_partitions)
+      : parts_(num_partitions == 0 ? 1 : num_partitions) {
+    for (auto& p : parts_) {
+      p = std::make_unique<Partition>();
+    }
+  }
+
+  size_t partition_count() const { return parts_.size(); }
+
+  // Routes one packet (single or low-contention producers, e.g. the forked
+  // parent drain). `bytes` is the packet's PacketBytes, computed by the
+  // caller which already needs it for shuffle accounting.
+  void Add(Packet&& p, uint64_t bytes) {
+    Partition& part = *parts_[ShufflePartitionOf(p.key, parts_.size())];
+    std::lock_guard<std::mutex> lock(part.mu);
+    part.bytes += bytes;
+    part.packets.push_back(std::move(p));
+  }
+
+  // Routes one map task's packets: buckets locally first, then takes each
+  // touched partition's stripe lock exactly once (per-mapper sub-buckets
+  // merged at the stripe, not a global lock). Returns the batch's total
+  // serialized bytes for the caller's task accounting.
+  uint64_t AddBatch(std::vector<Packet>&& batch) {
+    const size_t num_parts = parts_.size();
+    std::vector<std::vector<size_t>> local(num_parts);
+    std::vector<uint64_t> local_bytes(num_parts, 0);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const size_t part = ShufflePartitionOf(batch[i].key, num_parts);
+      local[part].push_back(i);
+      local_bytes[part] += PacketBytes(batch[i]);
+    }
+    uint64_t batch_bytes = 0;
+    for (size_t part = 0; part < num_parts; ++part) {
+      if (local[part].empty()) {
+        continue;
+      }
+      batch_bytes += local_bytes[part];
+      Partition& target = *parts_[part];
+      std::lock_guard<std::mutex> lock(target.mu);
+      target.bytes += local_bytes[part];
+      for (const size_t i : local[part]) {
+        target.packets.push_back(std::move(batch[i]));
+      }
+    }
+    return batch_bytes;
+  }
+
+  // Post-barrier accessors; callers must have quiesced all producers.
+  std::vector<Packet>& partition(size_t i) { return parts_[i]->packets; }
+  uint64_t partition_bytes(size_t i) const { return parts_[i]->bytes; }
+  uint64_t total_packets() const {
+    uint64_t n = 0;
+    for (const auto& p : parts_) {
+      n += p->packets.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Partition {
+    std::mutex mu;
+    std::vector<Packet> packets;
+    uint64_t bytes = 0;
+  };
+  std::vector<std::unique_ptr<Partition>> parts_;
+};
+
+// Partition count for an options struct: explicit value, or one partition per
+// reduce slot so every reduce worker can sort in parallel.
+inline size_t ResolveReducePartitions(const EngineOptions& options) {
+  if (options.reduce_partitions > 0) {
+    return options.reduce_partitions;
+  }
+  return options.reduce_slots > 0 ? options.reduce_slots : 1;
 }
 
 // SYMPLE packet blobs lead with a kind byte (SegmentResult tag): a segment's
@@ -344,6 +488,8 @@ struct TaskStats {
   double cpu_ms = 0;
   uint64_t records = 0;  // input records scanned
   uint64_t parsed = 0;
+  uint64_t packets = 0;  // shuffle packets emitted by this task
+  uint64_t bytes = 0;    // serialized bytes of those packets
   ExplorationStats exploration;
   uint64_t summaries = 0;
   uint64_t summary_paths = 0;
@@ -368,21 +514,26 @@ inline obs::ExplorationTotals ToObsExploration(const ExplorationStats& e) {
 }
 
 template <typename Key, typename MapTaskFn>
-std::vector<ShufflePacket<Key>> RunMapPhase(size_t num_segments, size_t slots,
-                                            MapTaskFn map_task, EngineStats* stats,
-                                            obs::RunObserver* observer = nullptr) {
-  std::vector<std::vector<ShufflePacket<Key>>> per_mapper(num_segments);
+void RunMapPhase(size_t num_segments, size_t slots, MapTaskFn map_task,
+                 ShuffleBuffer<Key>* shuffle, EngineStats* stats,
+                 obs::RunObserver* observer = nullptr) {
   std::vector<TaskStats> task_stats(num_segments);
   {
     ThreadPool pool(slots);
     for (size_t m = 0; m < num_segments; ++m) {
-      pool.Submit([m, &per_mapper, &task_stats, &map_task, observer] {
+      pool.Submit([m, shuffle, &task_stats, &map_task, observer] {
         TaskStats& ts = task_stats[m];
         if (observer != nullptr) {
           ts.start_us = observer->NowUs();
         }
         const double cpu0 = ThreadCpuMs();
-        per_mapper[m] = map_task(static_cast<uint32_t>(m), &ts);
+        std::vector<ShufflePacket<Key>> packets =
+            map_task(static_cast<uint32_t>(m), &ts);
+        ts.packets = packets.size();
+        // Route this mapper's packets into the hash partitions as they are
+        // emitted (per-mapper sub-buckets merged at the stripe locks); byte
+        // accounting happens here, in parallel, not on the coordinator.
+        ts.bytes = shuffle->AddBatch(std::move(packets));
         ts.cpu_ms = ThreadCpuMs() - cpu0;
         if (observer != nullptr) {
           ts.end_us = observer->NowUs();
@@ -391,7 +542,6 @@ std::vector<ShufflePacket<Key>> RunMapPhase(size_t num_segments, size_t slots,
     }
     pool.Wait();
   }
-  std::vector<ShufflePacket<Key>> packets;
   for (size_t m = 0; m < num_segments; ++m) {
     const TaskStats& ts = task_stats[m];
     stats->map_cpu_ms += ts.cpu_ms;
@@ -399,12 +549,7 @@ std::vector<ShufflePacket<Key>> RunMapPhase(size_t num_segments, size_t slots,
     stats->exploration += ts.exploration;
     stats->summaries += ts.summaries;
     stats->summary_paths += ts.summary_paths;
-    uint64_t task_bytes = 0;
-    for (auto& p : per_mapper[m]) {
-      task_bytes += PacketBytes(p);
-      packets.push_back(std::move(p));
-    }
-    stats->shuffle_bytes += task_bytes;
+    stats->shuffle_bytes += ts.bytes;
     if (observer != nullptr) {
       obs::MapTaskObs t;
       t.mapper_id = static_cast<uint32_t>(m);
@@ -413,8 +558,8 @@ std::vector<ShufflePacket<Key>> RunMapPhase(size_t num_segments, size_t slots,
       t.cpu_ms = ts.cpu_ms;
       t.records = ts.records;
       t.parsed = ts.parsed;
-      t.packets = per_mapper[m].size();
-      t.bytes = task_bytes;
+      t.packets = ts.packets;
+      t.bytes = ts.bytes;
       t.summaries = ts.summaries;
       t.summary_paths = ts.summary_paths;
       t.exploration = ToObsExploration(ts.exploration);
@@ -423,35 +568,100 @@ std::vector<ShufflePacket<Key>> RunMapPhase(size_t num_segments, size_t slots,
       observer->OnMapTask(t);
     }
   }
-  return packets;
 }
 
-// Sorts packets (the shuffle) and hands each key's ordered packet run to
-// `reduce_key(key, first, last)` on `slots` workers.
+// One schedulable unit of reduce work: a contiguous run of one key's packets
+// inside its partition, weighted by serialized bytes for LPT ordering.
+struct KeyRun {
+  uint32_t partition = 0;
+  size_t first = 0;
+  size_t last = 0;
+  uint64_t bytes = 0;
+};
+
+// The shuffle + reduce stage over hash-partitioned mapper output:
+//
+//   1. Every partition is sorted independently and in parallel by
+//      (key, mapper_id, record_id) — the Section 5.4 order — and its key runs
+//      detected. Because a key's packets live in exactly one partition, each
+//      run is that key's complete, globally ordered packet sequence.
+//   2. Runs are dispatched to `slots` reduce workers, either by static stride
+//      (pre-partitioning behavior) or largest-run-first from a shared work
+//      queue with dynamic stealing (ReduceSchedule::kLargestFirst), so one
+//      hot group no longer pins a reducer while the rest idle.
+//
+// stats->shuffle_wall_ms covers the whole shuffle stage (sorting, run
+// detection, skew accounting), not just the sort. Reduce workers that receive
+// zero runs report no ReduceTaskObs (no misleading 0-duration spans).
 template <typename Key, typename ReduceKeyFn>
-void RunShuffleAndReduce(std::vector<ShufflePacket<Key>>&& packets, size_t slots,
-                         ReduceKeyFn reduce_key, EngineStats* stats,
-                         obs::RunObserver* observer = nullptr) {
+void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
+                         ReduceSchedule schedule, ReduceKeyFn reduce_key,
+                         EngineStats* stats, obs::RunObserver* observer = nullptr) {
+  const size_t num_parts = shuffle.partition_count();
   const double obs_shuffle_start = observer != nullptr ? observer->NowUs() : 0;
   const auto t_shuffle = std::chrono::steady_clock::now();
-  std::sort(packets.begin(), packets.end());
+
+  // Parallel per-partition sort + run detection.
+  std::vector<std::vector<KeyRun>> part_runs(num_parts);
+  {
+    ThreadPool pool(std::min(slots == 0 ? 1 : slots, num_parts));
+    for (size_t part = 0; part < num_parts; ++part) {
+      pool.Submit([part, &shuffle, &part_runs] {
+        std::vector<ShufflePacket<Key>>& packets = shuffle.partition(part);
+        std::sort(packets.begin(), packets.end());
+        std::vector<KeyRun>& runs = part_runs[part];
+        for (size_t i = 0; i < packets.size();) {
+          size_t j = i + 1;
+          uint64_t run_bytes = PacketBytes(packets[i]);
+          while (j < packets.size() && packets[j].key == packets[i].key) {
+            run_bytes += PacketBytes(packets[j]);
+            ++j;
+          }
+          runs.push_back(KeyRun{static_cast<uint32_t>(part), i, j, run_bytes});
+          i = j;
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  // Flatten into the global dispatch queue and account partition skew.
+  std::vector<KeyRun> runs;
+  uint64_t total_bytes = 0;
+  uint64_t max_part_bytes = 0;
+  for (size_t part = 0; part < num_parts; ++part) {
+    runs.insert(runs.end(), part_runs[part].begin(), part_runs[part].end());
+    const uint64_t part_bytes = shuffle.partition_bytes(part);
+    total_bytes += part_bytes;
+    max_part_bytes = std::max(max_part_bytes, part_bytes);
+    if (observer != nullptr) {
+      observer->OnShufflePartition(static_cast<uint32_t>(part), part_bytes,
+                                   shuffle.partition(part).size(),
+                                   part_runs[part].size());
+    }
+  }
+  stats->groups = runs.size();
+  stats->reduce_partitions = num_parts;
+  stats->partition_skew =
+      total_bytes > 0 ? static_cast<double>(max_part_bytes) * static_cast<double>(num_parts) /
+                            static_cast<double>(total_bytes)
+                      : 0.0;
+  if (schedule == ReduceSchedule::kLargestFirst) {
+    // Largest-first (LPT): ties broken by (partition, first) so the dispatch
+    // order — and with it the reduce-side trace — is deterministic.
+    std::sort(runs.begin(), runs.end(), [](const KeyRun& a, const KeyRun& b) {
+      if (a.bytes != b.bytes) {
+        return a.bytes > b.bytes;
+      }
+      return std::pair(a.partition, a.first) < std::pair(b.partition, b.first);
+    });
+  }
+  // The whole shuffle stage: sorting, run detection, queue construction.
   stats->shuffle_wall_ms = MsSince(t_shuffle);
   if (observer != nullptr) {
     observer->OnPhase("shuffle_sort", obs_shuffle_start, observer->NowUs(),
-                      packets.size(), "packets");
+                      shuffle.total_packets(), "packets");
   }
-
-  // Key runs.
-  std::vector<std::pair<size_t, size_t>> runs;
-  for (size_t i = 0; i < packets.size();) {
-    size_t j = i + 1;
-    while (j < packets.size() && packets[j].key == packets[i].key) {
-      ++j;
-    }
-    runs.emplace_back(i, j);
-    i = j;
-  }
-  stats->groups = runs.size();
 
   struct ReduceTaskStats {
     double cpu_ms = 0;
@@ -459,25 +669,43 @@ void RunShuffleAndReduce(std::vector<ShufflePacket<Key>>&& packets, size_t slots
     double end_us = 0;
     uint64_t groups = 0;
     uint64_t packets = 0;
+    obs::HistogramSnapshot queue_wait_us;
   };
+  const double obs_reduce_start = observer != nullptr ? observer->NowUs() : 0;
   const auto t_reduce = std::chrono::steady_clock::now();
-  std::vector<ReduceTaskStats> task_stats(slots);
+  std::vector<ReduceTaskStats> task_stats(slots == 0 ? 1 : slots);
+  std::atomic<size_t> next_run{0};
   {
-    ThreadPool pool(slots);
-    // Static partition of key runs over reduce slots (a key's packets must be
-    // processed by a single reducer, like a Hadoop partition).
-    for (size_t r = 0; r < slots; ++r) {
-      pool.Submit([r, slots, &runs, &packets, &reduce_key, &task_stats, observer] {
+    ThreadPool pool(task_stats.size());
+    for (size_t r = 0; r < task_stats.size(); ++r) {
+      pool.Submit([r, slots = task_stats.size(), schedule, obs_reduce_start, &next_run,
+                   &runs, &shuffle, &reduce_key, &task_stats, observer] {
         ReduceTaskStats& ts = task_stats[r];
         if (observer != nullptr) {
           ts.start_us = observer->NowUs();
         }
         const double cpu0 = ThreadCpuMs();
-        for (size_t k = r; k < runs.size(); k += slots) {
-          reduce_key(packets[runs[k].first].key, &packets[runs[k].first],
-                     &packets[runs[k].second]);
+        const auto process = [&](const KeyRun& run) {
+          if (observer != nullptr) {
+            // Time this run spent queued before a worker picked it up.
+            const double wait = observer->NowUs() - obs_reduce_start;
+            ts.queue_wait_us.Record(wait > 0 ? static_cast<uint64_t>(wait) : 0);
+          }
+          auto* packets = shuffle.partition(run.partition).data();
+          reduce_key(packets[run.first].key, packets + run.first, packets + run.last);
           ++ts.groups;
-          ts.packets += runs[k].second - runs[k].first;
+          ts.packets += run.last - run.first;
+        };
+        if (schedule == ReduceSchedule::kStatic) {
+          for (size_t k = r; k < runs.size(); k += slots) {
+            process(runs[k]);
+          }
+        } else {
+          for (size_t k = next_run.fetch_add(1, std::memory_order_relaxed);
+               k < runs.size();
+               k = next_run.fetch_add(1, std::memory_order_relaxed)) {
+            process(runs[k]);
+          }
         }
         ts.cpu_ms = ThreadCpuMs() - cpu0;
         if (observer != nullptr) {
@@ -488,9 +716,11 @@ void RunShuffleAndReduce(std::vector<ShufflePacket<Key>>&& packets, size_t slots
     pool.Wait();
   }
   stats->reduce_wall_ms = MsSince(t_reduce);
-  for (size_t r = 0; r < slots; ++r) {
+  for (size_t r = 0; r < task_stats.size(); ++r) {
     stats->reduce_cpu_ms += task_stats[r].cpu_ms;
-    if (observer != nullptr) {
+    if (observer != nullptr && task_stats[r].groups > 0) {
+      // Idle workers (groups < slots) are suppressed: a 0-group worker is a
+      // scheduling artifact, not a reduce task.
       obs::ReduceTaskObs t;
       t.reducer_id = static_cast<uint32_t>(r);
       t.start_us = task_stats[r].start_us;
@@ -498,6 +728,7 @@ void RunShuffleAndReduce(std::vector<ShufflePacket<Key>>&& packets, size_t slots
       t.cpu_ms = task_stats[r].cpu_ms;
       t.groups = task_stats[r].groups;
       t.packets = task_stats[r].packets;
+      t.queue_wait_us = task_stats[r].queue_wait_us;
       observer->OnReduceTask(t);
     }
   }
@@ -839,15 +1070,15 @@ RunResult<Query> RunBaselineMapReduce(const Dataset& data,
                           internal::TaskStats* ts) -> std::vector<Packet> {
     return internal::BaselineMapSegment<Query>(data.segments[mapper_id], mapper_id, ts);
   };
-  std::vector<Packet> packets =
-      internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
-                                 &result.stats, options.observer);
+  internal::ShuffleBuffer<Key> shuffle(internal::ResolveReducePartitions(options));
+  internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
+                             &shuffle, &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   // Reduce: deserialize the ordered events and run the UDA concretely.
   std::mutex out_mu;
   internal::RunShuffleAndReduce<Key>(
-      std::move(packets), options.reduce_slots,
+      std::move(shuffle), options.reduce_slots, options.reduce_schedule,
       [&result, &out_mu](const Key& key, const Packet* first, const Packet* last) {
         State state{};
         for (const Packet* p = first; p != last; ++p) {
@@ -891,9 +1122,9 @@ RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {
     return internal::SympleMapSegment<Query>(data.segments[mapper_id], mapper_id,
                                              options.aggregator, options.budgets, ts);
   };
-  std::vector<Packet> packets =
-      internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
-                                 &result.stats, options.observer);
+  internal::ShuffleBuffer<Key> shuffle(internal::ResolveReducePartitions(options));
+  internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
+                             &shuffle, &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   // Reduce: combine summaries in (mapper_id, record_id) order, either by
@@ -903,7 +1134,7 @@ RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {
   std::mutex out_mu;
   internal::DegradeAccounting degrades;
   internal::RunShuffleAndReduce<Key>(
-      std::move(packets), options.reduce_slots,
+      std::move(shuffle), options.reduce_slots, options.reduce_schedule,
       [&result, &out_mu, &options, &data, &degrades](
           const Key& key, const Packet* first, const Packet* last) {
         State state{};

@@ -66,6 +66,13 @@ struct EngineStats {
   uint64_t summaries = 0;  // SYMPLE engine only: total summaries shipped
   uint64_t summary_paths = 0;
 
+  // Shuffle partitioning (docs/shuffle.md): hash partitions the shuffle was
+  // routed into, and the byte skew across them — max partition bytes divided
+  // by mean partition bytes (1.0 = perfectly balanced, P = everything in one
+  // partition, 0 = empty shuffle).
+  uint64_t reduce_partitions = 0;
+  double partition_skew = 0;
+
   // Forked-mode fault tolerance (process_engine.h): worker respawns after a
   // failure, hang-watchdog kills, crash/truncation/protocol failures, and
   // segments executed in-process after the retry budget was spent. All zero
@@ -103,6 +110,8 @@ struct EngineStats {
                       internal::FormatFixed(total_cpu_ms(), 1) + "ms shuffle=" +
                       internal::FormatFixed(static_cast<double>(shuffle_bytes) / 1e6, 2) +
                       "MB groups=" + std::to_string(groups) +
+                      " partitions=" + std::to_string(reduce_partitions) +
+                      " skew=" + internal::FormatFixed(partition_skew, 2) +
                       " summaries=" + std::to_string(summaries) +
                       " summary_paths=" + std::to_string(summary_paths);
     if (worker_retries + worker_timeouts + worker_crashes + fallback_segments > 0) {
@@ -133,6 +142,8 @@ struct EngineStats {
     t.parsed_records = parsed_records;
     t.shuffle_bytes = shuffle_bytes;
     t.groups = groups;
+    t.reduce_partitions = reduce_partitions;
+    t.partition_skew = partition_skew;
     t.summaries = summaries;
     t.summary_paths = summary_paths;
     t.throughput_mbps = ThroughputMBps();
@@ -172,6 +183,8 @@ struct EngineStats {
     w.KV("parsed_records", parsed_records);
     w.KV("shuffle_bytes", shuffle_bytes);
     w.KV("groups", groups);
+    w.KV("reduce_partitions", reduce_partitions);
+    w.KV("partition_skew", partition_skew);
     w.KV("summaries", summaries);
     w.KV("summary_paths", summary_paths);
     w.KV("throughput_mbps", ThroughputMBps());

@@ -4,8 +4,9 @@
 //
 // Each worker process owns a subset of the segments, runs the map tasks
 // (symbolic for SYMPLE, row-batching for the baseline), and streams its
-// serialized shuffle packets to the parent over a pipe. The parent collects
-// all packets, performs the shuffle sort, and reduces — so the symbolic
+// serialized shuffle packets to the parent over a pipe. The parent routes
+// committed packets into the hash-partitioned shuffle buffer, sorts the
+// partitions in parallel, and reduces (docs/shuffle.md) — so the symbolic
 // summaries genuinely cross a process boundary in their wire form, exactly
 // as they cross machines in the distributed setting.
 //
@@ -151,8 +152,9 @@ ShufflePacket<Key> DeserializePacketFrame(BinaryReader& r) {
 
 // Forks workers over the dataset's segments (worker w initially owns
 // s ≡ w (mod num_processes)), drains all pipes concurrently, and recovers
-// from worker failures by re-executing incomplete segments. Returns all
-// packets; fills shuffle_bytes plus the worker_retries / worker_timeouts /
+// from worker failures by re-executing incomplete segments. Committed packets
+// are routed into `shuffle`'s hash partitions as their segments complete;
+// fills shuffle_bytes plus the worker_retries / worker_timeouts /
 // worker_crashes / fallback_segments counters. With an observer attached,
 // the parent reports one observation per worker drain (per-record counters
 // die with the worker, so forked-mode reports carry coarser map-side detail
@@ -164,9 +166,10 @@ ShufflePacket<Key> DeserializePacketFrame(BinaryReader& r) {
 // the packets this callback returns (deferred-replay markers in the SYMPLE
 // engine). Without it, corruption falls back to the crash/retry path.
 template <typename Key, typename MapSegmentFn>
-std::vector<ShufflePacket<Key>> RunForkedMapPhase(
+void RunForkedMapPhase(
     const Dataset& data, const EngineOptions& options, MapSegmentFn map_segment,
-    EngineStats* stats, obs::RunObserver* observer = nullptr,
+    ShuffleBuffer<Key>* shuffle, EngineStats* stats,
+    obs::RunObserver* observer = nullptr,
     std::function<std::vector<ShufflePacket<Key>>(const std::string&, uint32_t)>
         degrade_segment = nullptr) {
   using Packet = ShufflePacket<Key>;
@@ -189,7 +192,6 @@ std::vector<ShufflePacket<Key>> RunForkedMapPhase(
     double drain_start_us = 0;
   };
 
-  std::vector<Packet> out;
   std::vector<std::unique_ptr<WorkerState>> workers;
   uint32_t next_spawn_seq = 0;
 
@@ -273,7 +275,7 @@ std::vector<ShufflePacket<Key>> RunForkedMapPhase(
       stats->shuffle_bytes += bytes;
       w.bytes += bytes;
       ++w.packets;
-      out.push_back(std::move(p));
+      shuffle->Add(std::move(p), bytes);
     }
     w.partial.erase(it);
   };
@@ -356,8 +358,9 @@ std::vector<ShufflePacket<Key>> RunForkedMapPhase(
         std::vector<Packet> packets =
             degrade_segment(data.segments[s], static_cast<uint32_t>(s));
         for (Packet& p : packets) {
-          stats->shuffle_bytes += PacketBytes(p);
-          out.push_back(std::move(p));
+          const uint64_t bytes = PacketBytes(p);
+          stats->shuffle_bytes += bytes;
+          shuffle->Add(std::move(p), bytes);
         }
       }
       slot.reset();
@@ -383,7 +386,7 @@ std::vector<ShufflePacket<Key>> RunForkedMapPhase(
         stats->shuffle_bytes += bytes;
         fb_bytes += bytes;
         ++fb_packets;
-        out.push_back(std::move(p));
+        shuffle->Add(std::move(p), bytes);
       }
     }
     if (observer != nullptr) {
@@ -482,7 +485,6 @@ std::vector<ShufflePacket<Key>> RunForkedMapPhase(
       }
     }
   }
-  return out;
 }
 
 }  // namespace internal
@@ -514,15 +516,16 @@ RunResult<Query> RunSympleForked(const Dataset& data, const EngineOptions& optio
         segment, segment_id, DegradeReason::kWireCorrupt,
         "corrupt summary frame from worker");
   };
-  std::vector<Packet> packets = internal::RunForkedMapPhase<Key>(
-      data, options, map_segment, &result.stats, options.observer,
-      degrade_segment);
+  internal::ShuffleBuffer<Key> shuffle(internal::ResolveReducePartitions(options));
+  internal::RunForkedMapPhase<Key>(data, options, map_segment, &shuffle,
+                                   &result.stats, options.observer,
+                                   degrade_segment);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   std::mutex out_mu;
   internal::DegradeAccounting degrades;
   internal::RunShuffleAndReduce<Key>(
-      std::move(packets), options.reduce_slots,
+      std::move(shuffle), options.reduce_slots, options.reduce_schedule,
       [&result, &out_mu, &data, &options, &degrades](
           const Key& key, const Packet* first, const Packet* last) {
         State state{};
@@ -557,13 +560,14 @@ RunResult<Query> RunBaselineForked(const Dataset& data,
     internal::TaskStats ts;
     return internal::BaselineMapSegment<Query>(segment, mapper_id, &ts);
   };
-  std::vector<Packet> packets = internal::RunForkedMapPhase<Key>(
-      data, options, map_segment, &result.stats, options.observer);
+  internal::ShuffleBuffer<Key> shuffle(internal::ResolveReducePartitions(options));
+  internal::RunForkedMapPhase<Key>(data, options, map_segment, &shuffle,
+                                   &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   std::mutex out_mu;
   internal::RunShuffleAndReduce<Key>(
-      std::move(packets), options.reduce_slots,
+      std::move(shuffle), options.reduce_slots, options.reduce_schedule,
       [&result, &out_mu](const Key& key, const Packet* first, const Packet* last) {
         State state{};
         for (const Packet* p = first; p != last; ++p) {

@@ -75,6 +75,22 @@ inline int64_t ZigzagDecode(uint64_t v) {
   return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
 }
 
+// Encoded sizes, computed arithmetically — the shuffle's byte accounting runs
+// per packet on the map hot path, so it must not materialize scratch buffers
+// just to count LEB128 lengths.
+inline size_t VarUintSize(uint64_t value) {
+  size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+inline size_t VarIntSize(int64_t value) { return VarUintSize(ZigzagEncode(value)); }
+inline size_t StringWireSize(std::string_view value) {
+  return VarUintSize(value.size()) + value.size();
+}
+
 }  // namespace symple
 
 #endif  // SYMPLE_SERIALIZE_BINARY_IO_H_

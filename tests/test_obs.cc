@@ -12,6 +12,8 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "queries/all_queries.h"
+#include "runtime/engine.h"
 
 namespace symple {
 namespace obs {
@@ -370,6 +372,38 @@ TEST(RunReport, JsonCarriesObservedTasks) {
   for (const TraceSpan& s : spans) {
     EXPECT_EQ(s.pid, 3u);
   }
+}
+
+// Regression: reduce workers that processed zero groups must not be reported.
+// A single-group query with more reduce slots than groups used to emit one
+// misleading 0-duration reduce span per idle slot.
+TEST(RunReport, IdleReduceTasksAreSuppressed) {
+  std::vector<std::vector<std::string>> chunks(4);
+  for (auto& chunk : chunks) {
+    for (int i = 0; i < 50; ++i) {
+      chunk.push_back(std::to_string(i));
+    }
+  }
+  const Dataset data = DatasetFromLines(chunks);  // MaxQuery: one global group
+
+  Tracer tracer;
+  RunObserver observer("symple", &tracer, 1);
+  EngineOptions options;
+  options.reduce_slots = 8;  // 7 of 8 slots have nothing to do
+  options.observer = &observer;
+  const auto sym = RunSymple<MaxQuery>(data, options);
+  ASSERT_EQ(sym.stats.groups, 1u);
+
+  RunReport report;
+  observer.FillReport(&report);
+  EXPECT_EQ(report.reduce_task_count, 1u);
+  EXPECT_EQ(report.reduce_groups.count, 1u);
+  EXPECT_EQ(report.reduce_groups.min, 1u);  // no zero-group tasks folded in
+  size_t reduce_spans = 0;
+  for (const TraceSpan& span : tracer.Spans()) {
+    reduce_spans += span.name == "reduce_task";
+  }
+  EXPECT_EQ(reduce_spans, 1u);
 }
 
 TEST(RunReport, ObsEnabledReflectsEnvironment) {
