@@ -1,0 +1,215 @@
+// Perf-regression gate: diffs two BENCH_*.json files (schema symple.bench/1)
+// with noise-tolerant thresholds and exits nonzero on regression.
+//
+//   bench_compare <baseline.json> <candidate.json>
+//       [--threshold 0.10]        relative wall-time slack (0.10 = +10%)
+//       [--bytes-threshold 0.05]  relative shuffle-bytes slack
+//       [--min-wall-ms 5]         walls below this are too noisy to compare
+//
+// Runs are matched by (query, engine, config). A candidate run slower than
+// baseline * (1 + threshold) — when the baseline wall clears the noise floor —
+// is a regression, as is shuffle-bytes growth beyond its threshold (byte
+// counts are deterministic, so their slack is tighter) and a baseline run
+// missing from the candidate (coverage loss). New candidate runs are noted
+// but never fail the gate. scripts/ci.sh runs this in smoke mode plus the
+// checked-in fixtures under bench/fixtures/.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+struct RunKey {
+  std::string query;
+  std::string engine;
+  std::string config;
+
+  std::string Label() const { return query + "/" + engine + "/" + config; }
+  bool operator==(const RunKey& other) const {
+    return query == other.query && engine == other.engine && config == other.config;
+  }
+};
+
+struct RunPerf {
+  RunKey key;
+  double total_wall_ms = 0;
+  double shuffle_bytes = 0;
+};
+
+bool ReadFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+double NumberOr(const symple::obs::JsonValue* v, double fallback) {
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string StringOr(const symple::obs::JsonValue* v) {
+  return v != nullptr && v->is_string() ? v->string_value : std::string();
+}
+
+// Loads a symple.bench/1 file into per-run perf rows. Returns false (with a
+// message on stderr) on unreadable/unparsable input or a wrong schema.
+bool LoadBench(const char* path, std::vector<RunPerf>* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path);
+    return false;
+  }
+  symple::obs::JsonValue root;
+  std::string error;
+  if (!symple::obs::ParseJson(text, &root, &error)) {
+    std::fprintf(stderr, "bench_compare: %s: parse error: %s\n", path, error.c_str());
+    return false;
+  }
+  const symple::obs::JsonValue* schema = root.Find("schema");
+  if (StringOr(schema) != "symple.bench/1") {
+    std::fprintf(stderr, "bench_compare: %s: not a symple.bench/1 file\n", path);
+    return false;
+  }
+  const symple::obs::JsonValue* runs = root.Find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    std::fprintf(stderr, "bench_compare: %s: missing runs array\n", path);
+    return false;
+  }
+  for (const symple::obs::JsonValue& run : runs->array) {
+    RunPerf perf;
+    perf.key.query = StringOr(run.Find("query"));
+    perf.key.engine = StringOr(run.Find("engine"));
+    perf.key.config = StringOr(run.Find("config"));
+    const symple::obs::JsonValue* stats = run.Find("stats");
+    if (stats == nullptr || !stats->is_object()) {
+      std::fprintf(stderr, "bench_compare: %s: run %s has no stats object\n", path,
+                   perf.key.Label().c_str());
+      return false;
+    }
+    perf.total_wall_ms = NumberOr(stats->Find("total_wall_ms"), 0);
+    perf.shuffle_bytes = NumberOr(stats->Find("shuffle_bytes"), 0);
+    out->push_back(std::move(perf));
+  }
+  return true;
+}
+
+const RunPerf* FindRun(const std::vector<RunPerf>& runs, const RunKey& key) {
+  for (const RunPerf& r : runs) {
+    if (r.key == key) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* candidate_path = nullptr;
+  double threshold = 0.10;
+  double bytes_threshold = 0.05;
+  double min_wall_ms = 5.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--bytes-threshold") == 0 && i + 1 < argc) {
+      bytes_threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-wall-ms") == 0 && i + 1 < argc) {
+      min_wall_ms = std::atof(argv[++i]);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (candidate_path == nullptr) {
+      candidate_path = argv[i];
+    } else {
+      std::fprintf(stderr, "bench_compare: unexpected argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || candidate_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <candidate.json>\n"
+                 "           [--threshold F] [--bytes-threshold F] "
+                 "[--min-wall-ms F]\n");
+    return 2;
+  }
+
+  std::vector<RunPerf> baseline;
+  std::vector<RunPerf> candidate;
+  if (!LoadBench(baseline_path, &baseline) || !LoadBench(candidate_path, &candidate)) {
+    return 2;
+  }
+
+  int regressions = 0;
+  std::printf("%-44s %12s %12s %8s\n", "run", "base", "cand", "delta");
+  for (const RunPerf& base : baseline) {
+    const RunPerf* cand = FindRun(candidate, base.key);
+    if (cand == nullptr) {
+      std::printf("%-44s MISSING from candidate — REGRESSION\n",
+                  base.key.Label().c_str());
+      ++regressions;
+      continue;
+    }
+    // Wall time: relative slack over a noise floor. Tiny walls jitter by
+    // multiples of themselves on a loaded machine, so they are not gated.
+    const double wall_delta_pct =
+        base.total_wall_ms > 0
+            ? (cand->total_wall_ms - base.total_wall_ms) / base.total_wall_ms * 100
+            : 0;
+    const bool wall_comparable = base.total_wall_ms >= min_wall_ms;
+    const bool wall_regressed =
+        wall_comparable &&
+        cand->total_wall_ms > base.total_wall_ms * (1.0 + threshold);
+    // Shuffle bytes are deterministic for a fixed dataset, so growth past the
+    // (tighter) byte threshold is a real plan/encoding change, not noise.
+    const bool bytes_regressed =
+        base.shuffle_bytes > 0 &&
+        cand->shuffle_bytes > base.shuffle_bytes * (1.0 + bytes_threshold);
+    const char* verdict = "ok";
+    if (wall_regressed && bytes_regressed) {
+      verdict = "REGRESSION (wall+bytes)";
+    } else if (wall_regressed) {
+      verdict = "REGRESSION (wall)";
+    } else if (bytes_regressed) {
+      verdict = "REGRESSION (bytes)";
+    } else if (!wall_comparable) {
+      verdict = "ok (wall below noise floor)";
+    }
+    if (wall_regressed || bytes_regressed) {
+      ++regressions;
+    }
+    std::printf("%-44s %9.1f ms %9.1f ms %+6.1f%%  %s\n", base.key.Label().c_str(),
+                base.total_wall_ms, cand->total_wall_ms, wall_delta_pct, verdict);
+    if (bytes_regressed) {
+      std::printf("%-44s %9.0f B  %9.0f B  shuffle bytes grew past +%.0f%%\n", "",
+                  base.shuffle_bytes, cand->shuffle_bytes, bytes_threshold * 100);
+    }
+  }
+  for (const RunPerf& cand : candidate) {
+    if (FindRun(baseline, cand.key) == nullptr) {
+      std::printf("%-44s new in candidate (not gated)\n", cand.key.Label().c_str());
+    }
+  }
+  if (regressions > 0) {
+    std::printf("bench_compare: %d regression(s) past threshold +%.0f%% "
+                "(bytes +%.0f%%, noise floor %.1f ms)\n",
+                regressions, threshold * 100, bytes_threshold * 100, min_wall_ms);
+    return 1;
+  }
+  std::printf("bench_compare: no regressions (threshold +%.0f%%, bytes +%.0f%%, "
+              "noise floor %.1f ms)\n",
+              threshold * 100, bytes_threshold * 100, min_wall_ms);
+  return 0;
+}

@@ -104,6 +104,76 @@ void CheckRunReport(const obs::JsonValue& report, bool expect_exploration) {
     CheckHistogram(shuffle->Find("partition_runs"), "shuffle.partition_runs");
   }
   RequireKey(report, "groups");
+
+  // Run-analyzer keys (timeline / critical path / stragglers / rusage /
+  // model_error) — present on every report; timeline.built is true whenever
+  // the run was traced.
+  const obs::JsonValue* timeline = RequireKey(report, "timeline");
+  if (timeline != nullptr) {
+    Require(timeline->is_object(), "timeline is an object");
+    const obs::JsonValue* built = RequireKey(*timeline, "built");
+    Require(built != nullptr && built->bool_value, "timeline.built is true");
+    RequireNumberKey(*timeline, "total_wall_ms");
+    RequireKey(*timeline, "bottleneck");
+    const obs::JsonValue* stages = RequireKey(*timeline, "stages");
+    Require(stages != nullptr && stages->is_array() && stages->array.size() == 4,
+            "timeline.stages has map/shuffle/reduce/concrete_replay rows");
+    if (stages != nullptr && stages->is_array()) {
+      for (const obs::JsonValue& s : stages->array) {
+        RequireKey(s, "name");
+        RequireNumberKey(s, "wall_ms");
+        RequireNumberKey(s, "busy_ms");
+        RequireNumberKey(s, "tasks");
+        RequireNumberKey(s, "utilization");
+      }
+    }
+    const obs::JsonValue* lanes = RequireKey(*timeline, "lanes");
+    Require(lanes != nullptr && lanes->is_array(), "timeline.lanes is an array");
+  }
+  const obs::JsonValue* critical = RequireKey(report, "critical_path");
+  if (critical != nullptr) {
+    RequireNumberKey(*critical, "total_ms");
+    RequireNumberKey(*critical, "measured_wall_ms");
+    RequireNumberKey(*critical, "coverage");
+    const obs::JsonValue* cp_stages = RequireKey(*critical, "stages");
+    Require(cp_stages != nullptr && cp_stages->is_array(),
+            "critical_path.stages is an array");
+  }
+  const obs::JsonValue* stragglers = RequireKey(report, "stragglers");
+  Require(stragglers != nullptr && stragglers->is_array(),
+          "stragglers is an array");
+  const obs::JsonValue* rusage = RequireKey(report, "rusage");
+  if (rusage != nullptr) {
+    const obs::JsonValue* sampled = RequireKey(*rusage, "sampled");
+    Require(sampled != nullptr && sampled->bool_value,
+            "rusage.sampled is true when observability is on");
+    for (const char* who : {"self", "children"}) {
+      const obs::JsonValue* u = RequireKey(*rusage, who);
+      if (u != nullptr) {
+        RequireNumberKey(*u, "user_ms");
+        RequireNumberKey(*u, "sys_ms");
+        RequireNumberKey(*u, "maxrss_kb");
+        RequireNumberKey(*u, "major_faults");
+        RequireNumberKey(*u, "invol_ctx_switches");
+      }
+    }
+    RequireKey(*rusage, "worker_maxrss_kb");
+  }
+  const obs::JsonValue* model_error = RequireKey(report, "model_error");
+  if (model_error != nullptr) {
+    const obs::JsonValue* present = RequireKey(*model_error, "present");
+    Require(present != nullptr && present->bool_value,
+            "model_error.present is true for a completed run");
+    for (const char* group : {"predicted_ms", "measured_ms", "error_pct"}) {
+      const obs::JsonValue* g = RequireKey(*model_error, group);
+      if (g != nullptr) {
+        RequireNumberKey(*g, "map");
+        RequireNumberKey(*g, "shuffle");
+        RequireNumberKey(*g, "reduce");
+        RequireNumberKey(*g, "total");
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 //   $ ./query_cli G1 --engine forked                  # forked-process engines
 //   $ ./query_cli G1 --engine forked --fault crash:worker=1:frame=100
 //                                                     # fault-injected recovery demo
+//   $ ./query_cli G3 --explain                        # per-run bottleneck report
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +47,7 @@ struct Options {
   std::string load_dir;
   std::string trace_out;   // Chrome trace_event JSON
   std::string stats_json;  // RunReport set JSON
+  bool explain = false;    // human-readable bottleneck report per engine
   // Forked-engine fault-tolerance knobs (EngineOptions defaults when < 0).
   int worker_timeout_ms = -1;
   int worker_retries = -1;
@@ -126,7 +128,10 @@ int RunQuery(const Options& options, symple::Dataset data) {
 
   // One tracer shared by every engine run: each engine gets its own Chrome
   // trace "process" lane, so the runs appear side by side in Perfetto.
-  const bool observing = !options.trace_out.empty() || !options.stats_json.empty();
+  // --explain and --stats-json also attach the tracer: the timeline analyzer
+  // (critical path, stragglers) is built from the span ring.
+  const bool observing = !options.trace_out.empty() ||
+                         !options.stats_json.empty() || options.explain;
   obs::Tracer tracer;
   std::vector<obs::RunReport> reports;
 
@@ -149,8 +154,7 @@ int RunQuery(const Options& options, symple::Dataset data) {
     engine_options.reduce_schedule = options.reduce_schedule == "static"
                                          ? ReduceSchedule::kStatic
                                          : ReduceSchedule::kLargestFirst;
-    obs::RunObserver observer(name, options.trace_out.empty() ? nullptr : &tracer,
-                              pid);
+    obs::RunObserver observer(name, observing ? &tracer : nullptr, pid);
     if (observing) {
       engine_options.observer = &observer;
     }
@@ -158,6 +162,9 @@ int RunQuery(const Options& options, symple::Dataset data) {
     if (observing) {
       reports.push_back(
           MakeRunReport(Query::kName, name, engine_options, result.stats, &observer));
+      if (options.explain) {
+        std::printf("%s", obs::FormatExplainText(reports.back()).c_str());
+      }
     }
     return result;
   };
@@ -304,6 +311,8 @@ int main(int argc, char** argv) {
       options.reduce_schedule = value;
     } else if (std::strcmp(argv[i], "--force-degrade") == 0) {
       options.force_degrade = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      options.explain = true;
     } else if (FlagValue(argc, argv, i, "--fault", &value)) {
       // Same syntax as SYMPLE_FAULT_SPEC (see docs/process_engine.md), e.g.
       // --fault crash:worker=1:frame=100
@@ -330,7 +339,8 @@ int main(int argc, char** argv) {
   if (options.query.empty()) {
     std::printf("usage: query_cli <query> [--records N] [--segments N] "
                 "[--engine sequential|mapreduce|symple|all|forked]\n"
-                "                 [--trace-out FILE] [--stats-json FILE]\n"
+                "                 [--trace-out FILE] [--stats-json FILE] "
+                "[--explain]\n"
                 "                 [--worker-timeout-ms N] [--worker-retries N] "
                 "[--worker-backoff-ms N]\n"
                 "                 [--path-budget N] [--summary-bytes-budget N] "

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# Full per-PR gate: the tier-1 suite (default preset) followed by the
-# sanitized build running the fault-injection / wire-hardening / degradation
-# / shuffle suites under ASan+UBSan (filter lives in CMakePresets.json).
+# Full per-PR gate: the tier-1 suite (default preset), the sanitized build
+# running the fault-injection / wire-hardening / degradation / shuffle suites
+# under ASan+UBSan (filter lives in CMakePresets.json), then the smoke-mode
+# perf gate (bench_compare over two bench_smoke runs + checked-in fixtures)
+# and one --explain bottleneck report as a human-readable tail.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,4 +15,32 @@ cmake --preset asan
 cmake --build --preset asan -j "${CI_JOBS:-$(nproc)}"
 ctest --preset asan -j "${CI_JOBS:-$(nproc)}"
 
-echo "ci.sh: tier-1 + sanitized suites passed"
+# --- perf-regression gate (smoke mode) ---------------------------------------
+# Two back-to-back bench_smoke runs diffed with a loose threshold: on shared CI
+# hardware this only catches gross regressions (binary-level slowdowns, not
+# single-digit noise); the tight-threshold behaviour is pinned by the fixture
+# checks below and the bench_compare_* ctest entries.
+gate_dir=build/perf_gate
+rm -rf "$gate_dir"
+mkdir -p "$gate_dir/base" "$gate_dir/cand"
+(cd "$gate_dir/base" && ../../bench/bench_smoke >/dev/null)
+(cd "$gate_dir/cand" && ../../bench/bench_smoke >/dev/null)
+build/bench/bench_compare "$gate_dir/base/BENCH_smoke.json" \
+  "$gate_dir/cand/BENCH_smoke.json" --threshold 0.5 --min-wall-ms 5
+
+# Fixture assertions: the gate must pass identical + noisy inputs and fail the
+# +20% regression fixture.
+build/bench/bench_compare bench/fixtures/BENCH_gate_base.json \
+  bench/fixtures/BENCH_gate_noise.json >/dev/null
+if build/bench/bench_compare bench/fixtures/BENCH_gate_base.json \
+  bench/fixtures/BENCH_gate_regress.json >/dev/null; then
+  echo "ci.sh: bench_compare failed to flag the regression fixture" >&2
+  exit 1
+fi
+
+# --- bottleneck report -------------------------------------------------------
+# One skewed shuffle run with --explain so every CI log carries a current
+# critical-path / straggler / cost-model summary.
+build/examples/query_cli G1 --records 60000 --engine mapreduce --explain
+
+echo "ci.sh: tier-1 + sanitized suites + perf gate passed"

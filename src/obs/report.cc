@@ -1,5 +1,7 @@
 #include "obs/report.h"
 
+#include <cstdio>
+
 #include "obs/json.h"
 
 namespace symple {
@@ -133,9 +135,94 @@ void RunReport::AppendJson(JsonWriter& w) const {
   w.EndArray();
   w.EndObject();
 
+  w.Key("timeline");
+  AppendTimelineJson(w, timeline);
+  w.Key("critical_path");
+  AppendCriticalPathJson(w, timeline);
+  w.Key("stragglers");
+  AppendStragglersJson(w, timeline);
+
+  w.Key("rusage").BeginObject();
+  w.KV("sampled", rusage.sampled);
+  w.Key("self");
+  AppendResourceUsageJson(w, rusage.self);
+  w.Key("children");
+  AppendResourceUsageJson(w, rusage.children);
+  w.Key("worker_maxrss_kb");
+  AppendHistogramJson(w, worker_maxrss_kb);
+  w.EndObject();
+
+  w.Key("model_error").BeginObject();
+  w.KV("present", model_error.present);
+  w.Key("predicted_ms").BeginObject();
+  w.KV("map", model_error.predicted_map_ms);
+  w.KV("shuffle", model_error.predicted_shuffle_ms);
+  w.KV("reduce", model_error.predicted_reduce_ms);
+  w.KV("total", model_error.predicted_total_ms);
+  w.EndObject();
+  w.Key("measured_ms").BeginObject();
+  w.KV("map", model_error.measured_map_ms);
+  w.KV("shuffle", model_error.measured_shuffle_ms);
+  w.KV("reduce", model_error.measured_reduce_ms);
+  w.KV("total", model_error.measured_total_ms);
+  w.EndObject();
+  w.Key("error_pct").BeginObject();
+  w.KV("map", model_error.map_error_pct);
+  w.KV("shuffle", model_error.shuffle_error_pct);
+  w.KV("reduce", model_error.reduce_error_pct);
+  w.KV("total", model_error.total_error_pct);
+  w.EndObject();
+  w.EndObject();
+
   w.KV("worker_failures", worker_failures);
   w.KV("dropped_spans", dropped_spans);
   w.EndObject();
+}
+
+std::string FormatExplainText(const RunReport& report) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "=== %s · %s ===\n", report.query.c_str(),
+                report.engine.c_str());
+  out += buf;
+  AppendExplainText(report.timeline, &out);
+  if (report.rusage.sampled) {
+    std::snprintf(buf, sizeof(buf),
+                  "  resources: maxrss %llu KB self / %llu KB children, "
+                  "%llu major faults, %llu invol ctx switches\n",
+                  static_cast<unsigned long long>(report.rusage.self.maxrss_kb),
+                  static_cast<unsigned long long>(report.rusage.children.maxrss_kb),
+                  static_cast<unsigned long long>(
+                      report.rusage.self.major_faults +
+                      report.rusage.children.major_faults),
+                  static_cast<unsigned long long>(
+                      report.rusage.self.invol_ctx_switches +
+                      report.rusage.children.invol_ctx_switches));
+    out += buf;
+  }
+  if (report.model_error.present) {
+    std::snprintf(buf, sizeof(buf),
+                  "  model check: predicted map %.1f / shuffle %.1f / reduce "
+                  "%.1f ms vs measured %.1f / %.1f / %.1f ms "
+                  "(total error %+.0f%%)\n",
+                  report.model_error.predicted_map_ms,
+                  report.model_error.predicted_shuffle_ms,
+                  report.model_error.predicted_reduce_ms,
+                  report.model_error.measured_map_ms,
+                  report.model_error.measured_shuffle_ms,
+                  report.model_error.measured_reduce_ms,
+                  report.model_error.total_error_pct);
+    out += buf;
+  }
+  if (report.timeline.built && report.totals.degraded_segments > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  degradation: %llu segments replayed concretely "
+                  "(%llu records)\n",
+                  static_cast<unsigned long long>(report.totals.degraded_segments),
+                  static_cast<unsigned long long>(report.totals.replayed_records));
+    out += buf;
+  }
+  return out;
 }
 
 std::string RunReport::ToJson() const {
@@ -162,6 +249,9 @@ void RunObserver::OnMapTask(const MapTaskObs& t) {
   map_packets_.Record(t.packets);
   map_shuffle_bytes_.Record(t.bytes);
   map_summary_paths_.Record(t.summary_paths);
+  if (t.maxrss_kb > 0) {
+    worker_maxrss_kb_.Record(t.maxrss_kb);
+  }
   paths_per_group_.Merge(t.paths_per_group);
   summaries_per_group_.Merge(t.summaries_per_group);
 
@@ -187,6 +277,9 @@ void RunObserver::OnMapTask(const MapTaskObs& t) {
     span.args.emplace_back("parsed", t.parsed);
     span.args.emplace_back("packets", t.packets);
     span.args.emplace_back("bytes", t.bytes);
+    if (t.maxrss_kb > 0) {
+      span.args.emplace_back("maxrss_kb", t.maxrss_kb);
+    }
     if (t.summaries > 0) {
       span.args.emplace_back("summaries", t.summaries);
       span.args.emplace_back("summary_paths", t.summary_paths);
@@ -223,6 +316,8 @@ void RunObserver::OnReduceTask(const ReduceTaskObs& t) {
     span.duration_us = t.end_us - t.start_us;
     span.args.emplace_back("groups", t.groups);
     span.args.emplace_back("packets", t.packets);
+    span.args.emplace_back("bytes", t.bytes);
+    span.args.emplace_back("max_run_bytes", t.max_run_bytes);
     if (t.queue_wait_us.count > 0) {
       span.args.emplace_back("queue_wait_us_p95", t.queue_wait_us.Quantile(0.95));
     }
@@ -276,7 +371,8 @@ void RunObserver::OnWorkerFailure(uint32_t worker_id, const std::string& kind) {
 
 void RunObserver::OnSegmentDegraded(uint32_t segment_id,
                                     const std::string& reason,
-                                    const std::string& message) {
+                                    const std::string& message,
+                                    double replay_ms) {
   ++degraded_segment_events_;
   if (degrade_messages_.size() < kMaxDegradeMessages && !message.empty()) {
     degrade_messages_.push_back(message);
@@ -290,8 +386,16 @@ void RunObserver::OnSegmentDegraded(uint32_t segment_id,
     span.category = "degrade";
     span.pid = trace_pid_;
     span.tid = segment_id;
-    span.start_us = NowUs();
-    span.duration_us = 0;
+    // Degrades are folded in after the pool quiesces, so the span is placed
+    // retroactively: it ends now and extends back by the replay time (which
+    // always fits inside the run, keeping the span in-epoch).
+    double duration_us = replay_ms > 0 ? replay_ms * 1e3 : 0;
+    const double now_us = NowUs();
+    if (duration_us > now_us) {
+      duration_us = now_us;
+    }
+    span.start_us = now_us - duration_us;
+    span.duration_us = duration_us;
     span.args.emplace_back("segment", segment_id);
     tracer_->Record(std::move(span));
   }
@@ -336,6 +440,7 @@ void RunObserver::FillReport(RunReport* report) const {
   report->paths_per_group = paths_per_group_;
   report->summaries_per_group = summaries_per_group_;
   report->worker_failures = worker_failures_;
+  report->worker_maxrss_kb = worker_maxrss_kb_;
   report->degraded_segment_events = degraded_segment_events_;
   report->degrade_messages = degrade_messages_;
   report->dropped_spans = tracer_ != nullptr ? tracer_->dropped() : 0;

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/resource.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace symple {
@@ -76,6 +78,9 @@ struct MapTaskObs {
   uint64_t bytes = 0;    // serialized packet bytes emitted
   uint64_t summaries = 0;
   uint64_t summary_paths = 0;
+  // Peak resident set of the forked worker that ran this task (from wait4 at
+  // reap time); 0 for in-process tasks.
+  uint64_t maxrss_kb = 0;
   ExplorationTotals exploration;
   // Per-group distributions within this task (SYMPLE engine only).
   HistogramSnapshot paths_per_group;
@@ -92,9 +97,32 @@ struct ReduceTaskObs {
   double cpu_ms = 0;
   uint64_t groups = 0;   // key runs this task reduced
   uint64_t packets = 0;  // packets consumed
+  uint64_t bytes = 0;    // serialized packet bytes consumed
+  // Largest single key run this task reduced, in packet bytes — the straggler
+  // attribution signal: a heavy key shows up as max_run_bytes ≈ bytes.
+  uint64_t max_run_bytes = 0;
   // Per-run wait between reduce-stage start and this worker picking the run
   // off the shared queue (microseconds) — the skew-scheduling signal.
   HistogramSnapshot queue_wait_us;
+};
+
+// EstimateLatency's predicted per-stage breakdown next to the measured stage
+// walls — the cost-model calibration record (error_pct = predicted/measured
+// - 1, as a percentage; 0 when a stage measured zero wall).
+struct ModelErrorReport {
+  bool present = false;
+  double predicted_map_ms = 0;
+  double predicted_shuffle_ms = 0;
+  double predicted_reduce_ms = 0;
+  double predicted_total_ms = 0;
+  double measured_map_ms = 0;
+  double measured_shuffle_ms = 0;
+  double measured_reduce_ms = 0;
+  double measured_total_ms = 0;
+  double map_error_pct = 0;
+  double shuffle_error_pct = 0;
+  double reduce_error_pct = 0;
+  double total_error_pct = 0;
 };
 
 // The full machine-readable record of one engine run.
@@ -147,10 +175,28 @@ struct RunReport {
 
   uint64_t dropped_spans = 0;
 
+  // Run analyzer (PR 6): the span ring folded into a per-run timeline with
+  // critical path and stragglers; always serialized (built=false when no
+  // tracer was attached or obs is disabled).
+  RunTimeline timeline;
+
+  // Per-run rusage deltas plus the per-worker peak-RSS distribution captured
+  // via wait4 in the forked engines.
+  RunResourceUsage rusage;
+  HistogramSnapshot worker_maxrss_kb;
+
+  // Cost-model calibration: EstimateLatency vs measured stage walls.
+  ModelErrorReport model_error;
+
   // Appends this report as one JSON object ("symple.run_report/1").
   void AppendJson(JsonWriter& w) const;
   std::string ToJson() const;
 };
+
+// Human-readable bottleneck report for `query_cli --explain`: the timeline's
+// stage table, critical path and stragglers, plus rusage and model-error
+// summaries.
+std::string FormatExplainText(const RunReport& report);
 
 // Appends a histogram as {"count","sum","min","max","mean","p50","p95"}.
 void AppendHistogramJson(JsonWriter& w, const HistogramSnapshot& h);
@@ -188,10 +234,12 @@ class RunObserver {
   void OnWorkerFailure(uint32_t worker_id, const std::string& kind);
   // A map segment degraded from symbolic summary to concrete replay.
   // `reason` is a DegradeReasonName string; `message` preserves the original
-  // error text. Mirrored into the metrics registry (engine.degraded_segments
-  // and engine.degrades.<reason>) and recorded as an instant trace event.
+  // error text; `replay_ms` is the time the reducer spent concretely
+  // re-scanning the segment (0 when unknown). Mirrored into the metrics
+  // registry (engine.degraded_segments and engine.degrades.<reason>) and
+  // recorded as a trace span whose duration is the replay time.
   void OnSegmentDegraded(uint32_t segment_id, const std::string& reason,
-                         const std::string& message);
+                         const std::string& message, double replay_ms = 0);
 
   // Folds everything observed into `report` (task histograms + counts).
   void FillReport(RunReport* report) const;
@@ -225,6 +273,7 @@ class RunObserver {
   HistogramSnapshot summaries_per_group_;
 
   uint64_t worker_failures_ = 0;
+  HistogramSnapshot worker_maxrss_kb_;
 
   static constexpr size_t kMaxDegradeMessages = 8;
   uint64_t degraded_segment_events_ = 0;

@@ -1,0 +1,90 @@
+#include "obs/resource.h"
+
+#include <sys/resource.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace symple {
+namespace obs {
+
+namespace {
+
+double TimevalMs(const struct timeval& tv) {
+  return static_cast<double>(tv.tv_sec) * 1e3 +
+         static_cast<double>(tv.tv_usec) / 1e3;
+}
+
+uint64_t NonNegative(long value) {
+  return value > 0 ? static_cast<uint64_t>(value) : 0;
+}
+
+}  // namespace
+
+ResourceUsage FromRusage(const struct rusage& ru) {
+  ResourceUsage u;
+  u.user_ms = TimevalMs(ru.ru_utime);
+  u.sys_ms = TimevalMs(ru.ru_stime);
+  u.maxrss_kb = NonNegative(ru.ru_maxrss);  // kilobytes on Linux
+  u.minor_faults = NonNegative(ru.ru_minflt);
+  u.major_faults = NonNegative(ru.ru_majflt);
+  u.vol_ctx_switches = NonNegative(ru.ru_nvcsw);
+  u.invol_ctx_switches = NonNegative(ru.ru_nivcsw);
+  return u;
+}
+
+RunResourceUsage SampleRunResources() {
+  RunResourceUsage run;
+  if (!Enabled()) {
+    return run;
+  }
+  struct rusage self {};
+  struct rusage children {};
+  if (::getrusage(RUSAGE_SELF, &self) == 0) {
+    run.self = FromRusage(self);
+    run.sampled = true;
+  }
+  if (::getrusage(RUSAGE_CHILDREN, &children) == 0) {
+    run.children = FromRusage(children);
+  }
+  return run;
+}
+
+ResourceUsage UsageDelta(const ResourceUsage& end, const ResourceUsage& start) {
+  ResourceUsage d;
+  d.user_ms = end.user_ms > start.user_ms ? end.user_ms - start.user_ms : 0;
+  d.sys_ms = end.sys_ms > start.sys_ms ? end.sys_ms - start.sys_ms : 0;
+  d.maxrss_kb = end.maxrss_kb;  // peak, not a counter
+  d.minor_faults = end.minor_faults - start.minor_faults;
+  d.major_faults = end.major_faults - start.major_faults;
+  d.vol_ctx_switches = end.vol_ctx_switches - start.vol_ctx_switches;
+  d.invol_ctx_switches = end.invol_ctx_switches - start.invol_ctx_switches;
+  return d;
+}
+
+RunResourceUsage RunResourceDelta(const RunResourceUsage& end,
+                                  const RunResourceUsage& start) {
+  RunResourceUsage d;
+  d.sampled = end.sampled && start.sampled;
+  if (!d.sampled) {
+    return d;
+  }
+  d.self = UsageDelta(end.self, start.self);
+  d.children = UsageDelta(end.children, start.children);
+  return d;
+}
+
+void AppendResourceUsageJson(JsonWriter& w, const ResourceUsage& u) {
+  w.BeginObject();
+  w.KV("user_ms", u.user_ms);
+  w.KV("sys_ms", u.sys_ms);
+  w.KV("maxrss_kb", u.maxrss_kb);
+  w.KV("minor_faults", u.minor_faults);
+  w.KV("major_faults", u.major_faults);
+  w.KV("vol_ctx_switches", u.vol_ctx_switches);
+  w.KV("invol_ctx_switches", u.invol_ctx_switches);
+  w.EndObject();
+}
+
+}  // namespace obs
+}  // namespace symple

@@ -1,0 +1,60 @@
+// Per-run OS resource accounting on top of getrusage(2)/wait4(2).
+//
+// The engines sample RUSAGE_SELF and RUSAGE_CHILDREN around a run and store
+// the delta in EngineStats; the forked engines additionally capture each
+// worker's rusage at reap time via wait4. Like the rest of obs, sampling is
+// short-circuited by SYMPLE_OBS_DISABLE=1 (Enabled()) and the structs stay
+// plain data so the runtime layering rules hold.
+#ifndef SYMPLE_OBS_RESOURCE_H_
+#define SYMPLE_OBS_RESOURCE_H_
+
+#include <cstdint>
+
+struct rusage;  // <sys/resource.h>
+
+namespace symple {
+namespace obs {
+
+class JsonWriter;
+
+// One rusage snapshot (or delta between two snapshots), normalized to the
+// units the rest of obs uses: milliseconds and kilobytes.
+struct ResourceUsage {
+  double user_ms = 0;
+  double sys_ms = 0;
+  uint64_t maxrss_kb = 0;  // peak resident set; not a delta-able counter
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
+  uint64_t vol_ctx_switches = 0;
+  uint64_t invol_ctx_switches = 0;
+
+  double cpu_ms() const { return user_ms + sys_ms; }
+};
+
+// Self + reaped-children usage for one engine run.
+struct RunResourceUsage {
+  bool sampled = false;  // false when obs is disabled
+  ResourceUsage self;
+  ResourceUsage children;  // forked workers reaped during the run
+};
+
+// Converts a raw wait4/getrusage result.
+ResourceUsage FromRusage(const struct rusage& ru);
+
+// Samples RUSAGE_SELF and RUSAGE_CHILDREN. Returns sampled=false (all zeros)
+// when obs is disabled, so callers can sample unconditionally.
+RunResourceUsage SampleRunResources();
+
+// end - start for the counters; maxrss keeps the end-of-run peak.
+ResourceUsage UsageDelta(const ResourceUsage& end, const ResourceUsage& start);
+RunResourceUsage RunResourceDelta(const RunResourceUsage& end,
+                                  const RunResourceUsage& start);
+
+// {"user_ms","sys_ms","maxrss_kb","minor_faults","major_faults",
+//  "vol_ctx_switches","invol_ctx_switches"}
+void AppendResourceUsageJson(JsonWriter& w, const ResourceUsage& u);
+
+}  // namespace obs
+}  // namespace symple
+
+#endif  // SYMPLE_OBS_RESOURCE_H_

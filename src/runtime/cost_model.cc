@@ -31,6 +31,20 @@ ClusterConfig ClusterConfig::LargeSharedCluster() {
   return c;
 }
 
+ClusterConfig ClusterConfig::LocalMachine(int map_slots, int reduce_slots) {
+  ClusterConfig c;
+  c.nodes = 1;
+  c.cores_per_node = map_slots > 0 ? map_slots : 1;
+  // The datasets are generated in memory: reads and shuffle transfers move at
+  // memory speed, so the modeled read/network terms collapse to ~0 and the
+  // prediction is dominated by the measured CPU terms.
+  c.read_mbps_per_node = 64000;
+  c.net_mbps_per_node = 64000;
+  c.job_overhead_s = 0;
+  c.reducers = reduce_slots > 0 ? reduce_slots : 1;
+  return c;
+}
+
 LatencyBreakdown EstimateLatency(const EngineStats& stats, const ClusterConfig& config,
                                  double cpu_scale, double bytes_scale) {
   LatencyBreakdown out;
@@ -58,6 +72,42 @@ LatencyBreakdown EstimateLatency(const EngineStats& stats, const ClusterConfig& 
       std::min<double>(config.reducers * config.cores_per_node, groups);
   out.reduce_s = reduce_cpu_s / std::max(reduce_slots, 1.0);
   return out;
+}
+
+namespace {
+
+double ErrorPct(double predicted, double measured) {
+  if (measured <= 0) {
+    return 0;
+  }
+  return (predicted - measured) / measured * 100.0;
+}
+
+}  // namespace
+
+obs::ModelErrorReport ValidateCostModel(const EngineStats& stats,
+                                        size_t map_slots, size_t reduce_slots) {
+  obs::ModelErrorReport r;
+  if (stats.total_wall_ms <= 0) {
+    return r;  // nothing measured; keep present=false
+  }
+  const ClusterConfig local = ClusterConfig::LocalMachine(
+      static_cast<int>(map_slots), static_cast<int>(reduce_slots));
+  const LatencyBreakdown predicted = EstimateLatency(stats, local);
+  r.present = true;
+  r.predicted_map_ms = predicted.map_s * 1e3;
+  r.predicted_shuffle_ms = predicted.shuffle_s * 1e3;
+  r.predicted_reduce_ms = predicted.reduce_s * 1e3;
+  r.predicted_total_ms = predicted.total_s() * 1e3;
+  r.measured_map_ms = stats.map_wall_ms;
+  r.measured_shuffle_ms = stats.shuffle_wall_ms;
+  r.measured_reduce_ms = stats.reduce_wall_ms;
+  r.measured_total_ms = stats.total_wall_ms;
+  r.map_error_pct = ErrorPct(r.predicted_map_ms, r.measured_map_ms);
+  r.shuffle_error_pct = ErrorPct(r.predicted_shuffle_ms, r.measured_shuffle_ms);
+  r.reduce_error_pct = ErrorPct(r.predicted_reduce_ms, r.measured_reduce_ms);
+  r.total_error_pct = ErrorPct(r.predicted_total_ms, r.measured_total_ms);
+  return r;
 }
 
 }  // namespace symple

@@ -45,6 +45,12 @@ struct ClusterConfig {
 
   static ClusterConfig AmazonEmr(int nodes);
   static ClusterConfig LargeSharedCluster();
+  // The machine the engines actually ran on: one node whose map/reduce slots
+  // match the engine options, in-memory "storage" and "network", and no job
+  // scheduling overhead. Feeding this back into EstimateLatency predicts the
+  // local run itself, which is what the model_error validation compares
+  // against the measured stage walls.
+  static ClusterConfig LocalMachine(int map_slots, int reduce_slots);
 };
 
 struct LatencyBreakdown {
@@ -59,6 +65,14 @@ struct LatencyBreakdown {
 // (both engines scale identically, so ratios are unaffected).
 LatencyBreakdown EstimateLatency(const EngineStats& stats, const ClusterConfig& config,
                                  double cpu_scale = 1.0, double bytes_scale = 1.0);
+
+// Cost-model validation (RunReport "model_error"): runs EstimateLatency with
+// the LocalMachine config and puts the predicted per-stage breakdown next to
+// the measured stage walls. Tracked by benches to catch calibration drift:
+// a model that stops predicting the machine it runs on cannot be trusted to
+// extrapolate to the paper's clusters.
+obs::ModelErrorReport ValidateCostModel(const EngineStats& stats,
+                                        size_t map_slots, size_t reduce_slots);
 
 }  // namespace symple
 

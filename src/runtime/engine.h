@@ -58,6 +58,9 @@
 #include "core/summary.h"
 #include "core/value_codec.h"
 #include "obs/report.h"
+#include "obs/resource.h"
+#include "obs/timeline.h"
+#include "runtime/cost_model.h"
 #include "runtime/dataset.h"
 #include "runtime/engine_stats.h"
 #include "serialize/binary_io.h"
@@ -180,6 +183,28 @@ inline obs::RunReport MakeRunReport(const std::string& query,
         DegradeReasonName(static_cast<DegradeReason>(i)),
         stats.degrade_reasons[i]);
   }
+
+  // Run analyzer: rusage deltas, cost-model calibration, and — when a tracer
+  // was attached — the span ring folded into the timeline model.
+  report.rusage = stats.rusage;
+  // The sequential engine runs one slot regardless of options; validating the
+  // model against the configured slot count would fabricate parallelism.
+  const bool sequential = engine_name == "sequential";
+  report.model_error = ValidateCostModel(stats, sequential ? 1 : options.map_slots,
+                                         sequential ? 1 : options.reduce_slots);
+  if (observer != nullptr && observer->tracer() != nullptr) {
+    obs::TimelineInputs in;
+    in.total_wall_ms = stats.total_wall_ms;
+    in.map_wall_ms = stats.map_wall_ms;
+    in.shuffle_wall_ms = stats.shuffle_wall_ms;
+    in.reduce_wall_ms = stats.reduce_wall_ms;
+    in.map_cpu_ms = stats.map_cpu_ms;
+    in.reduce_cpu_ms = stats.reduce_cpu_ms;
+    in.partition_skew = stats.partition_skew;
+    in.replayed_records = stats.replayed_records;
+    report.timeline = obs::BuildRunTimeline(observer->tracer()->Spans(),
+                                            observer->trace_pid(), in);
+  }
   return report;
 }
 
@@ -196,6 +221,19 @@ inline double MsSince(std::chrono::steady_clock::time_point start) {
                                                    start)
       .count();
 }
+
+// Samples getrusage at construction and folds the delta into EngineStats when
+// the run finishes. Free when obs is disabled (SampleRunResources no-ops).
+class ResourceScope {
+ public:
+  ResourceScope() : start_(obs::SampleRunResources()) {}
+  void Fold(EngineStats* stats) const {
+    stats->rusage = obs::RunResourceDelta(obs::SampleRunResources(), start_);
+  }
+
+ private:
+  obs::RunResourceUsage start_;
+};
 
 // Per-thread CPU time. Task CPU must be measured with the thread clock, not
 // wall time: when worker threads outnumber cores, wall time per task inflates
@@ -384,6 +422,7 @@ struct DegradeEvent {
   uint32_t segment_id = 0;
   DegradeReason reason = DegradeReason::kOther;
   std::string message;
+  double replay_ms = 0;  // time the reducer spent concretely replaying
 };
 
 struct DegradeAccounting {
@@ -395,13 +434,15 @@ struct DegradeAccounting {
   static constexpr size_t kMaxEvents = 64;
 
   void Record(uint32_t segment_id, DegradeReason reason,
-              std::string_view message, uint64_t replayed = 0) {
+              std::string_view message, uint64_t replayed = 0,
+              double replay_ms = 0) {
     std::lock_guard<std::mutex> lock(mu);
     ++degraded_segments;
     replayed_records += replayed;
     ++reasons[static_cast<size_t>(reason)];
     if (events.size() < kMaxEvents) {
-      events.push_back(DegradeEvent{segment_id, reason, std::string(message)});
+      events.push_back(
+          DegradeEvent{segment_id, reason, std::string(message), replay_ms});
     }
   }
 };
@@ -418,7 +459,7 @@ inline void FoldDegrades(DegradeAccounting& acct, EngineStats* stats,
   if (observer != nullptr) {
     for (const DegradeEvent& e : acct.events) {
       observer->OnSegmentDegraded(e.segment_id, DegradeReasonName(e.reason),
-                                  e.message);
+                                  e.message, e.replay_ms);
     }
   }
   acct.degraded_segments = 0;
@@ -440,6 +481,7 @@ RunResult<Query> RunSequential(const Dataset& data, const EngineOptions& options
 
   obs::RunObserver* observer = options.observer;
   const double obs_start = observer != nullptr ? observer->NowUs() : 0;
+  const internal::ResourceScope resources;
   const auto t0 = std::chrono::steady_clock::now();
   RunResult<Query> result;
   result.stats.input_bytes = data.TotalBytes();
@@ -464,6 +506,7 @@ RunResult<Query> RunSequential(const Dataset& data, const EngineOptions& options
   result.stats.total_wall_ms = internal::MsSince(t0);
   result.stats.map_wall_ms = result.stats.total_wall_ms;
   result.stats.map_cpu_ms = result.stats.total_wall_ms;
+  resources.Fold(&result.stats);
   if (observer != nullptr) {
     // The whole scan is one logical map task (mapper 0, no shuffle/reduce).
     obs::MapTaskObs t;
@@ -669,6 +712,8 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
     double end_us = 0;
     uint64_t groups = 0;
     uint64_t packets = 0;
+    uint64_t bytes = 0;          // serialized bytes of the runs consumed
+    uint64_t max_run_bytes = 0;  // heaviest single key run — skew attribution
     obs::HistogramSnapshot queue_wait_us;
   };
   const double obs_reduce_start = observer != nullptr ? observer->NowUs() : 0;
@@ -695,6 +740,8 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
           reduce_key(packets[run.first].key, packets + run.first, packets + run.last);
           ++ts.groups;
           ts.packets += run.last - run.first;
+          ts.bytes += run.bytes;
+          ts.max_run_bytes = std::max(ts.max_run_bytes, run.bytes);
         };
         if (schedule == ReduceSchedule::kStatic) {
           for (size_t k = r; k < runs.size(); k += slots) {
@@ -728,6 +775,8 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
       t.cpu_ms = task_stats[r].cpu_ms;
       t.groups = task_stats[r].groups;
       t.packets = task_stats[r].packets;
+      t.bytes = task_stats[r].bytes;
+      t.max_run_bytes = task_stats[r].max_run_bytes;
       t.queue_wait_us = task_stats[r].queue_wait_us;
       observer->OnReduceTask(t);
     }
@@ -928,9 +977,11 @@ void SympleReduceKey(const Dataset& data, ReduceMode mode,
   using State = typename Query::State;
   for (const auto* p = first; p != last; ++p) {
     const auto replay = [&](DegradeReason reason, std::string_view message) {
+      const auto replay_start = std::chrono::steady_clock::now();
       const uint64_t replayed =
           ReplaySegmentForKey<Query>(data, p->mapper_id, key, state);
-      acct->Record(p->mapper_id, reason, message, replayed);
+      acct->Record(p->mapper_id, reason, message, replayed,
+                   MsSince(replay_start));
     };
     if (p->blob.empty()) {
       replay(DegradeReason::kWireCorrupt, "empty segment blob at the reducer");
@@ -1057,6 +1108,7 @@ RunResult<Query> RunBaselineMapReduce(const Dataset& data,
   using State = typename Query::State;
   using Packet = internal::ShufflePacket<Key>;
 
+  const internal::ResourceScope resources;
   const auto t0 = std::chrono::steady_clock::now();
   RunResult<Query> result;
   result.stats.input_bytes = data.TotalBytes();
@@ -1097,6 +1149,7 @@ RunResult<Query> RunBaselineMapReduce(const Dataset& data,
       &result.stats, options.observer);
 
   result.stats.total_wall_ms = internal::MsSince(t0);
+  resources.Fold(&result.stats);
   return result;
 }
 
@@ -1108,6 +1161,7 @@ RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {
   using State = typename Query::State;
   using Packet = internal::ShufflePacket<Key>;
 
+  const internal::ResourceScope resources;
   const auto t0 = std::chrono::steady_clock::now();
   RunResult<Query> result;
   result.stats.input_bytes = data.TotalBytes();
@@ -1148,6 +1202,7 @@ RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {
   internal::FoldDegrades(degrades, &result.stats, options.observer);
 
   result.stats.total_wall_ms = internal::MsSince(t0);
+  resources.Fold(&result.stats);
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "core/exec_context.h"
 #include "obs/json.h"
 #include "obs/report.h"
+#include "obs/resource.h"
 
 namespace symple {
 
@@ -95,6 +96,10 @@ struct EngineStats {
   // Symbolic exploration counters summed over all map tasks.
   ExplorationStats exploration;
 
+  // OS resource deltas across the run (getrusage self + reaped children);
+  // sampled=false when obs is disabled (SYMPLE_OBS_DISABLE=1).
+  obs::RunResourceUsage rusage;
+
   double ThroughputMBps() const {
     if (total_wall_ms <= 0) {
       return 0;
@@ -124,6 +129,12 @@ struct EngineStats {
       out += " degraded_segments=" + std::to_string(degraded_segments) +
              " replayed_records=" + std::to_string(replayed_records) +
              " wire_corrupt_frames=" + std::to_string(wire_corrupt_frames);
+    }
+    if (rusage.sampled) {
+      out += " maxrss=" +
+             internal::FormatFixed(
+                 static_cast<double>(rusage.self.maxrss_kb) / 1024.0, 1) +
+             "MB";
     }
     return out;
   }
@@ -199,6 +210,13 @@ struct EngineStats {
     for (size_t i = 0; i < kDegradeReasonCount; ++i) {
       w.KV(DegradeReasonName(static_cast<DegradeReason>(i)), degrade_reasons[i]);
     }
+    w.EndObject();
+    w.Key("rusage").BeginObject();
+    w.KV("sampled", rusage.sampled);
+    w.Key("self");
+    obs::AppendResourceUsageJson(w, rusage.self);
+    w.Key("children");
+    obs::AppendResourceUsageJson(w, rusage.children);
     w.EndObject();
     w.Key("exploration").BeginObject();
     w.KV("runs", exploration.runs);

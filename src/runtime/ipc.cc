@@ -36,11 +36,11 @@ void ChildProcess::Kill(int sig) const {
   }
 }
 
-int ChildProcess::Reap() {
+int ChildProcess::Reap(struct rusage* usage) {
   SYMPLE_CHECK(pid_ > 0, "Reap() on an empty ChildProcess");
   int status = 0;
   for (;;) {
-    const pid_t r = ::waitpid(pid_, &status, 0);
+    const pid_t r = ::wait4(pid_, &status, 0, usage);
     if (r == pid_) {
       pid_ = -1;
       return status;
@@ -50,7 +50,7 @@ int ChildProcess::Reap() {
     }
     const pid_t pid = pid_;
     pid_ = -1;  // nothing more we can do with this handle
-    throw SympleIoError("waitpid(" + std::to_string(pid) +
+    throw SympleIoError("wait4(" + std::to_string(pid) +
                         ") failed: " + std::strerror(errno));
   }
 }

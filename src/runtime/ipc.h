@@ -11,6 +11,7 @@
 #ifndef SYMPLE_RUNTIME_IPC_H_
 #define SYMPLE_RUNTIME_IPC_H_
 
+#include <sys/resource.h>
 #include <sys/types.h>
 
 #include <cstddef>
@@ -77,9 +78,11 @@ class ChildProcess {
   }
 
   void Kill(int sig) const;
-  // Blocking waitpid (EINTR-retrying); returns the raw wait status and
-  // releases ownership. Throws SympleIoError if waitpid fails.
-  int Reap();
+  // Blocking wait4 (EINTR-retrying); returns the raw wait status and releases
+  // ownership. When `usage` is non-null it receives the child's rusage (CPU
+  // time, maxrss, faults) — the per-worker resource profile the run analyzer
+  // folds into MapTaskObs. Throws SympleIoError if wait4 fails.
+  int Reap(struct rusage* usage = nullptr);
   // Kill(SIGKILL) + Reap, ignoring errors. Safe on an invalid handle.
   void KillAndReap();
 

@@ -307,8 +307,13 @@ void RunForkedMapPhase(
 
   auto finalize_success = [&](WorkerState& w) {
     w.read_fd.Reset();
+    struct rusage worker_ru {};
+    bool have_rusage = false;
     if (w.child.valid()) {
-      w.child.Reap();  // all segments committed; exit status is moot
+      // All segments committed; exit status is moot. wait4 hands back the
+      // worker's own rusage — the per-worker resource profile.
+      w.child.Reap(&worker_ru);
+      have_rusage = true;
     }
     if (observer != nullptr) {
       obs::MapTaskObs t;
@@ -317,6 +322,11 @@ void RunForkedMapPhase(
       t.end_us = observer->NowUs();
       t.packets = w.packets;
       t.bytes = w.bytes;
+      if (have_rusage) {
+        const obs::ResourceUsage u = obs::FromRusage(worker_ru);
+        t.cpu_ms = u.cpu_ms();
+        t.maxrss_kb = u.maxrss_kb;
+      }
       observer->OnMapTask(t);
     }
   };
@@ -497,6 +507,9 @@ RunResult<Query> RunSympleForked(const Dataset& data, const EngineOptions& optio
   using State = typename Query::State;
   using Packet = internal::ShufflePacket<Key>;
 
+  // Children are reaped inside the run, so the RUSAGE_CHILDREN delta captures
+  // exactly this run's worker processes.
+  const internal::ResourceScope resources;
   const auto t0 = std::chrono::steady_clock::now();
   RunResult<Query> result;
   result.stats.input_bytes = data.TotalBytes();
@@ -538,6 +551,7 @@ RunResult<Query> RunSympleForked(const Dataset& data, const EngineOptions& optio
       &result.stats, options.observer);
   internal::FoldDegrades(degrades, &result.stats, options.observer);
   result.stats.total_wall_ms = internal::MsSince(t0);
+  resources.Fold(&result.stats);
   return result;
 }
 
@@ -550,6 +564,7 @@ RunResult<Query> RunBaselineForked(const Dataset& data,
   using State = typename Query::State;
   using Packet = internal::ShufflePacket<Key>;
 
+  const internal::ResourceScope resources;
   const auto t0 = std::chrono::steady_clock::now();
   RunResult<Query> result;
   result.stats.input_bytes = data.TotalBytes();
@@ -585,6 +600,7 @@ RunResult<Query> RunBaselineForked(const Dataset& data,
       },
       &result.stats, options.observer);
   result.stats.total_wall_ms = internal::MsSince(t0);
+  resources.Fold(&result.stats);
   return result;
 }
 

@@ -3,6 +3,8 @@
 // the ring cap, and golden JSON output of the writer/reporter.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "obs/trace.h"
 #include "queries/all_queries.h"
 #include "runtime/engine.h"
+#include "runtime/process_engine.h"
 
 namespace symple {
 namespace obs {
@@ -404,6 +407,144 @@ TEST(RunReport, IdleReduceTasksAreSuppressed) {
     reduce_spans += span.name == "reduce_task";
   }
   EXPECT_EQ(reduce_spans, 1u);
+}
+
+// Regression (forked engines): worker map spans are recorded by the *parent*
+// after reaping, so they must land on the parent tracer's epoch and the
+// observer's pid lane, with one tid lane per worker — never on a child-local
+// clock (which would place spans before the epoch or beyond "now").
+TEST(RunReport, ForkedWorkerSpansUseParentEpochAndLanes) {
+  std::vector<std::vector<std::string>> chunks(6);
+  for (size_t s = 0; s < chunks.size(); ++s) {
+    for (int i = 0; i < 200; ++i) {
+      chunks[s].push_back(std::to_string(static_cast<int>(s) * 1000 + i));
+    }
+  }
+  const Dataset data = DatasetFromLines(chunks);
+
+  Tracer tracer;
+  RunObserver observer("symple_forked", &tracer, /*trace_pid=*/4);
+  EngineOptions options;
+  options.map_slots = 2;
+  options.observer = &observer;
+  const auto forked = RunSympleForked<MaxQuery>(data, options);
+  ASSERT_FALSE(forked.outputs.empty());
+
+  const double now_us = tracer.NowUs();
+  size_t map_spans = 0;
+  std::vector<uint32_t> worker_tids;
+  for (const TraceSpan& s : tracer.Spans()) {
+    if (s.name != "map_task") {
+      continue;
+    }
+    ++map_spans;
+    EXPECT_EQ(s.pid, 4u);
+    // Parent-epoch normalization: inside [0, now] on the parent clock.
+    EXPECT_GE(s.start_us, 0.0);
+    EXPECT_GE(s.duration_us, 0.0);
+    EXPECT_LE(s.start_us + s.duration_us, now_us);
+    if (std::find(worker_tids.begin(), worker_tids.end(), s.tid) ==
+        worker_tids.end()) {
+      worker_tids.push_back(s.tid);
+    }
+  }
+  // One span per worker (2 slots, 6 segments => both workers busy), each on
+  // its own tid lane.
+  EXPECT_EQ(map_spans, 2u);
+  EXPECT_EQ(worker_tids.size(), 2u);
+
+  // The reaped workers' rusage feeds the map-task maxrss histogram.
+  RunReport report;
+  observer.FillReport(&report);
+  EXPECT_EQ(report.worker_maxrss_kb.count, 2u);
+  EXPECT_GT(report.worker_maxrss_kb.min, 0u);
+}
+
+// Trace-export validation: run all five engines against one tracer, parse the
+// emitted Chrome trace with the obs JSON reader, and assert every complete
+// event is numerically sane — no NaN, no negative duration, nothing outside
+// [epoch, now].
+TEST(RunReport, AllEngineTraceEventsAreSane) {
+  std::vector<std::vector<std::string>> chunks(6);
+  for (size_t s = 0; s < chunks.size(); ++s) {
+    for (int i = 0; i < 200; ++i) {
+      chunks[s].push_back(std::to_string(static_cast<int>(s) * 1000 + i));
+    }
+  }
+  const Dataset data = DatasetFromLines(chunks);
+
+  Tracer tracer;
+  {
+    RunObserver observer("sequential", &tracer, 1);
+    EngineOptions o;
+    o.observer = &observer;
+    RunSequential<MaxQuery>(data, o);
+  }
+  {
+    RunObserver observer("mapreduce", &tracer, 2);
+    EngineOptions o;
+    o.observer = &observer;
+    RunBaselineMapReduce<MaxQuery>(data, o);
+  }
+  {
+    RunObserver observer("symple", &tracer, 3);
+    EngineOptions o;
+    o.observer = &observer;
+    RunSymple<MaxQuery>(data, o);
+  }
+  {
+    RunObserver observer("symple_forked", &tracer, 4);
+    EngineOptions o;
+    o.map_slots = 2;
+    o.observer = &observer;
+    RunSympleForked<MaxQuery>(data, o);
+  }
+  {
+    RunObserver observer("mapreduce_forked", &tracer, 5);
+    EngineOptions o;
+    o.map_slots = 2;
+    o.observer = &observer;
+    RunBaselineForked<MaxQuery>(data, o);
+  }
+
+  const double now_us = tracer.NowUs();
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(tracer.ToChromeTraceJson(), &doc, &error)) << error;
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  size_t complete_events = 0;
+  std::vector<bool> engine_lane_seen(6, false);
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string_value != "X") {
+      continue;
+    }
+    ++complete_events;
+    const JsonValue* ts = e.Find("ts");
+    const JsonValue* dur = e.Find("dur");
+    const JsonValue* pid = e.Find("pid");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(dur, nullptr);
+    ASSERT_NE(pid, nullptr);
+    ASSERT_TRUE(ts->is_number());
+    ASSERT_TRUE(dur->is_number());
+    EXPECT_FALSE(std::isnan(ts->number));
+    EXPECT_FALSE(std::isnan(dur->number));
+    EXPECT_GE(ts->number, 0.0);
+    EXPECT_GE(dur->number, 0.0);
+    EXPECT_LE(ts->number + dur->number, now_us);
+    const size_t lane = static_cast<size_t>(pid->number);
+    ASSERT_GE(lane, 1u);
+    ASSERT_LE(lane, 5u);
+    engine_lane_seen[lane] = true;
+  }
+  EXPECT_GT(complete_events, 0u);
+  for (size_t lane = 1; lane <= 5; ++lane) {
+    EXPECT_TRUE(engine_lane_seen[lane]) << "no spans on engine lane " << lane;
+  }
 }
 
 TEST(RunReport, ObsEnabledReflectsEnvironment) {
