@@ -69,7 +69,7 @@ void CheckRunReport(const obs::JsonValue& report, bool expect_exploration) {
           "partition_skew", "summaries", "summary_paths",
           "throughput_mbps", "worker_retries", "worker_timeouts", "worker_crashes",
           "fallback_segments", "degraded_segments", "replayed_records",
-          "wire_corrupt_frames"}) {
+          "wire_corrupt_frames", "arena_bytes", "rehashes", "avg_probe_len"}) {
       RequireNumberKey(*totals, key);
     }
   }
@@ -207,6 +207,8 @@ int main() {
   seq_opts.observer = &seq_obs;
   const auto seq = RunSequential<G1OnlyPushes>(data, seq_opts);
   bench::BenchReport::AddRun("G1", "sequential", "1 thread", seq.stats);
+  Require(seq.stats.group_map.arena_bytes > 0,
+          "sequential grouping reports arena bytes");
   reports.push_back(MakeRunReport("G1", "sequential", seq_opts, seq.stats, &seq_obs));
 
   EngineOptions mr_opts;
@@ -314,6 +316,9 @@ int main() {
           RequireNumberKey(*stats, "shuffle_bytes");
           RequireNumberKey(*stats, "reduce_partitions");
           RequireNumberKey(*stats, "partition_skew");
+          RequireNumberKey(*stats, "arena_bytes");
+          RequireNumberKey(*stats, "rehashes");
+          RequireNumberKey(*stats, "avg_probe_len");
           RequireKey(*stats, "exploration");
         }
       }

@@ -59,6 +59,8 @@ struct Options {
   // Shuffle knobs (docs/shuffle.md). partitions 0 = auto (one per reduce slot).
   size_t reduce_partitions = 0;
   std::string reduce_schedule = "largest-first";  // or "static"
+  // Expected groups per map segment (docs/group_map.md); 0 = auto.
+  size_t group_capacity_hint = 0;
 };
 
 void PrintStats(const char* label, const symple::EngineStats& stats, bool ok) {
@@ -151,6 +153,7 @@ int RunQuery(const Options& options, symple::Dataset data) {
         options.summary_bytes_budget;
     engine_options.budgets.force_degrade = options.force_degrade;
     engine_options.reduce_partitions = options.reduce_partitions;
+    engine_options.group_capacity_hint = options.group_capacity_hint;
     engine_options.reduce_schedule = options.reduce_schedule == "static"
                                          ? ReduceSchedule::kStatic
                                          : ReduceSchedule::kLargestFirst;
@@ -309,6 +312,8 @@ int main(int argc, char** argv) {
       options.reduce_partitions = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (FlagValue(argc, argv, i, "--reduce-schedule", &value)) {
       options.reduce_schedule = value;
+    } else if (FlagValue(argc, argv, i, "--group-capacity-hint", &value)) {
+      options.group_capacity_hint = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (std::strcmp(argv[i], "--force-degrade") == 0) {
       options.force_degrade = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
@@ -346,7 +351,8 @@ int main(int argc, char** argv) {
                 "                 [--path-budget N] [--summary-bytes-budget N] "
                 "[--force-degrade]\n"
                 "                 [--reduce-partitions N] "
-                "[--reduce-schedule largest-first|static]\n"
+                "[--reduce-schedule largest-first|static] "
+                "[--group-capacity-hint N]\n"
                 "                 [--fault crash|hang|truncate|corrupt:"
                 "worker=<n|*>:frame=<k>]"
                 "\n\nqueries:\n");

@@ -38,6 +38,20 @@ if build/bench/bench_compare bench/fixtures/BENCH_gate_base.json \
   exit 1
 fi
 
+# --- group-table throughput gate ---------------------------------------------
+# Full-size flat-vs-node grouping sweep; the binary itself enforces >= 1.3x
+# insert throughput at 1M groups and exits nonzero below it. The fixture pair
+# pins bench_compare's verdicts on this report shape, mirroring the
+# bench_groupmap_compare_* ctest entries.
+(cd "$gate_dir" && ../../build/bench/bench_groupmap)
+build/bench/bench_compare bench/fixtures/BENCH_groupmap_base.json \
+  bench/fixtures/BENCH_groupmap_base.json >/dev/null
+if build/bench/bench_compare bench/fixtures/BENCH_groupmap_base.json \
+  bench/fixtures/BENCH_groupmap_regress.json >/dev/null; then
+  echo "ci.sh: bench_compare failed to flag the groupmap regression fixture" >&2
+  exit 1
+fi
+
 # --- bottleneck report -------------------------------------------------------
 # One skewed shuffle run with --explain so every CI log carries a current
 # critical-path / straggler / cost-model summary.

@@ -1,0 +1,145 @@
+// Bump-pointer arena for group payloads on the map/reduce hot path.
+//
+// The per-segment group tables used to pay one malloc per group (node-based
+// unordered_map). FlatGroupMap (core/flat_group_map.h) instead placement-
+// allocates every group payload out of an Arena: allocation is a pointer bump
+// inside a geometrically growing chunk list, payloads of one table are
+// contiguous-ish (cache friendly iteration), and teardown is O(chunks)
+// instead of O(groups) frees. Addresses are stable for the arena's lifetime —
+// the flat table can rehash its index without moving or copying payloads.
+//
+// The arena does not run destructors; owners that placed non-trivially-
+// destructible objects must destroy them before Reset()/destruction
+// (FlatGroupMap does).
+#ifndef SYMPLE_COMMON_ARENA_H_
+#define SYMPLE_COMMON_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace symple {
+
+class Arena {
+ public:
+  // First chunk size; chunks double up to kMaxChunkBytes. Oversized requests
+  // get a dedicated chunk and do not disturb the doubling schedule.
+  static constexpr size_t kMinChunkBytes = 4 * 1024;
+  static constexpr size_t kMaxChunkBytes = 1024 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `size` bytes aligned to `align` (a power of two). Never null;
+  // throws std::bad_alloc on exhaustion like operator new.
+  void* Allocate(size_t size, size_t align) {
+    if (size == 0) {
+      size = 1;  // distinct non-null pointers, mirroring operator new
+    }
+    uintptr_t p = (cursor_ + (align - 1)) & ~(static_cast<uintptr_t>(align) - 1);
+    if (p + size > limit_ || p + size < p) {
+      p = NewChunk(size, align);
+    }
+    cursor_ = p + size;
+    bytes_allocated_ += size;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Placement-constructs a T in the arena. The caller owns destruction.
+  template <typename T, typename... Args>
+  T* Create(Args&&... args) {
+    void* p = Allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  // Ensures at least `bytes` total are reserved, allocating any shortfall as
+  // one chunk. Callers with a capacity hint (FlatGroupMap::Reserve) use this
+  // to replace the doubling ramp's repeated mallocs with a single one.
+  void Reserve(size_t bytes) {
+    const uint64_t reserved = bytes_reserved();
+    if (reserved >= bytes) {
+      return;
+    }
+    Chunk c;
+    c.size = std::max(bytes - static_cast<size_t>(reserved), kMinChunkBytes);
+    c.data.reset(new uint8_t[c.size]);  // default-init: no zeroing pass
+    chunks_.push_back(std::move(c));
+    // Not made current: the normal NewChunk revisit loop reaches it when the
+    // bump pointer exhausts the chunks before it.
+  }
+
+  // Rewinds all bump pointers without releasing chunk memory: the next fill
+  // reuses the already-reserved chunks. This is the clear-and-reuse path for
+  // a group table processing segment after segment.
+  void Reset() {
+    next_chunk_ = 0;
+    cursor_ = 0;
+    limit_ = 0;
+    bytes_allocated_ = 0;
+    if (!chunks_.empty()) {
+      cursor_ = reinterpret_cast<uintptr_t>(chunks_[0].data.get());
+      limit_ = cursor_ + chunks_[0].size;
+      next_chunk_ = 1;
+    }
+  }
+
+  // Total payload bytes handed out since construction/Reset (the
+  // `arena_bytes` stat), and the memory actually reserved from the OS.
+  uint64_t bytes_allocated() const { return bytes_allocated_; }
+  uint64_t bytes_reserved() const {
+    uint64_t n = 0;
+    for (const Chunk& c : chunks_) {
+      n += c.size;
+    }
+    return n;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  // Slow path: advance to (or allocate) a chunk that fits `size` at `align`.
+  uintptr_t NewChunk(size_t size, size_t align) {
+    // After Reset, reserved chunks are revisited in order before growing.
+    while (next_chunk_ < chunks_.size()) {
+      const Chunk& c = chunks_[next_chunk_++];
+      const uintptr_t base = reinterpret_cast<uintptr_t>(c.data.get());
+      const uintptr_t p = (base + (align - 1)) & ~(static_cast<uintptr_t>(align) - 1);
+      if (p + size <= base + c.size) {
+        limit_ = base + c.size;
+        return p;
+      }
+    }
+    size_t chunk_size = chunks_.empty() ? kMinChunkBytes
+                                        : std::min(chunks_.back().size * 2, kMaxChunkBytes);
+    // Worst-case alignment padding must fit too.
+    if (chunk_size < size + align) {
+      chunk_size = size + align;
+    }
+    Chunk c;
+    c.data.reset(new uint8_t[chunk_size]);  // default-init: payloads are
+    c.size = chunk_size;                    // placement-constructed anyway
+    const uintptr_t base = reinterpret_cast<uintptr_t>(c.data.get());
+    chunks_.push_back(std::move(c));
+    next_chunk_ = chunks_.size();
+    limit_ = base + chunk_size;
+    return (base + (align - 1)) & ~(static_cast<uintptr_t>(align) - 1);
+  }
+
+  std::vector<Chunk> chunks_;
+  size_t next_chunk_ = 0;  // first reserved chunk not yet revisited post-Reset
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  uint64_t bytes_allocated_ = 0;
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_COMMON_ARENA_H_

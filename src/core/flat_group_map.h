@@ -1,0 +1,354 @@
+// Flat open-addressing group table for the map/reduce hot path.
+//
+// Every engine's per-segment GROUP BY used to live in std::unordered_map —
+// one malloc per group, pointer-chasing on every probe, and an iteration
+// order that changes with the hash seed and load factor. FlatGroupMap
+// replaces it with the layout that "Global Hash Tables Strike Back!"-style
+// measurements favor for parallel grouping:
+//
+//   * an open-addressing index: power-of-two capacity, linear probing,
+//     each bucket holding a 7-bit hash fingerprint (screened before any key
+//     comparison) next to the node pointer, so a probe step is one load and
+//     a hit costs two dependent memory accesses in total;
+//   * key + payload fused into one arena-resident node, so the key compare
+//     and the aggregate update touch the same cache line;
+//   * a dense node-pointer vector appended in FIRST-SEEN order — iteration
+//     is insertion-ordered and deterministic, which is the engines'
+//     output-ordering contract (docs/group_map.md);
+//   * nodes placement-allocated from a bump-pointer Arena (common/arena.h):
+//     no per-group malloc, stable addresses across rehashes (a rehash
+//     rebuilds only the bucket index), O(chunks) teardown.
+//
+// Group tables never erase, so there are no tombstones; Clear() destroys the
+// payloads, rewinds the arena, and blanks the index for reuse on the next
+// segment. Not thread-safe: each map task owns its table, exactly like the
+// unordered_map it replaces.
+#ifndef SYMPLE_CORE_FLAT_GROUP_MAP_H_
+#define SYMPLE_CORE_FLAT_GROUP_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/error.h"
+#include "core/value_codec.h"
+#include "serialize/binary_io.h"
+
+namespace symple {
+
+// splitmix64 finalizer: decorrelates std::hash results (identity for integers
+// in libstdc++) so sequential keys do not cluster in the probe sequence or
+// stride across shuffle partitions in lockstep with the partition count.
+inline uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Canonical group-key hash, shared by the group tables and the shuffle
+// partitioner: std::hash where it exists, FNV-1a over the key's canonical
+// ValueCodec encoding otherwise.
+template <typename Key>
+uint64_t HashGroupKey(const Key& key) {
+  if constexpr (requires { { std::hash<Key>{}(key) } -> std::convertible_to<size_t>; }) {
+    return MixHash64(static_cast<uint64_t>(std::hash<Key>{}(key)));
+  } else {
+    BinaryWriter w;
+    ValueCodec<Key>::Write(w, key);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const uint8_t b : w.buffer()) {
+      h = (h ^ b) * 0x100000001b3ull;
+    }
+    return MixHash64(h);
+  }
+}
+
+// Allocation/probing counters a table exposes so the run analyzer can
+// attribute grouping cost (threaded into EngineStats/RunReport).
+struct GroupMapStats {
+  uint64_t arena_bytes = 0;     // payload bytes bump-allocated
+  uint64_t rehashes = 0;        // index rebuilds since construction
+  uint64_t probe_lookups = 0;   // GetOrEmplace/Find calls
+  uint64_t probe_steps = 0;     // buckets inspected across those calls
+
+  double AvgProbeLen() const {
+    return probe_lookups > 0
+               ? static_cast<double>(probe_steps) / static_cast<double>(probe_lookups)
+               : 0.0;
+  }
+
+  GroupMapStats& operator+=(const GroupMapStats& o) {
+    arena_bytes += o.arena_bytes;
+    rehashes += o.rehashes;
+    probe_lookups += o.probe_lookups;
+    probe_steps += o.probe_steps;
+    return *this;
+  }
+};
+
+template <typename Key, typename Value>
+class FlatGroupMap {
+ public:
+  // Arena-resident node: key and payload are adjacent, so the hit path is
+  // one bucket load (fingerprint + node pointer together) followed by one
+  // node load that serves both the key comparison and the payload update —
+  // the same two dependent memory accesses a chaining table pays, without
+  // its per-group malloc.
+  struct Node {
+    Key key;
+    Value value;
+    template <typename... Args>
+    explicit Node(const Key& k, Args&&... args)
+        : key(k), value(std::forward<Args>(args)...) {}
+  };
+
+  // Iteration derefs the dense node-pointer vector: first-seen order.
+  class const_iterator {
+   public:
+    explicit const_iterator(const Node* const* p) : p_(p) {}
+    const Node& operator*() const { return **p_; }
+    const Node* operator->() const { return *p_; }
+    const_iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return p_ == o.p_; }
+    bool operator!=(const const_iterator& o) const { return p_ != o.p_; }
+
+   private:
+    const Node* const* p_;
+  };
+  class iterator {
+   public:
+    explicit iterator(Node* const* p) : p_(p) {}
+    Node& operator*() const { return **p_; }
+    Node* operator->() const { return *p_; }
+    iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return p_ == o.p_; }
+    bool operator!=(const iterator& o) const { return p_ != o.p_; }
+
+   private:
+    Node* const* p_;
+  };
+
+  FlatGroupMap() = default;
+  // Pre-sizes the index for `capacity_hint` groups (no rehash until the hint
+  // is exceeded) — the record-count-hint path of EngineOptions.
+  explicit FlatGroupMap(size_t capacity_hint) { Reserve(capacity_hint); }
+
+  FlatGroupMap(const FlatGroupMap&) = delete;
+  FlatGroupMap& operator=(const FlatGroupMap&) = delete;
+
+  ~FlatGroupMap() { DestroyNodes(); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // First-seen (insertion) order — the deterministic iteration contract.
+  const_iterator begin() const { return const_iterator(entries_.data()); }
+  const_iterator end() const {
+    return const_iterator(entries_.data() + entries_.size());
+  }
+  iterator begin() { return iterator(entries_.data()); }
+  iterator end() { return iterator(entries_.data() + entries_.size()); }
+  const std::vector<Node*>& entries() const { return entries_; }
+
+  // Grows the index so `n` groups fit without rehashing, and pre-sizes the
+  // arena so their nodes bump-allocate out of a single chunk.
+  void Reserve(size_t n) {
+    size_t cap = kMinCapacity;
+    // max load factor 7/8: grow while the usable slot count is below n.
+    while (cap - cap / 8 < n) {
+      cap <<= 1;
+    }
+    if (cap > capacity_) {
+      Rehash(cap);
+    }
+    entries_.reserve(n);
+    arena_.Reserve(n * sizeof(Node));
+  }
+
+  // Finds key's payload or placement-constructs Value(args...) in the arena.
+  // Returns {payload, inserted}. Pointers stay valid until Clear()/dtor.
+  template <typename... Args>
+  std::pair<Value*, bool> GetOrEmplace(const Key& key, Args&&... args) {
+    // capacity_ == 0 makes the threshold 0, so the first insert grows.
+    if (entries_.size() + 1 > capacity_ - capacity_ / 8) {
+      Rehash(capacity_ == 0 ? kMinCapacity : capacity_ << 1);
+    }
+    const uint64_t h = TableHash(key);
+    const uint64_t fp = Fingerprint(h);
+    const size_t mask = capacity_ - 1;
+    size_t i = h >> shift_;
+    uint64_t steps = 1;
+    for (;;) {
+      const Bucket b = buckets_[i];
+      if (b == kEmptyBucket) {
+        Node* n = arena_.template Create<Node>(key, std::forward<Args>(args)...);
+        buckets_[i] = PackBucket(fp, n);
+        entries_.push_back(n);
+        stats_.probe_lookups += 1;
+        stats_.probe_steps += steps;
+        return {&n->value, true};
+      }
+      if ((b >> kFpShift) == fp && NodeOf(b)->key == key) {
+        stats_.probe_lookups += 1;
+        stats_.probe_steps += steps;
+        return {&NodeOf(b)->value, false};
+      }
+      i = (i + 1) & mask;
+      ++steps;
+    }
+  }
+
+  // Returns key's payload, or nullptr.
+  Value* Find(const Key& key) const {
+    if (entries_.empty()) {
+      return nullptr;
+    }
+    const uint64_t h = TableHash(key);
+    const uint64_t fp = Fingerprint(h);
+    const size_t mask = capacity_ - 1;
+    size_t i = h >> shift_;
+    uint64_t steps = 1;
+    for (;;) {
+      const Bucket b = buckets_[i];
+      if (b == kEmptyBucket) {
+        stats_.probe_lookups += 1;
+        stats_.probe_steps += steps;
+        return nullptr;
+      }
+      if ((b >> kFpShift) == fp && NodeOf(b)->key == key) {
+        stats_.probe_lookups += 1;
+        stats_.probe_steps += steps;
+        return &NodeOf(b)->value;
+      }
+      i = (i + 1) & mask;
+      ++steps;
+    }
+  }
+
+  // Destroys all nodes, rewinds the arena, and blanks the index while
+  // keeping its capacity — the tombstone-free clear-and-reuse path for a
+  // table that processes segment after segment.
+  void Clear() {
+    DestroyNodes();
+    entries_.clear();
+    std::fill(buckets_.begin(), buckets_.end(), kEmptyBucket);
+    arena_.Reset();  // stats().arena_bytes re-derives as 0 from the rewind
+  }
+
+  // arena_bytes is derived on read rather than maintained per insert — the
+  // insert path is the hot loop and the arena already knows its total.
+  const GroupMapStats& stats() const {
+    stats_.arena_bytes = arena_.bytes_allocated();
+    return stats_;
+  }
+  uint64_t arena_reserved_bytes() const { return arena_.bytes_reserved(); }
+  size_t bucket_capacity() const { return capacity_; }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+
+  // A bucket is one 64-bit word: the node pointer in the low 56 bits and
+  // 0x80 | 7-bit fingerprint in the top byte (so occupied buckets are never
+  // zero). One probe step is a single load that yields both the screening
+  // byte and the node address, and the index stays at 8 bytes per bucket —
+  // half the random-access footprint of a padded {pointer, byte} pair.
+  // Linux/x86-64 and AArch64 user-space pointers fit in 56 bits; the
+  // static_assert plus the insert-time check below keep this honest.
+  using Bucket = uint64_t;
+  static constexpr Bucket kEmptyBucket = 0;
+  static constexpr int kFpShift = 56;
+  static constexpr uint64_t kPtrMask = (uint64_t{1} << kFpShift) - 1;
+  static_assert(sizeof(void*) <= 8, "FlatGroupMap packs pointers into 64 bits");
+
+  static Node* NodeOf(Bucket b) {
+    return reinterpret_cast<Node*>(static_cast<uintptr_t>(b & kPtrMask));
+  }
+  static Bucket PackBucket(uint64_t fp, Node* n) {
+    const uintptr_t p = reinterpret_cast<uintptr_t>(n);
+    SYMPLE_CHECK((static_cast<uint64_t>(p) & ~kPtrMask) == 0,
+                 "FlatGroupMap: node pointer exceeds 56 bits");
+    return (fp << kFpShift) | static_cast<uint64_t>(p);
+  }
+
+  // Table hash: Fibonacci (multiplicative) hashing over std::hash. One
+  // multiply instead of a multi-round finalizer — the hash sits on the
+  // critical load path of every record, and the measured difference on the
+  // grouping loop is ~4x at cache-resident sizes. The home bucket reads the
+  // HIGH bits (well-mixed under multiplication by an odd constant, and
+  // immune to power-of-two-strided keys that would alias under masked low
+  // bits); keys without std::hash fall back to the canonical-bytes hash.
+  static uint64_t TableHash(const Key& key) {
+    if constexpr (requires {
+                    { std::hash<Key>{}(key) } -> std::convertible_to<size_t>;
+                  }) {
+      return static_cast<uint64_t>(std::hash<Key>{}(key)) *
+             0x9E3779B97F4A7C15ull;
+    } else {
+      return HashGroupKey(key);
+    }
+  }
+
+  // High bit marks "occupied"; low 7 bits screen before any full key
+  // comparison. Taken from MIDDLE hash bits: the home bucket consumes the
+  // high bits, so fingerprints drawn from them would be identical across a
+  // probe cluster and screen nothing.
+  static uint64_t Fingerprint(uint64_t h) {
+    return 0x80u | ((h >> 33) & 0x7f);
+  }
+
+  void DestroyNodes() {
+    if constexpr (!std::is_trivially_destructible_v<Node>) {
+      for (Node* n : entries_) {
+        n->~Node();
+      }
+    }
+  }
+
+  // Rebuilds the bucket index at `new_capacity`. Nodes never move — only
+  // fingerprint/pointer buckets are re-placed, so payload pointers handed
+  // out by GetOrEmplace stay valid across growth.
+  void Rehash(size_t new_capacity) {
+    buckets_.assign(new_capacity, kEmptyBucket);
+    int log2_cap = 0;
+    while ((size_t{1} << log2_cap) < new_capacity) {
+      ++log2_cap;
+    }
+    shift_ = 64 - log2_cap;
+    const size_t mask = new_capacity - 1;
+    for (Node* n : entries_) {
+      const uint64_t h = TableHash(n->key);
+      size_t i = h >> shift_;
+      while (buckets_[i] != kEmptyBucket) {
+        i = (i + 1) & mask;
+      }
+      buckets_[i] = PackBucket(Fingerprint(h), n);
+    }
+    capacity_ = new_capacity;
+    if (!entries_.empty()) {
+      ++stats_.rehashes;  // growth while populated; initial sizing is free
+    }
+  }
+
+  std::vector<Bucket> buckets_;
+  std::vector<Node*> entries_;  // first-seen order
+  size_t capacity_ = 0;         // power of two (or 0 before first insert)
+  int shift_ = 64;              // home bucket = hash >> shift_
+  Arena arena_;
+  mutable GroupMapStats stats_;
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_CORE_FLAT_GROUP_MAP_H_

@@ -71,6 +71,9 @@ void RunReport::AppendJson(JsonWriter& w) const {
   w.KV("degraded_segments", totals.degraded_segments);
   w.KV("replayed_records", totals.replayed_records);
   w.KV("wire_corrupt_frames", totals.wire_corrupt_frames);
+  w.KV("arena_bytes", totals.arena_bytes);
+  w.KV("rehashes", totals.rehashes);
+  w.KV("avg_probe_len", totals.avg_probe_len);
   w.EndObject();
 
   w.Key("exploration");

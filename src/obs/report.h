@@ -64,6 +64,10 @@ struct RunTotals {
   uint64_t degraded_segments = 0;
   uint64_t replayed_records = 0;
   uint64_t wire_corrupt_frames = 0;
+  // Group-table counters (core/flat_group_map.h, docs/group_map.md).
+  uint64_t arena_bytes = 0;
+  uint64_t rehashes = 0;
+  double avg_probe_len = 0;
 };
 
 // One completed map task, reported by the engine after the task finished.

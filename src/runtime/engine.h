@@ -54,6 +54,7 @@
 #include "common/thread_pool.h"
 #include "common/text_key.h"
 #include "core/aggregator.h"
+#include "core/flat_group_map.h"
 #include "core/degrade.h"
 #include "core/summary.h"
 #include "core/value_codec.h"
@@ -122,6 +123,12 @@ struct EngineOptions {
   size_t reduce_partitions = 0;
   // Key-run dispatch policy across reduce workers.
   ReduceSchedule reduce_schedule = ReduceSchedule::kLargestFirst;
+  // Expected distinct groups per map segment: pre-sizes each segment's
+  // FlatGroupMap index (and the sequential engine's global table) so
+  // high-cardinality workloads do not rehash their way up from 16 buckets.
+  // 0 = auto: derived from the record-count hint, capped so low-cardinality
+  // workloads do not over-reserve (internal::ResolveGroupCapacityHint).
+  size_t group_capacity_hint = 0;
   // Symbolic exploration knobs (SYMPLE engine only).
   AggregatorOptions aggregator;
   // Symbolic→concrete degradation budgets (SYMPLE engines only).
@@ -163,6 +170,7 @@ inline obs::RunReport MakeRunReport(const std::string& query,
       {"reduce_schedule",
        options.reduce_schedule == ReduceSchedule::kStatic ? "static"
                                                           : "largest-first"},
+      {"group_capacity_hint", std::to_string(options.group_capacity_hint)},
       {"max_live_paths", std::to_string(options.aggregator.max_live_paths)},
       {"max_paths_per_record",
        std::to_string(options.aggregator.max_paths_per_record)},
@@ -275,35 +283,37 @@ uint64_t PacketBytes(const ShufflePacket<Key>& p) {
          VarUintSize(p.blob.size()) + p.blob.size();
 }
 
-// --- hash-partitioned shuffle ---------------------------------------------------
+// --- group-table sizing ---------------------------------------------------------
 
-// splitmix64 finalizer: decorrelates std::hash results (identity for integers
-// in libstdc++) so sequential keys do not all stride into adjacent partitions
-// in lockstep with the partition count.
-inline uint64_t MixHash64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
+// Resolves the per-table group capacity hint: an explicit
+// EngineOptions::group_capacity_hint wins; otherwise the record-count hint
+// (records the table will see — per segment for map tables, total for the
+// sequential engine) bounds the group count from above, capped so
+// low-cardinality workloads do not over-reserve index memory.
+inline constexpr size_t kDefaultGroupCapacity = 1024;
+inline constexpr size_t kMaxAutoGroupCapacity = 1 << 16;
+
+inline size_t ResolveGroupCapacityHint(size_t option_hint, uint64_t records_hint) {
+  if (option_hint > 0) {
+    return option_hint;
+  }
+  if (records_hint == 0) {
+    return kDefaultGroupCapacity;
+  }
+  return static_cast<size_t>(
+      std::min<uint64_t>(records_hint, kMaxAutoGroupCapacity));
 }
+
+// --- hash-partitioned shuffle ---------------------------------------------------
 
 // Stable partition routing: every packet of a key maps to the same partition,
 // so a key's full (mapper, record)-ordered run lives in exactly one partition.
-// Keys without std::hash are hashed over their serialized ValueCodec bytes.
+// HashGroupKey (core/flat_group_map.h) is the same splitmix64-finalized hash
+// the group tables probe with, so the partitioner and the tables agree on key
+// distribution.
 template <typename Key>
 size_t ShufflePartitionOf(const Key& key, size_t num_partitions) {
-  uint64_t h;
-  if constexpr (requires { { std::hash<Key>{}(key) } -> std::convertible_to<size_t>; }) {
-    h = static_cast<uint64_t>(std::hash<Key>{}(key));
-  } else {
-    BinaryWriter w;
-    ValueCodec<Key>::Write(w, key);
-    h = 0xcbf29ce484222325ull;  // FNV-1a over the canonical encoding
-    for (const uint8_t b : w.buffer()) {
-      h = (h ^ b) * 0x100000001b3ull;
-    }
-  }
-  return static_cast<size_t>(MixHash64(h) % num_partitions);
+  return static_cast<size_t>(HashGroupKey(key) % num_partitions);
 }
 
 // The mapper->reducer exchange: P lock-striped partitions that map tasks (or
@@ -316,10 +326,21 @@ class ShuffleBuffer {
  public:
   using Packet = ShufflePacket<Key>;
 
-  explicit ShuffleBuffer(size_t num_partitions)
+  // `expected_packets`, when nonzero, pre-reserves every partition's packet
+  // vector for its even share (plus slack for hash imbalance) so the build
+  // side does not reallocate its way up from empty on large shuffles.
+  explicit ShuffleBuffer(size_t num_partitions, uint64_t expected_packets = 0)
       : parts_(num_partitions == 0 ? 1 : num_partitions) {
+    const size_t per_part =
+        expected_packets > 0
+            ? static_cast<size_t>(expected_packets / parts_.size() +
+                                  expected_packets / (4 * parts_.size()) + 1)
+            : 0;
     for (auto& p : parts_) {
       p = std::make_unique<Partition>();
+      if (per_part > 0) {
+        p->packets.reserve(per_part);
+      }
     }
   }
 
@@ -486,7 +507,11 @@ RunResult<Query> RunSequential(const Dataset& data, const EngineOptions& options
   RunResult<Query> result;
   result.stats.input_bytes = data.TotalBytes();
 
-  std::unordered_map<Key, State> states;
+  // One global flat group table; the record-count hint for auto-sizing is the
+  // byte volume over a conservative record width (counting records up front
+  // would double-scan the input).
+  FlatGroupMap<Key, State> states(internal::ResolveGroupCapacityHint(
+      options.group_capacity_hint, data.TotalBytes() / 64));
   for (const std::string& segment : data.segments) {
     LineCursor cursor(segment);
     while (const auto line = cursor.Next()) {
@@ -496,13 +521,16 @@ RunResult<Query> RunSequential(const Dataset& data, const EngineOptions& options
         continue;
       }
       ++result.stats.parsed_records;
-      Query::Update(states[rec->first], rec->second);
+      Query::Update(*states.GetOrEmplace(rec->first).first, rec->second);
     }
   }
-  for (auto& [key, state] : states) {
-    result.outputs.emplace(key, Query::Result(state, key));
+  // First-seen table order; outputs are keyed (std::map), so the emitted map
+  // is key-ordered either way — see docs/group_map.md for the contract.
+  for (const auto& entry : states) {
+    result.outputs.emplace(entry.key, Query::Result(entry.value, entry.key));
   }
   result.stats.groups = states.size();
+  result.stats.group_map += states.stats();
   result.stats.total_wall_ms = internal::MsSince(t0);
   result.stats.map_wall_ms = result.stats.total_wall_ms;
   result.stats.map_cpu_ms = result.stats.total_wall_ms;
@@ -536,6 +564,8 @@ struct TaskStats {
   ExplorationStats exploration;
   uint64_t summaries = 0;
   uint64_t summary_paths = 0;
+  // Group-table allocation/probing counters (core/flat_group_map.h).
+  GroupMapStats group_map;
   // Task wall span on the observer clock; 0/0 when no observer is attached.
   double start_us = 0;
   double end_us = 0;
@@ -593,6 +623,7 @@ void RunMapPhase(size_t num_segments, size_t slots, MapTaskFn map_task,
     stats->summaries += ts.summaries;
     stats->summary_paths += ts.summary_paths;
     stats->shuffle_bytes += ts.bytes;
+    stats->group_map += ts.group_map;
     if (observer != nullptr) {
       obs::MapTaskObs t;
       t.mapper_id = static_cast<uint32_t>(m);
@@ -785,17 +816,21 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
 
 // One baseline map task: parse + groupby one segment, emitting textual
 // per-record rows batched per (mapper, key). Shared by the threaded and the
-// forked-process engines.
+// forked-process engines. Packets are emitted in the group table's
+// first-seen order (deterministic; docs/group_map.md), and the rows inside a
+// group buffer are in record order.
 template <typename Query>
 std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
-    const std::string& segment, uint32_t mapper_id, TaskStats* ts) {
+    const std::string& segment, uint32_t mapper_id, TaskStats* ts,
+    size_t capacity_hint = 0) {
   using Key = typename Query::Key;
   struct GroupBuffer {
     BinaryWriter rows;
     uint64_t first_record = 0;
     uint64_t count = 0;
   };
-  std::unordered_map<Key, GroupBuffer> groups;
+  FlatGroupMap<Key, GroupBuffer> groups(
+      ResolveGroupCapacityHint(capacity_hint, segment.size() / 64));
   LineCursor cursor(segment);
   uint64_t rid = 0;
   while (const auto line = cursor.Next()) {
@@ -806,20 +841,20 @@ std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
       continue;
     }
     ++ts->parsed;
-    auto [it, inserted] = groups.try_emplace(rec->first);
-    GroupBuffer& buf = it->second;
+    auto [buf, inserted] = groups.GetOrEmplace(rec->first);
     if (inserted) {
-      buf.first_record = record_id;
+      buf->first_record = record_id;
     }
-    ++buf.count;
-    TextKeyCodec<Key>::Write(buf.rows, rec->first);
-    Query::SerializeEvent(rec->second, buf.rows);
+    ++buf->count;
+    TextKeyCodec<Key>::Write(buf->rows, rec->first);
+    Query::SerializeEvent(rec->second, buf->rows);
   }
   std::vector<ShufflePacket<Key>> out;
   out.reserve(groups.size());
-  for (auto& [key, buf] : groups) {
+  for (auto& entry : groups) {
+    GroupBuffer& buf = entry.value;
     ShufflePacket<Key> p;
-    p.key = key;
+    p.key = entry.key;
     p.mapper_id = mapper_id;
     p.record_id = buf.first_record;
     BinaryWriter w;
@@ -828,6 +863,7 @@ std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
     p.blob = w.TakeBuffer();
     out.push_back(std::move(p));
   }
+  ts->group_map += groups.stats();
   return out;
 }
 
@@ -839,7 +875,7 @@ std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
 template <typename Query>
 std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
     const std::string& segment, uint32_t mapper_id, const AggregatorOptions& options,
-    const DegradeBudgets& budgets, TaskStats* ts) {
+    const DegradeBudgets& budgets, TaskStats* ts, size_t capacity_hint = 0) {
   using Key = typename Query::Key;
   using State = typename Query::State;
   using UpdateFn = void (*)(State&, const typename Query::Event&);
@@ -853,7 +889,8 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
     DegradeReason reason = DegradeReason::kOther;
     std::string message;
   };
-  std::unordered_map<Key, GroupAgg> groups;
+  FlatGroupMap<Key, GroupAgg> groups(
+      ResolveGroupCapacityHint(capacity_hint, segment.size() / 64));
   LineCursor cursor(segment);
   uint64_t rid = 0;
   while (const auto line = cursor.Next()) {
@@ -864,8 +901,8 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
       continue;
     }
     ++ts->parsed;
-    auto [it, inserted] = groups.try_emplace(rec->first, options);
-    GroupAgg& group = it->second;
+    auto [group_ptr, inserted] = groups.GetOrEmplace(rec->first, options);
+    GroupAgg& group = *group_ptr;
     if (inserted) {
       group.first_record = record_id;
       if (budgets.force_degrade) {
@@ -897,10 +934,11 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
   }
   std::vector<ShufflePacket<Key>> out;
   out.reserve(groups.size());
-  for (auto& [key, group] : groups) {
+  for (auto& entry : groups) {
+    GroupAgg& group = entry.value;
     ts->exploration += group.agg.stats();
     ShufflePacket<Key> p;
-    p.key = key;
+    p.key = entry.key;
     p.mapper_id = mapper_id;
     p.record_id = group.first_record;
     if (!group.degraded) {
@@ -938,6 +976,7 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
     }
     out.push_back(std::move(p));
   }
+  ts->group_map += groups.stats();
   return out;
 }
 
@@ -1073,23 +1112,26 @@ std::vector<ShufflePacket<typename Query::Key>> DeferSegmentPackets(
     const std::string& segment, uint32_t segment_id, DegradeReason reason,
     std::string_view message) {
   using Key = typename Query::Key;
-  std::unordered_map<Key, uint64_t> first_record;
+  FlatGroupMap<Key, uint64_t> first_record(
+      ResolveGroupCapacityHint(0, segment.size() / 64));
   LineCursor cursor(segment);
   uint64_t rid = 0;
   while (const auto line = cursor.Next()) {
     const uint64_t record_id = rid++;
     auto rec = Query::Parse(*line);
     if (rec.has_value()) {
-      first_record.try_emplace(rec->first, record_id);
+      first_record.GetOrEmplace(rec->first, record_id);
     }
   }
+  // First-seen order: the markers leave the degrade path in the same
+  // deterministic order a healthy mapper would have emitted the packets.
   std::vector<ShufflePacket<Key>> out;
   out.reserve(first_record.size());
-  for (const auto& [key, record_id] : first_record) {
+  for (const auto& entry : first_record) {
     ShufflePacket<Key> p;
-    p.key = key;
+    p.key = entry.key;
     p.mapper_id = segment_id;
-    p.record_id = record_id;
+    p.record_id = entry.value;
     p.blob = MakeDeferredBlob(segment_id, reason, message);
     out.push_back(std::move(p));
   }
@@ -1118,11 +1160,19 @@ RunResult<Query> RunBaselineMapReduce(const Dataset& data,
   // record's (key, projected fields) row directly — Hadoop ships one KV
   // record per event, so each row carries the key again and shuffle
   // accounting reflects per-record cost.
-  auto map_task = [&data](uint32_t mapper_id,
-                          internal::TaskStats* ts) -> std::vector<Packet> {
-    return internal::BaselineMapSegment<Query>(data.segments[mapper_id], mapper_id, ts);
+  // Per-segment group capacity from the record-count hint (satellite of the
+  // flat-map swap: tables start sized instead of rehashing up from 16).
+  const size_t seg_hint = internal::ResolveGroupCapacityHint(
+      options.group_capacity_hint,
+      data.segment_count() > 0 ? result.stats.input_records / data.segment_count() : 0);
+  auto map_task = [&data, seg_hint](uint32_t mapper_id,
+                                    internal::TaskStats* ts) -> std::vector<Packet> {
+    return internal::BaselineMapSegment<Query>(data.segments[mapper_id], mapper_id,
+                                               ts, seg_hint);
   };
-  internal::ShuffleBuffer<Key> shuffle(internal::ResolveReducePartitions(options));
+  internal::ShuffleBuffer<Key> shuffle(
+      internal::ResolveReducePartitions(options),
+      data.segment_count() * std::min<size_t>(seg_hint, 4096));
   internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
                              &shuffle, &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
@@ -1171,12 +1221,19 @@ RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {
   // record feeds straight into its group's symbolic aggregator (no grouped
   // intermediate); one packet per (mapper, key) holds that mapper's ordered
   // symbolic summaries for the key.
-  auto map_task = [&data, &options](uint32_t mapper_id,
-                                    internal::TaskStats* ts) -> std::vector<Packet> {
+  const size_t seg_hint = internal::ResolveGroupCapacityHint(
+      options.group_capacity_hint,
+      data.segment_count() > 0 ? result.stats.input_records / data.segment_count() : 0);
+  auto map_task = [&data, &options, seg_hint](
+                      uint32_t mapper_id,
+                      internal::TaskStats* ts) -> std::vector<Packet> {
     return internal::SympleMapSegment<Query>(data.segments[mapper_id], mapper_id,
-                                             options.aggregator, options.budgets, ts);
+                                             options.aggregator, options.budgets,
+                                             ts, seg_hint);
   };
-  internal::ShuffleBuffer<Key> shuffle(internal::ResolveReducePartitions(options));
+  internal::ShuffleBuffer<Key> shuffle(
+      internal::ResolveReducePartitions(options),
+      data.segment_count() * std::min<size_t>(seg_hint, 4096));
   internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
                              &shuffle, &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);

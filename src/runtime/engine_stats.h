@@ -11,6 +11,7 @@
 
 #include "core/degrade.h"
 #include "core/exec_context.h"
+#include "core/flat_group_map.h"
 #include "obs/json.h"
 #include "obs/report.h"
 #include "obs/resource.h"
@@ -93,6 +94,13 @@ struct EngineStats {
   uint64_t wire_corrupt_frames = 0;
   uint64_t degrade_reasons[kDegradeReasonCount] = {};
 
+  // Group-table allocation/probing counters summed over all group tables the
+  // run built (per-segment map tables + the sequential engine's global one):
+  // arena bytes bump-allocated for payloads, index rebuilds while populated,
+  // and probe-length totals (docs/group_map.md). avg probe length near 1 =
+  // healthy table; climbing values mean clustering or under-sized hints.
+  GroupMapStats group_map;
+
   // Symbolic exploration counters summed over all map tasks.
   ExplorationStats exploration;
 
@@ -130,6 +138,13 @@ struct EngineStats {
              " replayed_records=" + std::to_string(replayed_records) +
              " wire_corrupt_frames=" + std::to_string(wire_corrupt_frames);
     }
+    if (group_map.arena_bytes > 0) {
+      out += " arena=" +
+             internal::FormatFixed(
+                 static_cast<double>(group_map.arena_bytes) / 1e6, 2) +
+             "MB rehashes=" + std::to_string(group_map.rehashes) +
+             " probe=" + internal::FormatFixed(group_map.AvgProbeLen(), 2);
+    }
     if (rusage.sampled) {
       out += " maxrss=" +
              internal::FormatFixed(
@@ -165,6 +180,9 @@ struct EngineStats {
     t.degraded_segments = degraded_segments;
     t.replayed_records = replayed_records;
     t.wire_corrupt_frames = wire_corrupt_frames;
+    t.arena_bytes = group_map.arena_bytes;
+    t.rehashes = group_map.rehashes;
+    t.avg_probe_len = group_map.AvgProbeLen();
     return t;
   }
 
@@ -206,6 +224,9 @@ struct EngineStats {
     w.KV("degraded_segments", degraded_segments);
     w.KV("replayed_records", replayed_records);
     w.KV("wire_corrupt_frames", wire_corrupt_frames);
+    w.KV("arena_bytes", group_map.arena_bytes);
+    w.KV("rehashes", group_map.rehashes);
+    w.KV("avg_probe_len", group_map.AvgProbeLen());
     w.Key("degrade_reasons").BeginObject();
     for (size_t i = 0; i < kDegradeReasonCount; ++i) {
       w.KV(DegradeReasonName(static_cast<DegradeReason>(i)), degrade_reasons[i]);

@@ -141,10 +141,16 @@ template <typename Key>
 ShufflePacket<Key> DeserializePacketFrame(BinaryReader& r) {
   ShufflePacket<Key> p;
   p.key = ValueCodec<Key>::Read(r);
-  p.mapper_id = static_cast<uint32_t>(r.ReadVarUint());
+  p.mapper_id = r.ReadVarUint32();
   p.record_id = r.ReadVarUint();
   const uint64_t blob_size = r.ReadVarUint();
-  SYMPLE_CHECK(blob_size <= r.remaining(), "packet blob size exceeds frame");
+  if (blob_size > r.remaining()) {
+    // A length claiming more than the u32-framed payload holds is corrupt
+    // wire data (SympleIoError taxonomy), never a silent truncation.
+    throw SympleWireError("packet blob size exceeds frame (" +
+                          std::to_string(blob_size) + " > " +
+                          std::to_string(r.remaining()) + " bytes)");
+  }
   p.blob.resize(blob_size);
   r.ReadBytes(p.blob.data(), p.blob.size());
   return p;
@@ -286,13 +292,13 @@ void RunForkedMapPhase(
       uint8_t type = 0;
       BinaryReader r = ValidateWorkerFrame(frame, &type);
       if (type == kFramePacket) {
-        const uint32_t seg = static_cast<uint32_t>(r.ReadVarUint());
+        const uint32_t seg = r.ReadVarUint32();
         if (std::find(w.pending.begin(), w.pending.end(), seg) == w.pending.end()) {
           throw SympleIoError("packet for a segment this worker does not own");
         }
         w.partial[seg].push_back(DeserializePacketFrame<Key>(r));
       } else if (type == kFrameSegmentDone) {
-        commit_segment(w, static_cast<uint32_t>(r.ReadVarUint()));
+        commit_segment(w, r.ReadVarUint32());
       } else if (type == kFrameStreamEnd) {
         if (!w.pending.empty()) {
           throw SympleIoError("stream end with incomplete segments");
@@ -515,11 +521,15 @@ RunResult<Query> RunSympleForked(const Dataset& data, const EngineOptions& optio
   result.stats.input_bytes = data.TotalBytes();
   result.stats.input_records = data.TotalRecords();
 
-  auto map_segment = [&options](const std::string& segment,
-                                uint32_t mapper_id) -> std::vector<Packet> {
+  // Resolved in the parent before any fork; the workers inherit the value.
+  const size_t seg_hint = internal::ResolveGroupCapacityHint(
+      options.group_capacity_hint,
+      data.segment_count() > 0 ? result.stats.input_records / data.segment_count() : 0);
+  auto map_segment = [&options, seg_hint](const std::string& segment,
+                                          uint32_t mapper_id) -> std::vector<Packet> {
     internal::TaskStats ts;  // per-process stats die with the worker
     return internal::SympleMapSegment<Query>(segment, mapper_id, options.aggregator,
-                                             options.budgets, &ts);
+                                             options.budgets, &ts, seg_hint);
   };
   // Replacement packets for a segment whose worker produced a corrupt
   // stream: deferred-replay markers, resolved concretely at the reducer.
@@ -570,10 +580,13 @@ RunResult<Query> RunBaselineForked(const Dataset& data,
   result.stats.input_bytes = data.TotalBytes();
   result.stats.input_records = data.TotalRecords();
 
-  auto map_segment = [](const std::string& segment,
-                        uint32_t mapper_id) -> std::vector<Packet> {
+  const size_t seg_hint = internal::ResolveGroupCapacityHint(
+      options.group_capacity_hint,
+      data.segment_count() > 0 ? result.stats.input_records / data.segment_count() : 0);
+  auto map_segment = [seg_hint](const std::string& segment,
+                                uint32_t mapper_id) -> std::vector<Packet> {
     internal::TaskStats ts;
-    return internal::BaselineMapSegment<Query>(segment, mapper_id, &ts);
+    return internal::BaselineMapSegment<Query>(segment, mapper_id, &ts, seg_hint);
   };
   internal::ShuffleBuffer<Key> shuffle(internal::ResolveReducePartitions(options));
   internal::RunForkedMapPhase<Key>(data, options, map_segment, &shuffle,

@@ -55,6 +55,14 @@ uint64_t BinaryReader::ReadVarUint() {
   }
 }
 
+uint32_t BinaryReader::ReadVarUint32() {
+  const uint64_t value = ReadVarUint();
+  if (value > UINT32_MAX) {
+    throw SympleWireError("BinaryReader: varint exceeds uint32 field");
+  }
+  return static_cast<uint32_t>(value);
+}
+
 int64_t BinaryReader::ReadVarInt() { return ZigzagDecode(ReadVarUint()); }
 
 uint8_t BinaryReader::ReadByte() {

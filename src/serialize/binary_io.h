@@ -48,6 +48,10 @@ class BinaryReader {
       : BinaryReader(buffer.data(), buffer.size()) {}
 
   uint64_t ReadVarUint();
+  // ReadVarUint bounded to fields with a u32 wire contract (segment/mapper
+  // ids, u32-framed lengths): a value above UINT32_MAX is corrupt or hostile
+  // wire data and throws SympleWireError instead of truncating silently.
+  uint32_t ReadVarUint32();
   int64_t ReadVarInt();
   bool ReadBool() { return ReadVarUint() != 0; }
   uint8_t ReadByte();

@@ -214,5 +214,86 @@ TEST(BinaryIo, RandomizedRoundTrip) {
   }
 }
 
+// --- u32-bounded fields (wire contract: frame lengths, segment/mapper ids) --------
+//
+// The forked engines frame everything with u32 sizes; a 64-bit varint that
+// exceeds that range is corrupt or hostile and must throw, never truncate to
+// the low 32 bits (which would silently mis-route packets or mis-size reads).
+
+TEST(BinaryIo, ReadVarUint32AcceptsFullU32Range) {
+  BinaryWriter w;
+  w.WriteVarUint(0);
+  w.WriteVarUint(127);
+  w.WriteVarUint(1ULL << 31);
+  w.WriteVarUint(UINT32_MAX);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadVarUint32(), 0u);
+  EXPECT_EQ(r.ReadVarUint32(), 127u);
+  EXPECT_EQ(r.ReadVarUint32(), 1u << 31);
+  EXPECT_EQ(r.ReadVarUint32(), UINT32_MAX);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIo, ReadVarUint32RejectsValuesAboveU32) {
+  for (const uint64_t value :
+       {static_cast<uint64_t>(UINT32_MAX) + 1, uint64_t{1} << 40,
+        uint64_t{UINT64_MAX}}) {
+    BinaryWriter w;
+    w.WriteVarUint(value);
+    BinaryReader r(w.buffer());
+    EXPECT_THROW(r.ReadVarUint32(), SympleWireError) << value;
+    // The failed read must not have truncated: re-reading as u64 still works.
+    BinaryReader r64(w.buffer());
+    EXPECT_EQ(r64.ReadVarUint(), value);
+  }
+}
+
+TEST(BinaryIo, ReadVarUint32ErrorIsAnIoError) {
+  // The wire error must stay catchable at the SympleIoError granularity the
+  // forked engines' degrade path uses.
+  BinaryWriter w;
+  w.WriteVarUint(1ULL << 33);
+  BinaryReader r(w.buffer());
+  EXPECT_THROW(r.ReadVarUint32(), SympleIoError);
+}
+
+TEST(BinaryIo, U64BoundaryVarintsRoundTrip) {
+  // Unsigned and signed extremes near the 2^32 and 2^63 boundaries.
+  const uint64_t unsigned_values[] = {
+      (1ULL << 32) - 1, 1ULL << 32, (1ULL << 32) + 1,
+      (1ULL << 63) - 1, 1ULL << 63, UINT64_MAX};
+  const int64_t signed_values[] = {
+      INT64_MIN, INT64_MIN + 1, -(1LL << 32), (1LL << 32), INT64_MAX - 1,
+      INT64_MAX};
+  BinaryWriter w;
+  for (uint64_t v : unsigned_values) {
+    w.WriteVarUint(v);
+  }
+  for (int64_t v : signed_values) {
+    w.WriteVarInt(v);
+  }
+  BinaryReader r(w.buffer());
+  for (uint64_t v : unsigned_values) {
+    EXPECT_EQ(r.ReadVarUint(), v);
+  }
+  for (int64_t v : signed_values) {
+    EXPECT_EQ(r.ReadVarInt(), v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIo, StringLengthNearU64MaxThrowsInsteadOfWrapping) {
+  // A length prefix whose pos_ + size would wrap around uint64 must be
+  // rejected by the remaining-bytes comparison, not read out of bounds.
+  for (const uint64_t length : {uint64_t{UINT64_MAX}, uint64_t{UINT64_MAX} - 7,
+                                static_cast<uint64_t>(UINT32_MAX) + 1}) {
+    BinaryWriter w;
+    w.WriteVarUint(length);
+    w.WriteBytes("abcdefgh", 8);  // real payload far smaller than claimed
+    BinaryReader r(w.buffer());
+    EXPECT_THROW(r.ReadString(), SympleWireError) << length;
+  }
+}
+
 }  // namespace
 }  // namespace symple

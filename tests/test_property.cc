@@ -12,10 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <string>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/flat_group_map.h"
 #include "core/symple.h"
 
 namespace symple {
@@ -322,6 +325,145 @@ TEST(PropertyRobustness, BitFlippedSummaryBytesNeverCrash) {
     } catch (const SympleError&) {
       // Rejected cleanly: fine.
     }
+  }
+}
+
+// --- FlatGroupMap vs std::unordered_map oracle ------------------------------------
+//
+// The arena-backed group table (core/flat_group_map.h) replaces unordered_map
+// on every engine hot path, so it is held to the node-based table's semantics:
+// same membership, same values, plus the stronger first-seen iteration order.
+
+// Payload with a destructor tally: the arena never runs destructors itself,
+// so FlatGroupMap must invoke them explicitly on Clear() and destruction.
+struct TrackedValue {
+  explicit TrackedValue(int64_t v) : sum(v) { ++live_count; }
+  ~TrackedValue() { --live_count; }
+  TrackedValue(const TrackedValue&) = delete;
+  TrackedValue& operator=(const TrackedValue&) = delete;
+  int64_t sum;
+  static int64_t live_count;
+};
+int64_t TrackedValue::live_count = 0;
+
+TEST(PropertyFlatGroupMap, RandomOpsMatchOracleAcrossClearAndReuse) {
+  SplitMix64 rng(0xF1A7F1A7);
+  FlatGroupMap<int64_t, int64_t> map;  // one table reused across all rounds
+  for (int round = 0; round < 8; ++round) {
+    std::unordered_map<int64_t, int64_t> oracle;
+    std::vector<int64_t> first_seen;
+    const uint64_t key_space = 1 + rng.Below(4000);  // varies dup density
+    const int ops = 1 + static_cast<int>(rng.Below(6000));
+    for (int op = 0; op < ops; ++op) {
+      const int64_t key = static_cast<int64_t>(rng.Below(key_space));
+      if (rng.Chance(1, 4)) {  // find (possibly absent)
+        const int64_t probe = static_cast<int64_t>(rng.Below(key_space * 2));
+        const int64_t* found = map.Find(probe);
+        auto it = oracle.find(probe);
+        ASSERT_EQ(found != nullptr, it != oracle.end()) << "membership diverged";
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+      } else {  // upsert-accumulate
+        const int64_t delta = rng.Range(-100, 100);
+        auto [slot, inserted] = map.GetOrEmplace(key, 0);
+        auto [it, oracle_inserted] = oracle.try_emplace(key, 0);
+        ASSERT_EQ(inserted, oracle_inserted) << "insert/update decision diverged";
+        *slot += delta;
+        it->second += delta;
+        if (inserted) {
+          first_seen.push_back(key);
+        }
+      }
+    }
+    ASSERT_EQ(map.size(), oracle.size());
+    size_t i = 0;
+    for (const auto& entry : map) {  // first-seen order + full-value sweep
+      ASSERT_LT(i, first_seen.size());
+      EXPECT_EQ(entry.key, first_seen[i]);
+      EXPECT_EQ(entry.value, oracle.at(entry.key));
+      ++i;
+    }
+    map.Clear();  // tombstone-free reuse: next round starts from empty
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.Find(first_seen.empty() ? 0 : first_seen[0]), nullptr);
+  }
+}
+
+TEST(PropertyFlatGroupMap, StringKeysMatchOracle) {
+  SplitMix64 rng(0xBEEF);
+  FlatGroupMap<std::string, uint64_t> map;
+  std::unordered_map<std::string, uint64_t> oracle;
+  for (int op = 0; op < 5000; ++op) {
+    std::string key = "k" + std::to_string(rng.Below(700));
+    if (rng.Chance(1, 8)) {
+      key.append(static_cast<size_t>(rng.Below(32)), 'x');  // varied lengths
+    }
+    auto [slot, inserted] = map.GetOrEmplace(key, 0);
+    auto [it, oracle_inserted] = oracle.try_emplace(key, 0);
+    ASSERT_EQ(inserted, oracle_inserted) << key;
+    ++*slot;
+    ++it->second;
+  }
+  ASSERT_EQ(map.size(), oracle.size());
+  for (const auto& entry : map) {
+    EXPECT_EQ(entry.value, oracle.at(entry.key));
+  }
+  EXPECT_EQ(map.Find("never-inserted"), nullptr);
+}
+
+TEST(PropertyFlatGroupMap, MergeMatchesOracle) {
+  // Segment-merge shape: fold N per-segment tables into one, the way the
+  // reduce phase folds mapper summaries keyed by group.
+  SplitMix64 rng(2026);
+  FlatGroupMap<int64_t, int64_t> merged;
+  std::unordered_map<int64_t, int64_t> oracle;
+  for (int segment = 0; segment < 6; ++segment) {
+    FlatGroupMap<int64_t, int64_t> part;
+    for (int op = 0; op < 2000; ++op) {
+      const int64_t key = static_cast<int64_t>(rng.Below(900));
+      *part.GetOrEmplace(key, 0).first += 1;
+    }
+    for (const auto& entry : part) {
+      *merged.GetOrEmplace(entry.key, 0).first += entry.value;
+      oracle[entry.key] += entry.value;
+    }
+  }
+  ASSERT_EQ(merged.size(), oracle.size());
+  for (const auto& entry : merged) {
+    EXPECT_EQ(entry.value, oracle.at(entry.key));
+  }
+}
+
+TEST(PropertyFlatGroupMap, PayloadDestructorsRunOnClearAndDestruction) {
+  ASSERT_EQ(TrackedValue::live_count, 0);
+  {
+    FlatGroupMap<int64_t, TrackedValue> map;
+    for (int64_t k = 0; k < 500; ++k) {
+      map.GetOrEmplace(k, k * 3);
+    }
+    EXPECT_EQ(TrackedValue::live_count, 500);
+    map.Clear();
+    EXPECT_EQ(TrackedValue::live_count, 0) << "Clear leaked payload destructors";
+    for (int64_t k = 0; k < 40; ++k) {  // reuse after Clear still constructs
+      map.GetOrEmplace(k, k);
+    }
+    EXPECT_EQ(TrackedValue::live_count, 40);
+  }
+  EXPECT_EQ(TrackedValue::live_count, 0) << "destructor leaked payloads";
+}
+
+TEST(PropertyFlatGroupMap, PayloadPointersStableAcrossGrowth) {
+  // Rehash rebuilds only the probe index; arena payloads must never move.
+  FlatGroupMap<int64_t, int64_t> map;
+  std::vector<int64_t*> slots;
+  for (int64_t k = 0; k < 20000; ++k) {
+    slots.push_back(map.GetOrEmplace(k, k).first);
+  }
+  EXPECT_GT(map.stats().rehashes, 0u) << "test never grew the table";
+  for (int64_t k = 0; k < 20000; ++k) {
+    EXPECT_EQ(map.Find(k), slots[static_cast<size_t>(k)]);
+    EXPECT_EQ(*slots[static_cast<size_t>(k)], k);
   }
 }
 
