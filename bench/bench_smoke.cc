@@ -69,7 +69,9 @@ void CheckRunReport(const obs::JsonValue& report, bool expect_exploration) {
           "partition_skew", "summaries", "summary_paths",
           "throughput_mbps", "worker_retries", "worker_timeouts", "worker_crashes",
           "fallback_segments", "degraded_segments", "replayed_records",
-          "wire_corrupt_frames", "arena_bytes", "rehashes", "avg_probe_len"}) {
+          "wire_corrupt_frames", "arena_bytes", "rehashes", "avg_probe_len",
+          "spill_runs", "spill_bytes", "spill_merge_ms",
+          "peak_tracked_bytes"}) {
       RequireNumberKey(*totals, key);
     }
   }
@@ -319,6 +321,10 @@ int main() {
           RequireNumberKey(*stats, "arena_bytes");
           RequireNumberKey(*stats, "rehashes");
           RequireNumberKey(*stats, "avg_probe_len");
+          RequireNumberKey(*stats, "spill_runs");
+          RequireNumberKey(*stats, "spill_bytes");
+          RequireNumberKey(*stats, "spill_merge_ms");
+          RequireNumberKey(*stats, "peak_tracked_bytes");
           RequireKey(*stats, "exploration");
         }
       }

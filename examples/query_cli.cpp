@@ -14,6 +14,8 @@
 //   $ ./query_cli G1 --engine forked --fault crash:worker=1:frame=100
 //                                                     # fault-injected recovery demo
 //   $ ./query_cli G3 --explain                        # per-run bottleneck report
+//   $ ./query_cli G1 --memory-budget 2m --spill-dir /tmp/spill
+//                                                     # budgeted run, spill to disk
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +63,9 @@ struct Options {
   std::string reduce_schedule = "largest-first";  // or "static"
   // Expected groups per map segment (docs/group_map.md); 0 = auto.
   size_t group_capacity_hint = 0;
+  // Memory-budgeted execution (docs/spill.md). 0 = untracked, never spill.
+  uint64_t memory_budget_bytes = 0;
+  std::string spill_dir;  // empty = TMPDIR or /tmp
 };
 
 void PrintStats(const char* label, const symple::EngineStats& stats, bool ok) {
@@ -100,6 +105,48 @@ void PrintDegrades(const symple::EngineStats& stats) {
                   static_cast<unsigned long long>(stats.degrade_reasons[i]));
     }
   }
+}
+
+void PrintSpill(const symple::EngineStats& stats) {
+  if (stats.spill_runs == 0) {
+    return;
+  }
+  std::printf("  spill:    %llu runs, %.2f MB on disk, merge %.1f ms, "
+              "peak tracked %.2f MB\n",
+              static_cast<unsigned long long>(stats.spill_runs),
+              static_cast<double>(stats.spill_bytes) / 1e6,
+              stats.spill_merge_ms,
+              static_cast<double>(stats.peak_tracked_bytes) / 1e6);
+}
+
+// Parses "256m", "4g", "100000" etc. into bytes; k/m/g suffixes are binary
+// (KiB/MiB/GiB). Returns false on an unparseable value.
+bool ParseByteSize(const std::string& value, uint64_t* out) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str()) {
+    return false;
+  }
+  uint64_t mult = 1;
+  if (*end != '\0') {
+    switch (*end | 0x20) {  // lowercase
+      case 'k': mult = 1ull << 10; break;
+      case 'm': mult = 1ull << 20; break;
+      case 'g': mult = 1ull << 30; break;
+      default: return false;
+    }
+    if (end[1] != '\0' && (end[1] | 0x20) != 'b') {
+      return false;
+    }
+    if (end[1] != '\0' && end[2] != '\0') {
+      return false;
+    }
+  }
+  *out = static_cast<uint64_t>(n) * mult;
+  return true;
 }
 
 bool WriteFile(const std::string& path, const std::string& content) {
@@ -154,6 +201,8 @@ int RunQuery(const Options& options, symple::Dataset data) {
     engine_options.budgets.force_degrade = options.force_degrade;
     engine_options.reduce_partitions = options.reduce_partitions;
     engine_options.group_capacity_hint = options.group_capacity_hint;
+    engine_options.memory_budget_bytes = options.memory_budget_bytes;
+    engine_options.spill_dir = options.spill_dir;
     engine_options.reduce_schedule = options.reduce_schedule == "static"
                                          ? ReduceSchedule::kStatic
                                          : ReduceSchedule::kLargestFirst;
@@ -176,11 +225,13 @@ int RunQuery(const Options& options, symple::Dataset data) {
     return RunSequential<Query>(data, opts);
   });
   PrintStats("sequential", seq.stats, false);
+  PrintSpill(seq.stats);
   if (options.engine == "all" || options.engine == "mapreduce") {
     const auto mr = run_engine("mapreduce", 2, [&](const EngineOptions& opts) {
       return RunBaselineMapReduce<Query>(data, opts);
     });
     PrintStats("mapreduce", mr.stats, mr.outputs == seq.outputs);
+    PrintSpill(mr.stats);
   }
   if (options.engine == "forked" || options.engine == "symple-forked") {
     const auto sym_forked =
@@ -188,6 +239,7 @@ int RunQuery(const Options& options, symple::Dataset data) {
           return RunSympleForked<Query>(data, opts);
         });
     PrintStats("sym-forked", sym_forked.stats, sym_forked.outputs == seq.outputs);
+    PrintSpill(sym_forked.stats);
     PrintWorkerFaults(sym_forked.stats);
     PrintDegrades(sym_forked.stats);
     if (sym_forked.outputs != seq.outputs) {
@@ -201,6 +253,7 @@ int RunQuery(const Options& options, symple::Dataset data) {
           return RunBaselineForked<Query>(data, opts);
         });
     PrintStats("mr-forked", mr_forked.stats, mr_forked.outputs == seq.outputs);
+    PrintSpill(mr_forked.stats);
     PrintWorkerFaults(mr_forked.stats);
     if (mr_forked.outputs != seq.outputs) {
       std::printf("ERROR: forked baseline diverged from the sequential semantics\n");
@@ -212,6 +265,7 @@ int RunQuery(const Options& options, symple::Dataset data) {
       return RunSymple<Query>(data, opts);
     });
     PrintStats("symple", sym.stats, sym.outputs == seq.outputs);
+    PrintSpill(sym.stats);
     PrintDegrades(sym.stats);
     std::printf("symbolic:   %llu groups, %llu summaries, %llu paths, "
                 "%llu runs, %llu merges, %llu restarts\n",
@@ -314,6 +368,14 @@ int main(int argc, char** argv) {
       options.reduce_schedule = value;
     } else if (FlagValue(argc, argv, i, "--group-capacity-hint", &value)) {
       options.group_capacity_hint = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argc, argv, i, "--memory-budget", &value)) {
+      if (!ParseByteSize(value, &options.memory_budget_bytes)) {
+        std::printf("bad --memory-budget '%s' (expected e.g. 500000, 64m, 2g)\n",
+                    value.c_str());
+        return 1;
+      }
+    } else if (FlagValue(argc, argv, i, "--spill-dir", &value)) {
+      options.spill_dir = value;
     } else if (std::strcmp(argv[i], "--force-degrade") == 0) {
       options.force_degrade = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
@@ -353,8 +415,10 @@ int main(int argc, char** argv) {
                 "                 [--reduce-partitions N] "
                 "[--reduce-schedule largest-first|static] "
                 "[--group-capacity-hint N]\n"
-                "                 [--fault crash|hang|truncate|corrupt:"
-                "worker=<n|*>:frame=<k>]"
+                "                 [--memory-budget N[k|m|g]] [--spill-dir DIR]\n"
+                "                 [--fault crash|hang|truncate|corrupt|"
+                "spill-enospc|spill-short-write|spill-corrupt:"
+                "worker=<n|*>:frame=<k|*>]"
                 "\n\nqueries:\n");
     for (const QueryInfo& info : AllQueryInfos()) {
       std::printf("  %-4s %-9s %s\n", info.id.c_str(), info.dataset.c_str(),

@@ -52,6 +52,21 @@ if build/bench/bench_compare bench/fixtures/BENCH_groupmap_base.json \
   exit 1
 fi
 
+# --- memory-budget / spill gate ----------------------------------------------
+# Full-size spill-vs-in-memory measurement; the binary itself enforces that
+# every budgeted engine spills, keeps peak_tracked_bytes under the budget, and
+# stays within 2.5x of the in-memory wall. The fixture pair pins
+# bench_compare's verdicts on this report shape, mirroring the
+# bench_spill_compare_* ctest entries.
+(cd "$gate_dir" && ../../build/bench/bench_spill)
+build/bench/bench_compare bench/fixtures/BENCH_spill_base.json \
+  bench/fixtures/BENCH_spill_base.json >/dev/null
+if build/bench/bench_compare bench/fixtures/BENCH_spill_base.json \
+  bench/fixtures/BENCH_spill_regress.json >/dev/null; then
+  echo "ci.sh: bench_compare failed to flag the spill regression fixture" >&2
+  exit 1
+fi
+
 # --- bottleneck report -------------------------------------------------------
 # One skewed shuffle run with --explain so every CI log carries a current
 # critical-path / straggler / cost-model summary.

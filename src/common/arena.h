@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/memory_budget.h"
+
 namespace symple {
 
 class Arena {
@@ -34,6 +36,27 @@ class Arena {
   Arena() = default;
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
+  ~Arena() {
+    if (budget_ != nullptr) {
+      budget_->Release(bytes_reserved());
+    }
+  }
+
+  // Attaches a run-wide tracker: chunk reservations charge it, chunk releases
+  // (Reset tail trim, destruction) give the bytes back. Attach before the
+  // first allocation; already-reserved chunks are charged immediately.
+  void SetMemoryBudget(MemoryBudget* budget) {
+    if (budget_ == budget) {
+      return;
+    }
+    if (budget_ != nullptr) {
+      budget_->Release(bytes_reserved());
+    }
+    budget_ = budget;
+    if (budget_ != nullptr) {
+      budget_->Charge(bytes_reserved());
+    }
+  }
 
   // Returns `size` bytes aligned to `align` (a power of two). Never null;
   // throws std::bad_alloc on exhaustion like operator new.
@@ -68,15 +91,30 @@ class Arena {
     Chunk c;
     c.size = std::max(bytes - static_cast<size_t>(reserved), kMinChunkBytes);
     c.data.reset(new uint8_t[c.size]);  // default-init: no zeroing pass
+    if (budget_ != nullptr) {
+      budget_->Charge(c.size);
+    }
     chunks_.push_back(std::move(c));
     // Not made current: the normal NewChunk revisit loop reaches it when the
     // bump pointer exhausts the chunks before it.
   }
 
-  // Rewinds all bump pointers without releasing chunk memory: the next fill
-  // reuses the already-reserved chunks. This is the clear-and-reuse path for
-  // a group table processing segment after segment.
+  // Rewinds the bump pointer into the first (reserved) chunk and releases
+  // every chunk the table grew beyond it. Keeping only chunks_[0] means a
+  // Reserve()d table reuses its one right-sized chunk for free, while a
+  // table that doubled its way up under load gives the growth back instead
+  // of pinning its worst-case footprint for its whole lifetime.
   void Reset() {
+    if (chunks_.size() > 1) {
+      if (budget_ != nullptr) {
+        uint64_t freed = 0;
+        for (size_t i = 1; i < chunks_.size(); ++i) {
+          freed += chunks_[i].size;
+        }
+        budget_->Release(freed);
+      }
+      chunks_.resize(1);
+    }
     next_chunk_ = 0;
     cursor_ = 0;
     limit_ = 0;
@@ -119,6 +157,21 @@ class Arena {
     }
     size_t chunk_size = chunks_.empty() ? kMinChunkBytes
                                         : std::min(chunks_.back().size * 2, kMaxChunkBytes);
+    // Under a budget, one doubling step must not eat the spill watermark's
+    // headroom (MemoryBudget::over() triggers at 3/4 of the limit precisely
+    // so that in-flight growth like this chunk stays under the line). Past
+    // the watermark the cap tightens further — a quarter of whatever room
+    // remains below the limit — so several tables growing concurrently under
+    // hard pressure cannot stack doubling steps into an over-budget peak.
+    if (budget_ != nullptr && budget_->limit_bytes() > 0) {
+      const uint64_t limit = budget_->limit_bytes();
+      const uint64_t tracked = budget_->tracked_bytes();
+      const uint64_t headroom = tracked < limit ? limit - tracked : 0;
+      const size_t cap = std::max<size_t>(
+          kMinChunkBytes,
+          std::min<uint64_t>(limit / 16, headroom / 4));
+      chunk_size = std::min(chunk_size, cap);
+    }
     // Worst-case alignment padding must fit too.
     if (chunk_size < size + align) {
       chunk_size = size + align;
@@ -126,6 +179,9 @@ class Arena {
     Chunk c;
     c.data.reset(new uint8_t[chunk_size]);  // default-init: payloads are
     c.size = chunk_size;                    // placement-constructed anyway
+    if (budget_ != nullptr) {
+      budget_->Charge(chunk_size);
+    }
     const uintptr_t base = reinterpret_cast<uintptr_t>(c.data.get());
     chunks_.push_back(std::move(c));
     next_chunk_ = chunks_.size();
@@ -138,6 +194,7 @@ class Arena {
   uintptr_t cursor_ = 0;
   uintptr_t limit_ = 0;
   uint64_t bytes_allocated_ = 0;
+  MemoryBudget* budget_ = nullptr;  // not owned; charged per chunk
 };
 
 }  // namespace symple

@@ -1,0 +1,81 @@
+// Tracked memory accounting against an engine-run budget.
+//
+// Nothing in the runtime used to bound memory: every group table, arena and
+// shuffle partition grew until the OS killed the process. MemoryBudget is the
+// accounting half of the fix (docs/spill.md): hot-path owners — Arena chunks,
+// FlatGroupMap bucket indexes, ShuffleBuffer packet bytes — charge what they
+// reserve and release what they free, all against one shared tracker per run.
+// The spill half reacts to over(): map segments flush their group tables into
+// the shuffle, and the shuffle writes sorted runs to disk, so tracked usage
+// comes back under the line instead of growing without bound.
+//
+// The budget is a *trigger threshold*, not a hard allocator limit: a charge
+// never fails (the chunk that crossed the line is already allocated), it just
+// makes over() true until enough bytes are released. peak_bytes() records the
+// high-water mark for the run report.
+#ifndef SYMPLE_COMMON_MEMORY_BUDGET_H_
+#define SYMPLE_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace symple {
+
+class MemoryBudget {
+ public:
+  // `limit_bytes` = EngineOptions::memory_budget_bytes; 0 means track-only
+  // (peak accounting without ever reporting over()).
+  explicit MemoryBudget(uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  uint64_t limit_bytes() const { return limit_; }
+
+  void Charge(uint64_t bytes) {
+    const uint64_t now =
+        tracked_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Lock-free high-water mark; racing updates keep the max.
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void Release(uint64_t bytes) {
+    tracked_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t tracked_bytes() const {
+    return tracked_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  // True when tracked usage has crossed the spill watermark — 3/4 of the
+  // budget, not the budget itself. Spilling is reactive (owners check every
+  // few records and a crossing charge has already happened), so triggering
+  // at the line would guarantee a peak above it; the headroom absorbs the
+  // in-flight growth between checks and keeps peak_bytes() under the budget
+  // the caller configured.
+  bool over() const {
+    return limit_ > 0 && tracked_bytes() >= limit_ - limit_ / 4;
+  }
+
+  // True when tracked usage has consumed the watermark's headroom too — the
+  // run is within limit/8 of the configured budget. over() lets one spiller
+  // drain while other producers keep going; when producers collectively
+  // outrun that spiller, critical() is the signal to stop racing and block
+  // on the spill lock (ShuffleBuffer::MaybeSpill), so the peak stays under
+  // the budget no matter how lopsided the producer/spiller ratio is.
+  bool critical() const {
+    return limit_ > 0 && tracked_bytes() >= limit_ - limit_ / 8;
+  }
+
+ private:
+  const uint64_t limit_;
+  std::atomic<uint64_t> tracked_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+}  // namespace symple
+
+#endif  // SYMPLE_COMMON_MEMORY_BUDGET_H_

@@ -29,9 +29,12 @@ enum class DegradeReason : uint8_t {
   kUnsupportedOp = 5,   // SymPred registry miss or similar
   kWireCorrupt = 6,     // checksum/canonical-form validation failure
   kOther = 7,           // any other SympleError caught at segment granularity
+  kMemoryBudget = 8,    // memory budget crossed and the segment could not
+                        // spill (docs/spill.md): state mid-symbolic-exploration
+                        // failed to serialize, or the spill disk failed twice
 };
 
-inline constexpr size_t kDegradeReasonCount = 8;
+inline constexpr size_t kDegradeReasonCount = 9;
 
 // Stable snake_case names used in RunReport JSON, metrics, and trace spans.
 inline const char* DegradeReasonName(DegradeReason reason) {
@@ -52,6 +55,8 @@ inline const char* DegradeReasonName(DegradeReason reason) {
       return "wire_corrupt";
     case DegradeReason::kOther:
       return "other";
+    case DegradeReason::kMemoryBudget:
+      return "memory_budget";
   }
   return "other";
 }

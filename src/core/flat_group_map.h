@@ -36,6 +36,7 @@
 
 #include "common/arena.h"
 #include "common/error.h"
+#include "common/memory_budget.h"
 #include "core/value_codec.h"
 #include "serialize/binary_io.h"
 
@@ -148,7 +149,30 @@ class FlatGroupMap {
   FlatGroupMap(const FlatGroupMap&) = delete;
   FlatGroupMap& operator=(const FlatGroupMap&) = delete;
 
-  ~FlatGroupMap() { DestroyNodes(); }
+  ~FlatGroupMap() {
+    DestroyNodes();
+    if (budget_ != nullptr) {
+      budget_->Release(capacity_ * sizeof(Bucket));
+    }
+  }
+
+  // Attaches a run-wide memory tracker (docs/spill.md): arena chunks and the
+  // bucket index charge it so the engines can see the table's footprint and
+  // trigger a spill-flush when the run crosses its budget. The dense entries_
+  // vector (8 bytes/group, a rounding error next to the nodes) is untracked.
+  void SetMemoryBudget(MemoryBudget* budget) {
+    if (budget_ == budget) {
+      return;
+    }
+    if (budget_ != nullptr) {
+      budget_->Release(capacity_ * sizeof(Bucket));
+    }
+    budget_ = budget;
+    if (budget_ != nullptr) {
+      budget_->Charge(capacity_ * sizeof(Bucket));
+    }
+    arena_.SetMemoryBudget(budget);
+  }
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
@@ -320,6 +344,10 @@ class FlatGroupMap {
   // fingerprint/pointer buckets are re-placed, so payload pointers handed
   // out by GetOrEmplace stay valid across growth.
   void Rehash(size_t new_capacity) {
+    if (budget_ != nullptr) {
+      budget_->Release(capacity_ * sizeof(Bucket));
+      budget_->Charge(new_capacity * sizeof(Bucket));
+    }
     buckets_.assign(new_capacity, kEmptyBucket);
     int log2_cap = 0;
     while ((size_t{1} << log2_cap) < new_capacity) {
@@ -347,6 +375,7 @@ class FlatGroupMap {
   int shift_ = 64;              // home bucket = hash >> shift_
   Arena arena_;
   mutable GroupMapStats stats_;
+  MemoryBudget* budget_ = nullptr;  // not owned; tracks index + arena bytes
 };
 
 }  // namespace symple

@@ -74,6 +74,10 @@ void RunReport::AppendJson(JsonWriter& w) const {
   w.KV("arena_bytes", totals.arena_bytes);
   w.KV("rehashes", totals.rehashes);
   w.KV("avg_probe_len", totals.avg_probe_len);
+  w.KV("spill_runs", totals.spill_runs);
+  w.KV("spill_bytes", totals.spill_bytes);
+  w.KV("spill_merge_ms", totals.spill_merge_ms);
+  w.KV("peak_tracked_bytes", totals.peak_tracked_bytes);
   w.EndObject();
 
   w.Key("exploration");

@@ -68,6 +68,11 @@ struct RunTotals {
   uint64_t arena_bytes = 0;
   uint64_t rehashes = 0;
   double avg_probe_len = 0;
+  // Memory-budgeted execution (docs/spill.md; see EngineStats).
+  uint64_t spill_runs = 0;
+  uint64_t spill_bytes = 0;
+  double spill_merge_ms = 0;
+  uint64_t peak_tracked_bytes = 0;
 };
 
 // One completed map task, reported by the engine after the task finished.

@@ -51,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/thread_pool.h"
 #include "common/text_key.h"
 #include "core/aggregator.h"
@@ -64,6 +65,7 @@
 #include "runtime/cost_model.h"
 #include "runtime/dataset.h"
 #include "runtime/engine_stats.h"
+#include "runtime/spill.h"
 #include "serialize/binary_io.h"
 
 namespace symple {
@@ -142,6 +144,16 @@ struct EngineOptions {
   int worker_timeout_ms = 30000;
   int worker_retry_limit = 2;
   int worker_retry_backoff_ms = 5;
+  // Memory-budgeted execution (docs/spill.md). When the run's tracked
+  // allocation — group-table arenas + bucket indexes + buffered shuffle
+  // packets — crosses memory_budget_bytes, map tasks flush their group
+  // tables into the shuffle and the shuffle moves sorted packet runs out to
+  // disk under spill_dir (TMPDIR / /tmp when empty), merging them back
+  // streaming at reduce time. Output stays byte-identical to the unbudgeted
+  // run. 0 = unlimited: memory is still tracked (peak_tracked_bytes) but
+  // nothing ever spills.
+  uint64_t memory_budget_bytes = 0;
+  std::string spill_dir;
   // Optional observability sink: when set, the engine reports one observation
   // per map/reduce task (and trace spans, when the observer carries a
   // Tracer). Null means zero instrumentation overhead beyond EngineStats.
@@ -182,6 +194,8 @@ inline obs::RunReport MakeRunReport(const std::string& query,
       {"max_summary_bytes_per_segment",
        std::to_string(options.budgets.max_summary_bytes_per_segment)},
       {"force_degrade", options.budgets.force_degrade ? "true" : "false"},
+      {"memory_budget_bytes", std::to_string(options.memory_budget_bytes)},
+      {"spill_dir", options.spill_dir},
   };
   report.totals = stats.ToRunTotals();
   report.exploration = stats.ToExplorationTotals();
@@ -283,6 +297,42 @@ uint64_t PacketBytes(const ShufflePacket<Key>& p) {
          VarUintSize(p.blob.size()) + p.blob.size();
 }
 
+// Conservative bound on a packet's non-key header (mapper, record id, blob
+// length prefix, and the row-count varint a baseline blob leads with). Used
+// by budgeted map tasks to pre-charge per-group flush overhead.
+inline constexpr uint64_t kPacketHeaderOverhead = 12;
+
+// Packet wire codec, shared by the forked-engine pipe protocol
+// (process_engine.h) and the spill-file block bodies: packets serialized
+// into either carrier are byte-identical.
+template <typename Key>
+void SerializePacketFrame(const ShufflePacket<Key>& p, BinaryWriter& w) {
+  ValueCodec<Key>::Write(w, p.key);
+  w.WriteVarUint(p.mapper_id);
+  w.WriteVarUint(p.record_id);
+  w.WriteVarUint(p.blob.size());
+  w.WriteBytes(p.blob.data(), p.blob.size());
+}
+
+template <typename Key>
+ShufflePacket<Key> DeserializePacketFrame(BinaryReader& r) {
+  ShufflePacket<Key> p;
+  p.key = ValueCodec<Key>::Read(r);
+  p.mapper_id = r.ReadVarUint32();
+  p.record_id = r.ReadVarUint();
+  const uint64_t blob_size = r.ReadVarUint();
+  if (blob_size > r.remaining()) {
+    // A length claiming more than the framed payload holds is corrupt wire
+    // data (SympleIoError taxonomy), never a silent truncation.
+    throw SympleWireError("packet blob size exceeds frame (" +
+                          std::to_string(blob_size) + " > " +
+                          std::to_string(r.remaining()) + " bytes)");
+  }
+  p.blob.resize(blob_size);
+  r.ReadBytes(p.blob.data(), p.blob.size());
+  return p;
+}
+
 // --- group-table sizing ---------------------------------------------------------
 
 // Resolves the per-table group capacity hint: an explicit
@@ -304,6 +354,34 @@ inline size_t ResolveGroupCapacityHint(size_t option_hint, uint64_t records_hint
       std::min<uint64_t>(records_hint, kMaxAutoGroupCapacity));
 }
 
+// Under a memory budget the table must not pre-reserve the budget away: the
+// capacity hint reserves `hint * sizeof(Node)` arena bytes plus the bucket
+// index up front — and the arena's first (reserved) chunk survives every
+// Reset, so an oversized hint would pin a tracked footprint above the
+// budget for the whole run and freeze every pass at its first check. Cap
+// the hint so the initial reservation is at most ~1/8 of the budget; the
+// table still grows (and the growth is released on Clear) if the groups
+// really materialize.
+inline size_t ClampHintToBudget(size_t hint, const MemoryBudget& budget,
+                                size_t bytes_per_group) {
+  if (budget.limit_bytes() == 0) {
+    return hint;
+  }
+  const size_t bpg = std::max<size_t>(bytes_per_group, 1);
+  uint64_t cap = std::max<uint64_t>(16, budget.limit_bytes() / 8 / bpg);
+  // A table constructed mid-run — a late map task while earlier tasks already
+  // sit at the spill watermark — must not land its whole reservation in one
+  // charge the spiller never saw coming: shrink the hint to half of whatever
+  // headroom is left below the watermark, down to a minimal table that grows
+  // (in budget-capped chunks) only if its groups really materialize.
+  const uint64_t watermark =
+      budget.limit_bytes() - budget.limit_bytes() / 4;
+  const uint64_t tracked = budget.tracked_bytes();
+  const uint64_t headroom = tracked < watermark ? watermark - tracked : 0;
+  cap = std::min(cap, std::max<uint64_t>(16, headroom / 2 / bpg));
+  return static_cast<size_t>(std::min<uint64_t>(hint, cap));
+}
+
 // --- hash-partitioned shuffle ---------------------------------------------------
 
 // Stable partition routing: every packet of a key maps to the same partition,
@@ -315,6 +393,234 @@ template <typename Key>
 size_t ShufflePartitionOf(const Key& key, size_t num_partitions) {
   return static_cast<size_t>(HashGroupKey(key) % num_partitions);
 }
+
+// --- spill-to-disk external aggregation (docs/spill.md) -------------------------
+
+// Map tasks flushing a group table mid-segment hand their packets to this
+// sink (the engine wires it to ShuffleBuffer::AddBatch); returns the batch's
+// serialized bytes for task accounting.
+template <typename Key>
+using PacketSink = std::function<uint64_t(std::vector<ShufflePacket<Key>>&&)>;
+
+// The on-disk half of the shuffle under a memory budget: per-partition
+// collections of sorted packet runs. Producers are map tasks (through
+// ShuffleBuffer::MaybeSpill) and the forked parent drain; the reduce stage
+// streams each partition back through MergePartition. Thread-safe for
+// concurrent SpillSortedRun calls; the temp directory is created lazily on
+// the first spill and removed — with any files still inside — when the
+// context is destroyed.
+template <typename Key>
+class SpillContext {
+ public:
+  using Packet = ShufflePacket<Key>;
+
+  SpillContext(MemoryBudget* budget, size_t num_partitions,
+               const std::string& dir_base)
+      : budget_(budget),
+        dir_base_(dir_base),
+        faults_(SpillFaultFromEnv()),
+        runs_(num_partitions == 0 ? 1 : num_partitions) {}
+
+  // Spilling is worth attempting only when a budget can actually trip, and
+  // stops after the disk has proven itself broken (two failed attempts).
+  bool enabled() const {
+    return budget_ != nullptr && budget_->limit_bytes() > 0 &&
+           !broken_.load(std::memory_order_relaxed);
+  }
+
+  // Writes `packets` — already sorted by the Section 5.4 packet order — as
+  // one run of partition `part`. Every run is verified by read-back while
+  // the packets are still in memory; a failed or corrupt file is discarded
+  // and the run retried once on a fresh file. Returns false when the retry
+  // also failed: the caller keeps the packets in memory (over budget beats
+  // wrong or lost results) and the context disables itself.
+  bool SpillSortedRun(size_t part, const std::vector<Packet>& packets) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      try {
+        if (TrySpill(part, packets)) {
+          return true;
+        }
+      } catch (const SympleError&) {
+        // enospc / short write: the attempt's TempFile was already unlinked
+        // by its destructor; fall through to the fresh-file retry.
+      }
+    }
+    broken_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+
+  bool has_runs(size_t part) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !runs_[part].empty();
+  }
+  uint64_t total_runs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t n = 0;
+    for (const auto& part : runs_) {
+      n += part.size();
+    }
+    return n;
+  }
+  uint64_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t n = 0;
+    for (const auto& part : runs_) {
+      for (const SpillRun& run : part) {
+        n += run.bytes;
+      }
+    }
+    return n;
+  }
+
+  // Streams partition `part` back in global (key, mapper, record) order: a
+  // k-way merge of the partition's on-disk runs and `mem`, its sorted
+  // in-memory remainder. Each key's packets are gathered into a scratch
+  // vector and handed to `fn(key, first, last)` — the same per-key contract
+  // the in-memory reduce uses, so downstream reduce code cannot tell a
+  // spilled partition from a resident one. Call only after all producers
+  // have quiesced.
+  template <typename Fn>
+  void MergePartition(size_t part, std::vector<Packet>&& mem, Fn&& fn) {
+    std::vector<std::unique_ptr<RunCursor>> cursors;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cursors.reserve(runs_[part].size());
+      for (const SpillRun& run : runs_[part]) {
+        cursors.push_back(std::make_unique<RunCursor>(run.file->path()));
+      }
+    }
+    size_t mem_pos = 0;
+    const auto pop_min = [&](Packet* out) {
+      const Packet* best = mem_pos < mem.size() ? &mem[mem_pos] : nullptr;
+      int best_cursor = -1;
+      for (size_t c = 0; c < cursors.size(); ++c) {
+        if (!cursors[c]->done() &&
+            (best == nullptr || cursors[c]->head() < *best)) {
+          best = &cursors[c]->head();
+          best_cursor = static_cast<int>(c);
+        }
+      }
+      if (best == nullptr) {
+        return false;
+      }
+      if (best_cursor < 0) {
+        *out = std::move(mem[mem_pos++]);
+      } else {
+        *out = std::move(cursors[best_cursor]->head());
+        cursors[best_cursor]->Pop();
+      }
+      return true;
+    };
+    std::vector<Packet> scratch;
+    Packet p;
+    while (pop_min(&p)) {
+      if (!scratch.empty() && !(scratch.front().key == p.key)) {
+        fn(scratch.front().key, scratch.data(), scratch.data() + scratch.size());
+        scratch.clear();
+      }
+      scratch.push_back(std::move(p));
+    }
+    if (!scratch.empty()) {
+      fn(scratch.front().key, scratch.data(), scratch.data() + scratch.size());
+    }
+  }
+
+ private:
+  struct SpillRun {
+    std::unique_ptr<TempFile> file;
+    uint64_t packets = 0;
+    uint64_t bytes = 0;  // on-disk bytes including block envelopes
+  };
+
+  // Buffered sequential reader over one run file: deserializes a block's
+  // packets at a time, exposing the head packet for the merge's min-scan.
+  class RunCursor {
+   public:
+    explicit RunCursor(const std::string& path) : reader_(path) { Refill(); }
+    bool done() const { return done_; }
+    Packet& head() { return buf_[pos_]; }
+    void Pop() {
+      if (++pos_ == buf_.size()) {
+        Refill();
+      }
+    }
+
+   private:
+    void Refill() {
+      buf_.clear();
+      pos_ = 0;
+      uint8_t type = 0;
+      std::vector<uint8_t> body;
+      while (buf_.empty()) {
+        if (!reader_.NextBlock(&type, &body)) {
+          done_ = true;
+          return;
+        }
+        if (type != kSpillBlockPackets) {
+          throw SympleWireError("unexpected spill block type in packet run");
+        }
+        BinaryReader r(body.data(), body.size());
+        while (!r.AtEnd()) {
+          buf_.push_back(DeserializePacketFrame<Key>(r));
+        }
+      }
+    }
+
+    SpillFileReader reader_;
+    std::vector<Packet> buf_;
+    size_t pos_ = 0;
+    bool done_ = false;
+  };
+
+  // One attempt: serialize into ~kSpillBlockTargetBytes blocks, then verify
+  // the whole file by read-back (the spill-corrupt detection point — the
+  // packets are still in memory, so a corrupt file costs a retry, never
+  // data). Returns false on verification failure; throws SympleIoError on a
+  // write failure. Either way the attempt's file never enters runs_.
+  bool TrySpill(size_t part, const std::vector<Packet>& packets) {
+    std::unique_ptr<TempFile> file;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (dir_ == nullptr) {
+        dir_ = std::make_unique<TempDir>(dir_base_);
+      }
+      file = std::make_unique<TempFile>(
+          dir_->path(), "run-" + std::to_string(file_seq_++) + ".spill");
+    }
+    SpillFileWriter writer(file.get(), &faults_);
+    BinaryWriter body;
+    for (const Packet& p : packets) {
+      SerializePacketFrame(p, body);
+      if (body.size() >= kSpillBlockTargetBytes) {
+        writer.WriteBlock(kSpillBlockPackets, body.buffer());
+        body.Clear();
+      }
+    }
+    if (body.size() > 0) {
+      writer.WriteBlock(kSpillBlockPackets, body.buffer());
+    }
+    file->CloseFd();
+    if (!VerifySpillFile(file->path(), writer.blocks_written())) {
+      return false;
+    }
+    SpillRun run;
+    run.packets = packets.size();
+    run.bytes = writer.bytes_written();
+    run.file = std::move(file);
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_[part].push_back(std::move(run));
+    return true;
+  }
+
+  MemoryBudget* budget_;
+  std::string dir_base_;
+  SpillFaultInjector faults_;
+  mutable std::mutex mu_;
+  std::unique_ptr<TempDir> dir_;  // lazy: no directory until the first spill
+  uint64_t file_seq_ = 0;
+  std::vector<std::vector<SpillRun>> runs_;
+  std::atomic<bool> broken_{false};
+};
 
 // The mapper->reducer exchange: P lock-striped partitions that map tasks (or
 // the forked-mode parent drain) route packets into as they emit. Each
@@ -344,42 +650,89 @@ class ShuffleBuffer {
     }
   }
 
+  ~ShuffleBuffer() {
+    if (budget_ != nullptr) {
+      uint64_t held = 0;
+      for (const auto& p : parts_) {
+        held += p->mem_bytes;
+      }
+      budget_->Release(held);
+    }
+  }
+
   size_t partition_count() const { return parts_.size(); }
+
+  // Attaches the run's memory tracker and disk spill target: Add/AddBatch
+  // charge buffered packet bytes against `budget`, and once it reports
+  // over(), the heaviest partition's buffered packets are sorted and moved
+  // out as an on-disk run (docs/spill.md). Call before any producer starts.
+  void EnableSpill(MemoryBudget* budget, SpillContext<Key>* spill) {
+    budget_ = budget;
+    spill_ = spill;
+  }
 
   // Routes one packet (single or low-contention producers, e.g. the forked
   // parent drain). `bytes` is the packet's PacketBytes, computed by the
   // caller which already needs it for shuffle accounting.
   void Add(Packet&& p, uint64_t bytes) {
     Partition& part = *parts_[ShufflePartitionOf(p.key, parts_.size())];
-    std::lock_guard<std::mutex> lock(part.mu);
-    part.bytes += bytes;
-    part.packets.push_back(std::move(p));
+    {
+      std::lock_guard<std::mutex> lock(part.mu);
+      part.bytes += bytes;
+      part.mem_bytes += bytes;
+      part.packets.push_back(std::move(p));
+    }
+    if (budget_ != nullptr) {
+      budget_->Charge(bytes);
+      MaybeSpill();
+    }
   }
 
   // Routes one map task's packets: buckets locally first, then takes each
   // touched partition's stripe lock exactly once (per-mapper sub-buckets
   // merged at the stripe, not a global lock). Returns the batch's total
   // serialized bytes for the caller's task accounting.
+  //
+  // Under a budget the batch lands in bounded slices (limit/64 each) with a
+  // charge + spill check between them: a mid-segment flush can hand over a
+  // batch worth a sizable fraction of the whole budget, and charging it in
+  // one step right at the watermark would spike the tracked peak past the
+  // budget before any spiller could react.
   uint64_t AddBatch(std::vector<Packet>&& batch) {
     const size_t num_parts = parts_.size();
-    std::vector<std::vector<size_t>> local(num_parts);
-    std::vector<uint64_t> local_bytes(num_parts, 0);
-    for (size_t i = 0; i < batch.size(); ++i) {
-      const size_t part = ShufflePartitionOf(batch[i].key, num_parts);
-      local[part].push_back(i);
-      local_bytes[part] += PacketBytes(batch[i]);
-    }
+    const uint64_t slice_limit =
+        budget_ != nullptr && budget_->limit_bytes() > 0
+            ? std::max<uint64_t>(budget_->limit_bytes() / 64, 4096)
+            : UINT64_MAX;
     uint64_t batch_bytes = 0;
-    for (size_t part = 0; part < num_parts; ++part) {
-      if (local[part].empty()) {
-        continue;
+    size_t i = 0;
+    while (i < batch.size()) {
+      std::vector<std::vector<size_t>> local(num_parts);
+      std::vector<uint64_t> local_bytes(num_parts, 0);
+      uint64_t slice_bytes = 0;
+      for (; i < batch.size() && slice_bytes < slice_limit; ++i) {
+        const size_t part = ShufflePartitionOf(batch[i].key, num_parts);
+        const uint64_t bytes = PacketBytes(batch[i]);
+        local[part].push_back(i);
+        local_bytes[part] += bytes;
+        slice_bytes += bytes;
       }
-      batch_bytes += local_bytes[part];
-      Partition& target = *parts_[part];
-      std::lock_guard<std::mutex> lock(target.mu);
-      target.bytes += local_bytes[part];
-      for (const size_t i : local[part]) {
-        target.packets.push_back(std::move(batch[i]));
+      for (size_t part = 0; part < num_parts; ++part) {
+        if (local[part].empty()) {
+          continue;
+        }
+        Partition& target = *parts_[part];
+        std::lock_guard<std::mutex> lock(target.mu);
+        target.bytes += local_bytes[part];
+        target.mem_bytes += local_bytes[part];
+        for (const size_t idx : local[part]) {
+          target.packets.push_back(std::move(batch[idx]));
+        }
+      }
+      batch_bytes += slice_bytes;
+      if (budget_ != nullptr) {
+        budget_->Charge(slice_bytes);
+        MaybeSpill();
       }
     }
     return batch_bytes;
@@ -400,9 +753,78 @@ class ShuffleBuffer {
   struct Partition {
     std::mutex mu;
     std::vector<Packet> packets;
-    uint64_t bytes = 0;
+    uint64_t bytes = 0;      // cumulative serialized bytes routed here
+    uint64_t mem_bytes = 0;  // bytes currently buffered (drops on spill)
   };
+
+  // Budget reaction: while tracked usage is over the line, sort and spill
+  // the partition holding the most buffered bytes. try_lock keeps exactly
+  // one spiller active without ever blocking the other producers; partitions
+  // under kMinSpillBytes are left alone (the pressure is elsewhere — e.g.
+  // map-side tables — and a run that small isn't worth a file).
+  static constexpr uint64_t kMinSpillBytes = 4096;
+  void MaybeSpill() {
+    if (spill_ == nullptr || !spill_->enabled() || !budget_->over()) {
+      return;
+    }
+    // Soft pressure (past the 3/4 watermark): one spiller drains while the
+    // other producers keep going. Hard pressure (within limit/8 of the
+    // budget): the producers have collectively outrun that one spiller, so
+    // they block on the spill lock instead — backpressure that bounds the
+    // tracked peak under the configured budget no matter how lopsided the
+    // producer/spiller speed ratio is. Callers hold no stripe lock here, so
+    // blocking cannot deadlock with the spiller's per-partition swaps.
+    std::unique_lock<std::mutex> spilling(spill_mu_, std::defer_lock);
+    if (budget_->critical()) {
+      spilling.lock();
+    } else if (!spilling.try_lock()) {
+      return;
+    }
+    while (budget_->over() && spill_->enabled()) {
+      size_t victim = parts_.size();
+      uint64_t victim_bytes = kMinSpillBytes;
+      for (size_t i = 0; i < parts_.size(); ++i) {
+        std::lock_guard<std::mutex> lock(parts_[i]->mu);
+        if (parts_[i]->mem_bytes >= victim_bytes) {
+          victim_bytes = parts_[i]->mem_bytes;
+          victim = i;
+        }
+      }
+      if (victim == parts_.size()) {
+        return;
+      }
+      Partition& part = *parts_[victim];
+      std::vector<Packet> local;
+      {
+        std::lock_guard<std::mutex> lock(part.mu);
+        local.swap(part.packets);
+        victim_bytes = part.mem_bytes;  // resample under the stripe lock
+        part.mem_bytes = 0;
+      }
+      std::sort(local.begin(), local.end());
+      if (spill_->SpillSortedRun(victim, local)) {
+        budget_->Release(victim_bytes);
+      } else {
+        // The disk failed twice: put the packets back and run over budget —
+        // the fault-injection contract is a successful (if unbounded) run.
+        std::lock_guard<std::mutex> lock(part.mu);
+        part.mem_bytes += victim_bytes;
+        if (part.packets.empty()) {
+          part.packets = std::move(local);
+        } else {
+          for (Packet& p : local) {
+            part.packets.push_back(std::move(p));
+          }
+        }
+        return;
+      }
+    }
+  }
+
   std::vector<std::unique_ptr<Partition>> parts_;
+  MemoryBudget* budget_ = nullptr;
+  SpillContext<Key>* spill_ = nullptr;
+  std::mutex spill_mu_;
 };
 
 // Partition count for an options struct: explicit value, or one partition per
@@ -422,16 +844,24 @@ inline constexpr uint8_t kSegmentSymbolic = 0;
 inline constexpr uint8_t kSegmentDeferred = 1;
 
 // DeferredConcrete marker: [kSegmentDeferred][varint segment_id][u8 reason]
-// [string message]. segment_id duplicates the packet's mapper_id as a
-// cross-check; the message preserves the original error for the run report.
+// [string message][varint start_record]. segment_id duplicates the packet's
+// mapper_id as a cross-check; the message preserves the original error for
+// the run report. start_record is the first record of the group's current
+// table incarnation: records before it already crossed the shuffle as
+// summaries when a memory budget flushed the table mid-segment
+// (docs/spill.md), so the reducer's concrete replay must start there. The
+// default 0 — replay the whole segment — is the pre-spill semantics every
+// other degrade path keeps.
 inline std::vector<uint8_t> MakeDeferredBlob(uint32_t segment_id,
                                              DegradeReason reason,
-                                             std::string_view message) {
+                                             std::string_view message,
+                                             uint64_t start_record = 0) {
   BinaryWriter w;
   w.WriteByte(kSegmentDeferred);
   w.WriteVarUint(segment_id);
   w.WriteByte(static_cast<uint8_t>(reason));
   w.WriteString(message);
+  w.WriteVarUint(start_record);
   return w.TakeBuffer();
 }
 
@@ -499,6 +929,7 @@ template <typename Query>
 RunResult<Query> RunSequential(const Dataset& data, const EngineOptions& options = {}) {
   using Key = typename Query::Key;
   using State = typename Query::State;
+  using Event = typename Query::Event;
 
   obs::RunObserver* observer = options.observer;
   const double obs_start = observer != nullptr ? observer->NowUs() : 0;
@@ -509,27 +940,184 @@ RunResult<Query> RunSequential(const Dataset& data, const EngineOptions& options
 
   // One global flat group table; the record-count hint for auto-sizing is the
   // byte volume over a conservative record width (counting records up front
-  // would double-scan the input).
-  FlatGroupMap<Key, State> states(internal::ResolveGroupCapacityHint(
-      options.group_capacity_hint, data.TotalBytes() / 64));
-  for (const std::string& segment : data.segments) {
-    LineCursor cursor(segment);
-    while (const auto line = cursor.Next()) {
-      ++result.stats.input_records;
-      auto rec = Query::Parse(*line);
-      if (!rec.has_value()) {
-        continue;
+  // would double-scan the input). The budget (docs/spill.md) tracks the
+  // table's arena + index bytes; with no limit configured it is track-only
+  // and the original single-pass loop below runs unchanged.
+  MemoryBudget budget(options.memory_budget_bytes);
+  FlatGroupMap<Key, State> states(internal::ClampHintToBudget(
+      internal::ResolveGroupCapacityHint(options.group_capacity_hint,
+                                         data.TotalBytes() / 64),
+      budget, sizeof(typename FlatGroupMap<Key, State>::Node) + 8));
+  states.SetMemoryBudget(&budget);
+  if (options.memory_budget_bytes == 0) {
+    for (const std::string& segment : data.segments) {
+      LineCursor cursor(segment);
+      while (const auto line = cursor.Next()) {
+        ++result.stats.input_records;
+        auto rec = Query::Parse(*line);
+        if (!rec.has_value()) {
+          continue;
+        }
+        ++result.stats.parsed_records;
+        Query::Update(*states.GetOrEmplace(rec->first).first, rec->second);
       }
-      ++result.stats.parsed_records;
-      Query::Update(*states.GetOrEmplace(rec->first).first, rec->second);
+    }
+    // First-seen table order; outputs are keyed (std::map), so the emitted
+    // map is key-ordered either way — see docs/group_map.md.
+    for (const auto& entry : states) {
+      result.outputs.emplace(entry.key, Query::Result(entry.value, entry.key));
+    }
+    result.stats.groups = states.size();
+  } else {
+    // Hybrid-hash external aggregation (docs/spill.md). When the budget
+    // trips, the groups already in the table are frozen in place — they
+    // keep aggregating — while records for unseen keys divert, in row form,
+    // to one of kSeqPartitions spill files; each file then becomes a pass
+    // of its own against an empty table. A diverted key is by construction
+    // never in the table, so passes retire disjoint key sets, every pass
+    // retires at least one group (termination), and each group still sees
+    // its records in input order — the merged output is byte-identical to
+    // the in-memory run. Partition routing shifts 3 fresh hash bits per
+    // recursion depth so a partition's keys re-split instead of re-colliding.
+    constexpr size_t kSeqPartitions = 8;
+    constexpr int kMaxDepth = 20;  // 3 bits per level in a 64-bit hash
+    internal::SpillFaultInjector faults(internal::SpillFaultFromEnv());
+    std::unique_ptr<internal::TempDir> spill_dir;
+    uint64_t file_seq = 0;
+    struct DivertPart {
+      std::unique_ptr<internal::RowSpillFile> file;
+      // Rows the disk refused after the in-place retry: processed as part
+      // of this partition's pass straight from memory, so a half-spilled
+      // key's rows never split across passes.
+      std::vector<uint8_t> overflow;
+    };
+    struct PassWork {
+      std::unique_ptr<internal::RowSpillFile> file;
+      std::vector<uint8_t> overflow;
+      int depth = 0;
+    };
+    std::vector<PassWork> work;
+    std::vector<DivertPart> divert;
+    bool disk_broken = false;  // spill dir/file creation failed; stay in memory
+    bool frozen = false;
+    int depth = 0;
+    uint64_t since_check = 0;
+    BinaryWriter row;
+
+    const auto process_row = [&](const Key& key, const Event& ev) {
+      if (frozen) {
+        if (State* s = states.Find(key)) {
+          Query::Update(*s, ev);
+          return;
+        }
+        const size_t part = static_cast<size_t>(
+            (HashGroupKey(key) >> (3 * depth)) & (kSeqPartitions - 1));
+        row.Clear();
+        ValueCodec<Key>::Write(row, key);
+        Query::SerializeEvent(ev, row);
+        divert[part].file->AppendRow(row.buffer().data(), row.size(),
+                                     &divert[part].overflow);
+        return;
+      }
+      Query::Update(*states.GetOrEmplace(key).first, ev);
+      if (++since_check >= 64) {
+        since_check = 0;
+        if (budget.over() && !disk_broken && depth < kMaxDepth) {
+          try {
+            if (spill_dir == nullptr) {
+              spill_dir = std::make_unique<internal::TempDir>(options.spill_dir);
+            }
+            std::vector<DivertPart> parts(kSeqPartitions);
+            for (auto& p : parts) {
+              p.file = std::make_unique<internal::RowSpillFile>(
+                  spill_dir->path(),
+                  "rows-" + std::to_string(file_seq++) + ".spill", &faults);
+            }
+            divert = std::move(parts);
+            frozen = true;
+          } catch (const SympleError&) {
+            // No spill location at all: finish in memory, over budget — the
+            // fault-injection contract is a successful run, not a bounded one.
+            disk_broken = true;
+            divert.clear();
+          }
+        }
+      }
+    };
+    const auto finish_pass = [&] {
+      for (auto& part : divert) {
+        part.file->Finish(&part.overflow);
+        if (part.file->has_blocks() || !part.overflow.empty()) {
+          part.file->CloseFd();
+          if (part.file->has_blocks()) {
+            result.stats.spill_runs += 1;
+            result.stats.spill_bytes += part.file->bytes_written();
+          }
+          work.push_back(PassWork{std::move(part.file), std::move(part.overflow),
+                                  depth + 1});
+        }
+      }
+      divert.clear();
+      frozen = false;
+      since_check = 0;
+      for (const auto& entry : states) {
+        result.outputs.emplace(entry.key, Query::Result(entry.value, entry.key));
+      }
+      result.stats.groups += states.size();
+      states.Clear();
+    };
+
+    // Pass 0: the raw dataset.
+    for (const std::string& segment : data.segments) {
+      LineCursor cursor(segment);
+      while (const auto line = cursor.Next()) {
+        ++result.stats.input_records;
+        auto rec = Query::Parse(*line);
+        if (!rec.has_value()) {
+          continue;
+        }
+        ++result.stats.parsed_records;
+        process_row(rec->first, rec->second);
+      }
+    }
+    finish_pass();
+
+    // Recursive passes over diverted rows (depth-first; order is irrelevant
+    // because pass key sets are disjoint and outputs are keyed). Rows were
+    // appended in input order — disk blocks first, then any overflow — so
+    // replaying file-then-overflow preserves each group's update order.
+    // Record counters are NOT bumped here: these rows were counted in pass 0.
+    while (!work.empty()) {
+      PassWork item = std::move(work.back());
+      work.pop_back();
+      depth = item.depth;
+      if (item.file->has_blocks()) {
+        internal::SpillFileReader reader(item.file->path());
+        uint8_t type = 0;
+        std::vector<uint8_t> body;
+        while (reader.NextBlock(&type, &body)) {
+          if (type != internal::kSpillBlockRows) {
+            throw SympleWireError("unexpected spill block type in row file");
+          }
+          BinaryReader r(body.data(), body.size());
+          while (!r.AtEnd()) {
+            const Key key = ValueCodec<Key>::Read(r);
+            const Event ev = Query::DeserializeEvent(r);
+            process_row(key, ev);
+          }
+        }
+      }
+      BinaryReader r(item.overflow.data(), item.overflow.size());
+      while (!r.AtEnd()) {
+        const Key key = ValueCodec<Key>::Read(r);
+        const Event ev = Query::DeserializeEvent(r);
+        process_row(key, ev);
+      }
+      finish_pass();
+      // item.file's TempFile unlinks here, as soon as the pass retires.
     }
   }
-  // First-seen table order; outputs are keyed (std::map), so the emitted map
-  // is key-ordered either way — see docs/group_map.md for the contract.
-  for (const auto& entry : states) {
-    result.outputs.emplace(entry.key, Query::Result(entry.value, entry.key));
-  }
-  result.stats.groups = states.size();
+  result.stats.peak_tracked_bytes = budget.peak_bytes();
   result.stats.group_map += states.stats();
   result.stats.total_wall_ms = internal::MsSince(t0);
   result.stats.map_wall_ms = result.stats.total_wall_ms;
@@ -602,11 +1190,13 @@ void RunMapPhase(size_t num_segments, size_t slots, MapTaskFn map_task,
         const double cpu0 = ThreadCpuMs();
         std::vector<ShufflePacket<Key>> packets =
             map_task(static_cast<uint32_t>(m), &ts);
-        ts.packets = packets.size();
+        // += not =: a budget-flushed task already accounted its mid-segment
+        // packets through the sink (docs/spill.md).
+        ts.packets += packets.size();
         // Route this mapper's packets into the hash partitions as they are
         // emitted (per-mapper sub-buckets merged at the stripe locks); byte
         // accounting happens here, in parallel, not on the coordinator.
-        ts.bytes = shuffle->AddBatch(std::move(packets));
+        ts.bytes += shuffle->AddBatch(std::move(packets));
         ts.cpu_ms = ThreadCpuMs() - cpu0;
         if (observer != nullptr) {
           ts.end_us = observer->NowUs();
@@ -651,6 +1241,11 @@ struct KeyRun {
   size_t first = 0;
   size_t last = 0;
   uint64_t bytes = 0;
+  // A spilled partition (docs/spill.md) dispatches as one unit: its keys
+  // stream out of the k-way disk merge, so they cannot be split into
+  // independently schedulable runs. first/last are unused; bytes is the
+  // whole partition's serialized weight.
+  bool spilled = false;
 };
 
 // The shuffle + reduce stage over hash-partitioned mapper output:
@@ -670,19 +1265,25 @@ struct KeyRun {
 template <typename Key, typename ReduceKeyFn>
 void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
                          ReduceSchedule schedule, ReduceKeyFn reduce_key,
-                         EngineStats* stats, obs::RunObserver* observer = nullptr) {
+                         EngineStats* stats, obs::RunObserver* observer = nullptr,
+                         SpillContext<Key>* spill = nullptr) {
   const size_t num_parts = shuffle.partition_count();
   const double obs_shuffle_start = observer != nullptr ? observer->NowUs() : 0;
   const auto t_shuffle = std::chrono::steady_clock::now();
 
-  // Parallel per-partition sort + run detection.
+  // Parallel per-partition sort + run detection. A partition with on-disk
+  // runs still sorts its in-memory remainder (the merge needs it ordered)
+  // but skips run detection: it dispatches as a single spilled KeyRun.
   std::vector<std::vector<KeyRun>> part_runs(num_parts);
   {
     ThreadPool pool(std::min(slots == 0 ? 1 : slots, num_parts));
     for (size_t part = 0; part < num_parts; ++part) {
-      pool.Submit([part, &shuffle, &part_runs] {
+      pool.Submit([part, &shuffle, &part_runs, spill] {
         std::vector<ShufflePacket<Key>>& packets = shuffle.partition(part);
         std::sort(packets.begin(), packets.end());
+        if (spill != nullptr && spill->has_runs(part)) {
+          return;
+        }
         std::vector<KeyRun>& runs = part_runs[part];
         for (size_t i = 0; i < packets.size();) {
           size_t j = i + 1;
@@ -704,8 +1305,16 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
   uint64_t total_bytes = 0;
   uint64_t max_part_bytes = 0;
   for (size_t part = 0; part < num_parts; ++part) {
-    runs.insert(runs.end(), part_runs[part].begin(), part_runs[part].end());
     const uint64_t part_bytes = shuffle.partition_bytes(part);
+    if (spill != nullptr && spill->has_runs(part)) {
+      KeyRun run;
+      run.partition = static_cast<uint32_t>(part);
+      run.bytes = part_bytes;
+      run.spilled = true;
+      runs.push_back(run);
+    } else {
+      runs.insert(runs.end(), part_runs[part].begin(), part_runs[part].end());
+    }
     total_bytes += part_bytes;
     max_part_bytes = std::max(max_part_bytes, part_bytes);
     if (observer != nullptr) {
@@ -714,7 +1323,6 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
                                    part_runs[part].size());
     }
   }
-  stats->groups = runs.size();
   stats->reduce_partitions = num_parts;
   stats->partition_skew =
       total_bytes > 0 ? static_cast<double>(max_part_bytes) * static_cast<double>(num_parts) /
@@ -745,17 +1353,25 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
     uint64_t packets = 0;
     uint64_t bytes = 0;          // serialized bytes of the runs consumed
     uint64_t max_run_bytes = 0;  // heaviest single key run — skew attribution
+    double spill_merge_ms = 0;   // wall spent streaming spilled partitions
     obs::HistogramSnapshot queue_wait_us;
   };
   const double obs_reduce_start = observer != nullptr ? observer->NowUs() : 0;
   const auto t_reduce = std::chrono::steady_clock::now();
   std::vector<ReduceTaskStats> task_stats(slots == 0 ? 1 : slots);
   std::atomic<size_t> next_run{0};
+  // ThreadPool tasks must not leak exceptions: a failed disk merge is
+  // captured here and rethrown from the coordinator after quiesce. (Spill
+  // files are verified at write time, so this is a true I/O failure between
+  // write and reduce, not silent corruption.)
+  std::mutex merge_err_mu;
+  std::string merge_error;
   {
     ThreadPool pool(task_stats.size());
     for (size_t r = 0; r < task_stats.size(); ++r) {
       pool.Submit([r, slots = task_stats.size(), schedule, obs_reduce_start, &next_run,
-                   &runs, &shuffle, &reduce_key, &task_stats, observer] {
+                   &runs, &shuffle, &reduce_key, &task_stats, observer, spill,
+                   &merge_err_mu, &merge_error] {
         ReduceTaskStats& ts = task_stats[r];
         if (observer != nullptr) {
           ts.start_us = observer->NowUs();
@@ -767,22 +1383,45 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
             const double wait = observer->NowUs() - obs_reduce_start;
             ts.queue_wait_us.Record(wait > 0 ? static_cast<uint64_t>(wait) : 0);
           }
-          auto* packets = shuffle.partition(run.partition).data();
-          reduce_key(packets[run.first].key, packets + run.first, packets + run.last);
-          ++ts.groups;
-          ts.packets += run.last - run.first;
+          if (run.spilled) {
+            // Stream the partition's disk runs merged with its sorted
+            // in-memory remainder; each key surfaces exactly once, in the
+            // same global order the in-memory path would produce.
+            const auto t_merge = std::chrono::steady_clock::now();
+            spill->MergePartition(
+                run.partition, std::move(shuffle.partition(run.partition)),
+                [&](const Key& key, const ShufflePacket<Key>* kf,
+                    const ShufflePacket<Key>* kl) {
+                  reduce_key(key, kf, kl);
+                  ++ts.groups;
+                  ts.packets += static_cast<uint64_t>(kl - kf);
+                });
+            ts.spill_merge_ms += MsSince(t_merge);
+          } else {
+            auto* packets = shuffle.partition(run.partition).data();
+            reduce_key(packets[run.first].key, packets + run.first, packets + run.last);
+            ++ts.groups;
+            ts.packets += run.last - run.first;
+          }
           ts.bytes += run.bytes;
           ts.max_run_bytes = std::max(ts.max_run_bytes, run.bytes);
         };
-        if (schedule == ReduceSchedule::kStatic) {
-          for (size_t k = r; k < runs.size(); k += slots) {
-            process(runs[k]);
+        try {
+          if (schedule == ReduceSchedule::kStatic) {
+            for (size_t k = r; k < runs.size(); k += slots) {
+              process(runs[k]);
+            }
+          } else {
+            for (size_t k = next_run.fetch_add(1, std::memory_order_relaxed);
+                 k < runs.size();
+                 k = next_run.fetch_add(1, std::memory_order_relaxed)) {
+              process(runs[k]);
+            }
           }
-        } else {
-          for (size_t k = next_run.fetch_add(1, std::memory_order_relaxed);
-               k < runs.size();
-               k = next_run.fetch_add(1, std::memory_order_relaxed)) {
-            process(runs[k]);
+        } catch (const SympleError& e) {
+          std::lock_guard<std::mutex> lock(merge_err_mu);
+          if (merge_error.empty()) {
+            merge_error = e.what();
           }
         }
         ts.cpu_ms = ThreadCpuMs() - cpu0;
@@ -793,9 +1432,18 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
     }
     pool.Wait();
   }
+  if (!merge_error.empty()) {
+    throw SympleIoError("reduce stage failed: " + merge_error);
+  }
   stats->reduce_wall_ms = MsSince(t_reduce);
+  if (spill != nullptr) {
+    stats->spill_runs += spill->total_runs();
+    stats->spill_bytes += spill->total_bytes();
+  }
   for (size_t r = 0; r < task_stats.size(); ++r) {
     stats->reduce_cpu_ms += task_stats[r].cpu_ms;
+    stats->groups += task_stats[r].groups;
+    stats->spill_merge_ms += task_stats[r].spill_merge_ms;
     if (observer != nullptr && task_stats[r].groups > 0) {
       // Idle workers (groups < slots) are suppressed: a 0-group worker is a
       // scheduling artifact, not a reduce task.
@@ -819,18 +1467,75 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
 // forked-process engines. Packets are emitted in the group table's
 // first-seen order (deterministic; docs/group_map.md), and the rows inside a
 // group buffer are in record order.
+//
+// With a `budget` and `sink` attached (threaded engine under a memory
+// budget, docs/spill.md), the task charges its table's bytes — arena, index
+// and buffered rows — and, when the budget trips, flushes the finished
+// groups into the shuffle mid-segment and clears the table. Each flush
+// incarnation's packet carries the incarnation's first record id, so the
+// Section 5.4 (key, mapper, record) order composes the incarnations back in
+// record order at the reducer.
 template <typename Query>
 std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
     const std::string& segment, uint32_t mapper_id, TaskStats* ts,
-    size_t capacity_hint = 0) {
+    size_t capacity_hint = 0, MemoryBudget* budget = nullptr,
+    const PacketSink<typename Query::Key>& sink = {}) {
   using Key = typename Query::Key;
   struct GroupBuffer {
     BinaryWriter rows;
     uint64_t first_record = 0;
     uint64_t count = 0;
   };
-  FlatGroupMap<Key, GroupBuffer> groups(
-      ResolveGroupCapacityHint(capacity_hint, segment.size() / 64));
+  size_t hint = ResolveGroupCapacityHint(capacity_hint, segment.size() / 64);
+  if (budget != nullptr) {
+    hint = ClampHintToBudget(
+        hint, *budget,
+        sizeof(typename FlatGroupMap<Key, GroupBuffer>::Node) + 8);
+  }
+  FlatGroupMap<Key, GroupBuffer> groups(hint);
+  groups.SetMemoryBudget(budget);
+  const bool budgeted =
+      budget != nullptr && budget->limit_bytes() > 0 && sink != nullptr;
+
+  // Row bytes live in per-group BinaryWriters the arena cannot see; they are
+  // charged in 64-record strides and released when a flush clears the table.
+  uint64_t charged_rows = 0;
+  uint64_t pending_rows = 0;
+  uint64_t since_check = 0;
+
+  const auto build_packets = [&] {
+    std::vector<ShufflePacket<Key>> out;
+    out.reserve(groups.size());
+    for (auto& entry : groups) {
+      GroupBuffer& buf = entry.value;
+      ShufflePacket<Key> p;
+      p.key = entry.key;
+      p.mapper_id = mapper_id;
+      p.record_id = buf.first_record;
+      BinaryWriter w;
+      w.WriteVarUint(buf.count);
+      w.WriteBytes(buf.rows.buffer().data(), buf.rows.size());
+      p.blob = w.TakeBuffer();
+      out.push_back(std::move(p));
+    }
+    return out;
+  };
+  const auto flush_groups = [&] {
+    if (groups.size() == 0) {
+      return;
+    }
+    std::vector<ShufflePacket<Key>> out = build_packets();
+    ts->packets += out.size();
+    // Release the table before the sink charges the packets: the rows now
+    // live in the packet blobs, and keeping both charged would double-count
+    // the flush right at the moment the run is already at its watermark.
+    groups.Clear();
+    budget->Release(charged_rows);
+    charged_rows = 0;
+    pending_rows = 0;  // cleared with the table, never charged
+    ts->bytes += sink(std::move(out));
+  };
+
   LineCursor cursor(segment);
   uint64_t rid = 0;
   while (const auto line = cursor.Next()) {
@@ -846,23 +1551,38 @@ std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
       buf->first_record = record_id;
     }
     ++buf->count;
+    const size_t rows_before = buf->rows.size();
     TextKeyCodec<Key>::Write(buf->rows, rec->first);
     Query::SerializeEvent(rec->second, buf->rows);
+    if (budgeted) {
+      pending_rows += buf->rows.size() - rows_before;
+      if (inserted) {
+        // Each group becomes one packet at flush time, and the sink charges
+        // full PacketBytes — key, ids and length prefixes on top of the rows
+        // tracked here. Pre-charging that header now keeps the flush
+        // net-neutral (release rows, charge packets) instead of surfacing
+        // tens of untracked bytes per group right at the watermark, which a
+        // high-cardinality segment turns into a real overshoot.
+        pending_rows += WireSizeOf(rec->first) + kPacketHeaderOverhead;
+      }
+      if (++since_check >= 64) {
+        since_check = 0;
+        budget->Charge(pending_rows);
+        charged_rows += pending_rows;
+        pending_rows = 0;
+        if (budget->over()) {
+          flush_groups();
+        }
+      }
+    }
   }
-  std::vector<ShufflePacket<Key>> out;
-  out.reserve(groups.size());
-  for (auto& entry : groups) {
-    GroupBuffer& buf = entry.value;
-    ShufflePacket<Key> p;
-    p.key = entry.key;
-    p.mapper_id = mapper_id;
-    p.record_id = buf.first_record;
-    BinaryWriter w;
-    w.WriteVarUint(buf.count);
-    w.WriteBytes(buf.rows.buffer().data(), buf.rows.size());
-    p.blob = w.TakeBuffer();
-    out.push_back(std::move(p));
+  std::vector<ShufflePacket<Key>> out = build_packets();
+  if (budgeted) {
+    budget->Release(charged_rows);
+    charged_rows = 0;
   }
+  // Probe/allocation counters accumulate across Clear(), so fold the table's
+  // stats exactly once, after the last incarnation.
   ts->group_map += groups.stats();
   return out;
 }
@@ -872,10 +1592,21 @@ std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
 // summaries, or a DeferredConcrete marker when the group's symbolic
 // execution hit a budget or a declared limitation. Degradation is segment-
 // granular: other groups in the same chunk keep their symbolic summaries.
+// With a `budget` and `sink` attached (threaded engine under a memory
+// budget, docs/spill.md), the task flushes mid-segment: healthy groups emit
+// their summaries-so-far into the shuffle and restart a fresh incarnation
+// (summary composition is associative, so incarnations compose in record
+// order at the reducer exactly like separate mappers' packets). Groups that
+// cannot serialize mid-exploration degrade with reason memory_budget and
+// move to a side map — the flush must release the table either way — and
+// their deferred markers, carrying the incarnation's start record, are
+// emitted once at segment end.
 template <typename Query>
 std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
     const std::string& segment, uint32_t mapper_id, const AggregatorOptions& options,
-    const DegradeBudgets& budgets, TaskStats* ts, size_t capacity_hint = 0) {
+    const DegradeBudgets& budgets, TaskStats* ts, size_t capacity_hint = 0,
+    MemoryBudget* budget = nullptr,
+    const PacketSink<typename Query::Key>& sink = {}) {
   using Key = typename Query::Key;
   using State = typename Query::State;
   using UpdateFn = void (*)(State&, const typename Query::Event&);
@@ -889,8 +1620,107 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
     DegradeReason reason = DegradeReason::kOther;
     std::string message;
   };
-  FlatGroupMap<Key, GroupAgg> groups(
-      ResolveGroupCapacityHint(capacity_hint, segment.size() / 64));
+  // Degraded groups evicted by a budget flush: their records are skipped for
+  // the rest of the segment and one marker per key is emitted at the end,
+  // replaying from the incarnation that degraded.
+  struct SideDegrade {
+    DegradeReason reason;
+    std::string message;
+    uint64_t start_record;
+  };
+  size_t hint = ResolveGroupCapacityHint(capacity_hint, segment.size() / 64);
+  if (budget != nullptr) {
+    hint = ClampHintToBudget(
+        hint, *budget,
+        sizeof(typename FlatGroupMap<Key, GroupAgg>::Node) + 8);
+  }
+  FlatGroupMap<Key, GroupAgg> groups(hint);
+  groups.SetMemoryBudget(budget);
+  const bool budgeted =
+      budget != nullptr && budget->limit_bytes() > 0 && sink != nullptr;
+  std::map<Key, SideDegrade> degraded;
+  uint64_t since_check = 0;
+
+  // Emits the table's groups as packets: symbolic summaries for healthy
+  // groups; degraded groups either join the side map (mid-segment flush) or
+  // emit their deferred markers (final). A group whose summaries fail to
+  // serialize at flush time degrades with reason memory_budget — its
+  // already-fed records cannot leave the table any other way.
+  const auto emit_groups = [&](bool final_emit) {
+    std::vector<ShufflePacket<Key>> out;
+    out.reserve(groups.size() + (final_emit ? degraded.size() : 0));
+    for (auto& entry : groups) {
+      GroupAgg& group = entry.value;
+      ts->exploration += group.agg.stats();
+      if (!group.degraded) {
+        try {
+          std::vector<Summary<State>> summaries = group.agg.Finish();
+          BinaryWriter body;
+          uint64_t group_paths = 0;
+          for (const Summary<State>& s : summaries) {
+            group_paths += s.path_count();
+            s.Serialize(body);
+          }
+          if (budgets.max_summary_bytes_per_segment > 0 &&
+              body.size() > budgets.max_summary_bytes_per_segment) {
+            group.degraded = true;
+            group.reason = DegradeReason::kSummaryBytes;
+            group.message = "segment summary of " + std::to_string(body.size()) +
+                            " bytes exceeded max_summary_bytes_per_segment = " +
+                            std::to_string(budgets.max_summary_bytes_per_segment);
+          } else {
+            ts->summaries += summaries.size();
+            ts->summaries_per_group.Record(summaries.size());
+            ts->summary_paths += group_paths;
+            ts->paths_per_group.Record(group_paths);
+            ShufflePacket<Key> p;
+            p.key = entry.key;
+            p.mapper_id = mapper_id;
+            p.record_id = group.first_record;
+            BinaryWriter w;
+            w.WriteByte(kSegmentSymbolic);
+            w.WriteVarUint(summaries.size());
+            w.WriteBytes(body.buffer().data(), body.size());
+            p.blob = w.TakeBuffer();
+            out.push_back(std::move(p));
+            continue;
+          }
+        } catch (const SympleError& e) {
+          group.degraded = true;
+          group.reason = final_emit ? ClassifyDegradeError(e)
+                                    : DegradeReason::kMemoryBudget;
+          group.message = e.what();
+        }
+      }
+      // Degraded: marker now (final) or side map (flush — the marker must
+      // wait so a later incarnation cannot shadow it).
+      if (final_emit) {
+        ShufflePacket<Key> p;
+        p.key = entry.key;
+        p.mapper_id = mapper_id;
+        p.record_id = group.first_record;
+        p.blob = MakeDeferredBlob(mapper_id, group.reason, group.message,
+                                  group.first_record);
+        out.push_back(std::move(p));
+      } else {
+        degraded.emplace(entry.key,
+                         SideDegrade{group.reason, std::move(group.message),
+                                     group.first_record});
+      }
+    }
+    if (final_emit) {
+      for (auto& [key, d] : degraded) {
+        ShufflePacket<Key> p;
+        p.key = key;
+        p.mapper_id = mapper_id;
+        p.record_id = d.start_record;
+        p.blob = MakeDeferredBlob(mapper_id, d.reason, d.message, d.start_record);
+        out.push_back(std::move(p));
+      }
+    }
+    return out;
+  };
+
   LineCursor cursor(segment);
   uint64_t rid = 0;
   while (const auto line = cursor.Next()) {
@@ -901,6 +1731,9 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
       continue;
     }
     ++ts->parsed;
+    if (!degraded.empty() && degraded.count(rec->first) > 0) {
+      continue;  // already deferred to concrete replay; skip cheaply
+    }
     auto [group_ptr, inserted] = groups.GetOrEmplace(rec->first, options);
     GroupAgg& group = *group_ptr;
     if (inserted) {
@@ -931,51 +1764,22 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
       group.reason = ClassifyDegradeError(e);
       group.message = e.what();
     }
-  }
-  std::vector<ShufflePacket<Key>> out;
-  out.reserve(groups.size());
-  for (auto& entry : groups) {
-    GroupAgg& group = entry.value;
-    ts->exploration += group.agg.stats();
-    ShufflePacket<Key> p;
-    p.key = entry.key;
-    p.mapper_id = mapper_id;
-    p.record_id = group.first_record;
-    if (!group.degraded) {
-      std::vector<Summary<State>> summaries = group.agg.Finish();
-      BinaryWriter body;
-      uint64_t group_paths = 0;
-      for (const Summary<State>& s : summaries) {
-        group_paths += s.path_count();
-        s.Serialize(body);
-      }
-      if (budgets.max_summary_bytes_per_segment > 0 &&
-          body.size() > budgets.max_summary_bytes_per_segment) {
-        group.degraded = true;
-        group.reason = DegradeReason::kSummaryBytes;
-        group.message = "segment summary of " + std::to_string(body.size()) +
-                        " bytes exceeded max_summary_bytes_per_segment = " +
-                        std::to_string(budgets.max_summary_bytes_per_segment);
-      } else {
-        ts->summaries += summaries.size();
-        ts->summaries_per_group.Record(summaries.size());
-        ts->summary_paths += group_paths;
-        ts->paths_per_group.Record(group_paths);
-        BinaryWriter w;
-        w.WriteByte(kSegmentSymbolic);
-        w.WriteVarUint(summaries.size());
-        w.WriteBytes(body.buffer().data(), body.size());
-        p.blob = w.TakeBuffer();
+    if (budgeted && ++since_check >= 64) {
+      since_check = 0;
+      if (budget->over() && groups.size() > 0) {
+        std::vector<ShufflePacket<Key>> out = emit_groups(/*final_emit=*/false);
+        ts->packets += out.size();
+        // Clear before the sink charges the packets — the summaries moved
+        // into the blobs, and double-charging at the watermark would spike
+        // peak_tracked_bytes past the budget.
+        groups.Clear();
+        ts->bytes += sink(std::move(out));
       }
     }
-    if (group.degraded) {
-      // Accounting happens at the reducer when the marker is replayed: in
-      // forked mode this code runs in a child process, so the marker itself
-      // is the only record of the degrade that survives the pipe.
-      p.blob = MakeDeferredBlob(mapper_id, group.reason, group.message);
-    }
-    out.push_back(std::move(p));
   }
+  std::vector<ShufflePacket<Key>> out = emit_groups(/*final_emit=*/true);
+  // Probe/allocation counters accumulate across Clear(), so fold the table's
+  // stats exactly once, after the last incarnation.
   ts->group_map += groups.stats();
   return out;
 }
@@ -985,15 +1789,23 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
 // already-composed prefix state. Because packets are ordered by (key,
 // mapper, record) and each (mapper, key) sub-stream is replayed in input
 // order, the result is byte-identical to the sequential engine.
+// `start_record` skips records a budget-flushed incarnation already shipped
+// as summaries (see MakeDeferredBlob); 0 replays the whole segment.
 template <typename Query>
 uint64_t ReplaySegmentForKey(const Dataset& data, uint32_t segment_id,
                              const typename Query::Key& key,
-                             typename Query::State& state) {
+                             typename Query::State& state,
+                             uint64_t start_record = 0) {
   SYMPLE_CHECK(segment_id < data.segments.size(),
                "deferred segment id out of range at the reducer");
   uint64_t replayed = 0;
+  uint64_t rid = 0;
   LineCursor cursor(data.segments[segment_id]);
   while (const auto line = cursor.Next()) {
+    const uint64_t record_id = rid++;
+    if (record_id < start_record) {
+      continue;
+    }
     auto rec = Query::Parse(*line);
     if (rec.has_value() && rec->first == key) {
       Query::Update(state, rec->second);
@@ -1015,21 +1827,36 @@ void SympleReduceKey(const Dataset& data, ReduceMode mode,
                      typename Query::State& state, DegradeAccounting* acct) {
   using State = typename Query::State;
   for (const auto* p = first; p != last; ++p) {
-    const auto replay = [&](DegradeReason reason, std::string_view message) {
+    // Concrete replay covers the key's records from start_record to the end
+    // of the segment — which subsumes every later packet this mapper emitted
+    // for the key (possible when a memory budget flushed the segment's table
+    // more than once, docs/spill.md) — so those packets are skipped here,
+    // not applied on top of the replayed records.
+    const auto replay = [&](DegradeReason reason, std::string_view message,
+                            uint64_t start_record) {
       const auto replay_start = std::chrono::steady_clock::now();
-      const uint64_t replayed =
-          ReplaySegmentForKey<Query>(data, p->mapper_id, key, state);
+      const uint64_t replayed = ReplaySegmentForKey<Query>(
+          data, p->mapper_id, key, state, start_record);
       acct->Record(p->mapper_id, reason, message, replayed,
                    MsSince(replay_start));
+      while (p + 1 != last && (p + 1)->mapper_id == p->mapper_id) {
+        ++p;
+      }
     };
     if (p->blob.empty()) {
-      replay(DegradeReason::kWireCorrupt, "empty segment blob at the reducer");
+      // Replay from this packet's own first record: any earlier packet from
+      // the same mapper was healthy (or replay would already have consumed
+      // this one), so its records must not be re-applied.
+      replay(DegradeReason::kWireCorrupt, "empty segment blob at the reducer",
+             p->record_id);
       continue;
     }
     if (p->blob[0] == kSegmentDeferred) {
       // DeferredConcrete marker. Parse defensively: the marker may itself
       // have crossed a hostile wire, and replay is correct regardless of
-      // what it says — only the reported reason/message depend on it.
+      // what it says — only the reported reason/message depend on it (a
+      // scrambled marker cannot coexist with earlier healthy flushes: those
+      // exist only in-process, where the marker never crosses a wire).
       DegradeReason reason = DegradeReason::kWireCorrupt;
       std::string message = "malformed deferred-segment marker";
       try {
@@ -1038,15 +1865,20 @@ void SympleReduceKey(const Dataset& data, ReduceMode mode,
         const uint64_t seg = r.ReadVarUint();
         const uint8_t raw_reason = r.ReadByte();
         std::string msg = r.ReadString();
+        const uint64_t raw_start = r.ReadVarUint();
         if (seg == p->mapper_id && raw_reason < kDegradeReasonCount &&
-            r.AtEnd()) {
+            raw_start == p->record_id && r.AtEnd()) {
           reason = static_cast<DegradeReason>(raw_reason);
           message = std::move(msg);
         }
       } catch (const SympleError&) {
         // keep the wire-corrupt classification
       }
-      replay(reason, message);
+      // Replay from the packet's own record_id, never the blob's copy: both
+      // emission sites stamp them identically, the packet header crosses the
+      // wire under its own checksum, and a flipped bit in the blob's varint
+      // must not be able to skip records.
+      replay(reason, message, p->record_id);
       continue;
     }
     // Symbolic summaries. Snapshot the prefix state so a failure mid-packet
@@ -1098,7 +1930,9 @@ void SympleReduceKey(const Dataset& data, ReduceMode mode,
     }
     if (!ok) {
       state = snapshot;
-      replay(DegradeReason::kWireCorrupt, message);
+      // From this packet's first record: earlier packets from this mapper
+      // (prior budget-flush incarnations) applied cleanly and stay applied.
+      replay(DegradeReason::kWireCorrupt, message, p->record_id);
     }
   }
 }
@@ -1165,14 +1999,27 @@ RunResult<Query> RunBaselineMapReduce(const Dataset& data,
   const size_t seg_hint = internal::ResolveGroupCapacityHint(
       options.group_capacity_hint,
       data.segment_count() > 0 ? result.stats.input_records / data.segment_count() : 0);
-  auto map_task = [&data, seg_hint](uint32_t mapper_id,
-                                    internal::TaskStats* ts) -> std::vector<Packet> {
-    return internal::BaselineMapSegment<Query>(data.segments[mapper_id], mapper_id,
-                                               ts, seg_hint);
-  };
+  // Memory-budgeted execution (docs/spill.md): every tracked byte — map
+  // tables, buffered rows, buffered shuffle packets — charges this budget;
+  // crossing it flushes map tables into the shuffle and spills the shuffle's
+  // heaviest partitions to disk. With no budget configured this is
+  // track-only (peak_tracked_bytes) and nothing ever spills.
+  MemoryBudget budget(options.memory_budget_bytes);
+  internal::SpillContext<Key> spill(
+      &budget, internal::ResolveReducePartitions(options), options.spill_dir);
   internal::ShuffleBuffer<Key> shuffle(
       internal::ResolveReducePartitions(options),
       data.segment_count() * std::min<size_t>(seg_hint, 4096));
+  shuffle.EnableSpill(&budget, &spill);
+  const internal::PacketSink<Key> sink = [&shuffle](std::vector<Packet>&& batch) {
+    return shuffle.AddBatch(std::move(batch));
+  };
+  auto map_task = [&data, seg_hint, &budget, &sink](
+                      uint32_t mapper_id,
+                      internal::TaskStats* ts) -> std::vector<Packet> {
+    return internal::BaselineMapSegment<Query>(data.segments[mapper_id], mapper_id,
+                                               ts, seg_hint, &budget, sink);
+  };
   internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
                              &shuffle, &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
@@ -1196,8 +2043,9 @@ RunResult<Query> RunBaselineMapReduce(const Dataset& data,
         std::lock_guard<std::mutex> lock(out_mu);
         result.outputs.emplace(key, std::move(output));
       },
-      &result.stats, options.observer);
+      &result.stats, options.observer, &spill);
 
+  result.stats.peak_tracked_bytes = budget.peak_bytes();
   result.stats.total_wall_ms = internal::MsSince(t0);
   resources.Fold(&result.stats);
   return result;
@@ -1224,16 +2072,24 @@ RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {
   const size_t seg_hint = internal::ResolveGroupCapacityHint(
       options.group_capacity_hint,
       data.segment_count() > 0 ? result.stats.input_records / data.segment_count() : 0);
-  auto map_task = [&data, &options, seg_hint](
+  // Memory-budgeted execution (docs/spill.md): see RunBaselineMapReduce.
+  MemoryBudget budget(options.memory_budget_bytes);
+  internal::SpillContext<Key> spill(
+      &budget, internal::ResolveReducePartitions(options), options.spill_dir);
+  internal::ShuffleBuffer<Key> shuffle(
+      internal::ResolveReducePartitions(options),
+      data.segment_count() * std::min<size_t>(seg_hint, 4096));
+  shuffle.EnableSpill(&budget, &spill);
+  const internal::PacketSink<Key> sink = [&shuffle](std::vector<Packet>&& batch) {
+    return shuffle.AddBatch(std::move(batch));
+  };
+  auto map_task = [&data, &options, seg_hint, &budget, &sink](
                       uint32_t mapper_id,
                       internal::TaskStats* ts) -> std::vector<Packet> {
     return internal::SympleMapSegment<Query>(data.segments[mapper_id], mapper_id,
                                              options.aggregator, options.budgets,
-                                             ts, seg_hint);
+                                             ts, seg_hint, &budget, sink);
   };
-  internal::ShuffleBuffer<Key> shuffle(
-      internal::ResolveReducePartitions(options),
-      data.segment_count() * std::min<size_t>(seg_hint, 4096));
   internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
                              &shuffle, &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
@@ -1255,9 +2111,10 @@ RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {
         std::lock_guard<std::mutex> lock(out_mu);
         result.outputs.emplace(key, std::move(output));
       },
-      &result.stats, options.observer);
+      &result.stats, options.observer, &spill);
   internal::FoldDegrades(degrades, &result.stats, options.observer);
 
+  result.stats.peak_tracked_bytes = budget.peak_bytes();
   result.stats.total_wall_ms = internal::MsSince(t0);
   resources.Fold(&result.stats);
   return result;

@@ -75,6 +75,17 @@ struct EngineStats {
   uint64_t reduce_partitions = 0;
   double partition_skew = 0;
 
+  // Memory-budgeted execution (docs/spill.md): sorted runs written to disk
+  // when tracked usage crossed EngineOptions::memory_budget_bytes, their
+  // total on-disk bytes, the reduce-side time spent streaming them back
+  // through the k-way merge, and the run's tracked-allocation high-water
+  // mark. spill_* are zero for in-memory runs; peak_tracked_bytes is
+  // reported whenever a budget tracker was attached (even track-only).
+  uint64_t spill_runs = 0;
+  uint64_t spill_bytes = 0;
+  double spill_merge_ms = 0;
+  uint64_t peak_tracked_bytes = 0;
+
   // Forked-mode fault tolerance (process_engine.h): worker respawns after a
   // failure, hang-watchdog kills, crash/truncation/protocol failures, and
   // segments executed in-process after the retry budget was spent. All zero
@@ -138,6 +149,17 @@ struct EngineStats {
              " replayed_records=" + std::to_string(replayed_records) +
              " wire_corrupt_frames=" + std::to_string(wire_corrupt_frames);
     }
+    if (spill_runs > 0) {
+      out += " spill_runs=" + std::to_string(spill_runs) + " spill=" +
+             internal::FormatFixed(static_cast<double>(spill_bytes) / 1e6, 2) +
+             "MB spill_merge=" + internal::FormatFixed(spill_merge_ms, 1) + "ms";
+    }
+    if (peak_tracked_bytes > 0) {
+      out += " peak_tracked=" +
+             internal::FormatFixed(
+                 static_cast<double>(peak_tracked_bytes) / 1e6, 2) +
+             "MB";
+    }
     if (group_map.arena_bytes > 0) {
       out += " arena=" +
              internal::FormatFixed(
@@ -183,6 +205,10 @@ struct EngineStats {
     t.arena_bytes = group_map.arena_bytes;
     t.rehashes = group_map.rehashes;
     t.avg_probe_len = group_map.AvgProbeLen();
+    t.spill_runs = spill_runs;
+    t.spill_bytes = spill_bytes;
+    t.spill_merge_ms = spill_merge_ms;
+    t.peak_tracked_bytes = peak_tracked_bytes;
     return t;
   }
 
@@ -227,6 +253,10 @@ struct EngineStats {
     w.KV("arena_bytes", group_map.arena_bytes);
     w.KV("rehashes", group_map.rehashes);
     w.KV("avg_probe_len", group_map.AvgProbeLen());
+    w.KV("spill_runs", spill_runs);
+    w.KV("spill_bytes", spill_bytes);
+    w.KV("spill_merge_ms", spill_merge_ms);
+    w.KV("peak_tracked_bytes", peak_tracked_bytes);
     w.Key("degrade_reasons").BeginObject();
     for (size_t i = 0; i < kDegradeReasonCount; ++i) {
       w.KV(DegradeReasonName(static_cast<DegradeReason>(i)), degrade_reasons[i]);

@@ -164,7 +164,7 @@ std::optional<FaultSpec> ParseFaultSpec(const char* spec) {
   if (spec == nullptr || *spec == '\0') {
     return std::nullopt;
   }
-  // <mode>:worker=<n|*>:frame=<k>
+  // <mode>:worker=<n|*>:frame=<k|*>
   std::string rest(spec);
   FaultSpec f;
   if (ConsumePrefix(&rest, "crash:")) {
@@ -175,15 +175,23 @@ std::optional<FaultSpec> ParseFaultSpec(const char* spec) {
     f.mode = FaultSpec::Mode::kTruncate;
   } else if (ConsumePrefix(&rest, "corrupt:")) {
     f.mode = FaultSpec::Mode::kCorrupt;
+  } else if (ConsumePrefix(&rest, "spill-enospc:")) {
+    f.mode = FaultSpec::Mode::kSpillEnospc;
+  } else if (ConsumePrefix(&rest, "spill-short-write:")) {
+    f.mode = FaultSpec::Mode::kSpillShortWrite;
+  } else if (ConsumePrefix(&rest, "spill-corrupt:")) {
+    f.mode = FaultSpec::Mode::kSpillCorrupt;
   } else {
-    throw SympleError("SYMPLE_FAULT_SPEC: unknown mode in '" + std::string(spec) +
-                      "' (want crash|hang|truncate|corrupt)");
+    throw SympleError(
+        "SYMPLE_FAULT_SPEC: unknown mode in '" + std::string(spec) +
+        "' (want crash|hang|truncate|corrupt|spill-enospc|spill-short-write|"
+        "spill-corrupt)");
   }
   SYMPLE_CHECK(ConsumePrefix(&rest, "worker="),
                "SYMPLE_FAULT_SPEC: expected worker=<n|*> in '" + std::string(spec) + "'");
   const size_t colon = rest.find(':');
   SYMPLE_CHECK(colon != std::string::npos,
-               "SYMPLE_FAULT_SPEC: expected :frame=<k> in '" + std::string(spec) + "'");
+               "SYMPLE_FAULT_SPEC: expected :frame=<k|*> in '" + std::string(spec) + "'");
   const std::string worker = rest.substr(0, colon);
   rest.erase(0, colon + 1);
   if (worker == "*") {
@@ -192,13 +200,45 @@ std::optional<FaultSpec> ParseFaultSpec(const char* spec) {
     f.worker = static_cast<uint32_t>(ParseUint(worker, "worker"));
   }
   SYMPLE_CHECK(ConsumePrefix(&rest, "frame="),
-               "SYMPLE_FAULT_SPEC: expected frame=<k> in '" + std::string(spec) + "'");
-  f.frame = ParseUint(rest, "frame");
+               "SYMPLE_FAULT_SPEC: expected frame=<k|*> in '" + std::string(spec) + "'");
+  if (rest == "*") {
+    f.all_frames = true;
+  } else {
+    f.frame = ParseUint(rest, "frame");
+  }
   return f;
 }
 
+std::vector<FaultSpec> ParseFaultSpecList(const char* spec) {
+  std::vector<FaultSpec> out;
+  if (spec == nullptr || *spec == '\0') {
+    return out;
+  }
+  std::string rest(spec);
+  size_t start = 0;
+  while (start <= rest.size()) {
+    const size_t semi = rest.find(';', start);
+    const std::string one =
+        rest.substr(start, semi == std::string::npos ? std::string::npos
+                                                     : semi - start);
+    if (const auto f = ParseFaultSpec(one.c_str()); f.has_value()) {
+      out.push_back(*f);
+    }
+    if (semi == std::string::npos) {
+      break;
+    }
+    start = semi + 1;
+  }
+  return out;
+}
+
 std::optional<FaultSpec> FaultSpecFromEnv() {
-  return ParseFaultSpec(std::getenv("SYMPLE_FAULT_SPEC"));
+  for (const FaultSpec& f : ParseFaultSpecList(std::getenv("SYMPLE_FAULT_SPEC"))) {
+    if (!f.is_spill_mode()) {
+      return f;
+    }
+  }
+  return std::nullopt;
 }
 
 FrameWriter::FrameWriter(int fd, const std::optional<FaultSpec>& fault,
@@ -211,7 +251,8 @@ FrameWriter::FrameWriter(int fd, const std::optional<FaultSpec>& fault,
 
 bool FrameWriter::MaybeInjectFault(const uint8_t* header, size_t header_size,
                                    const uint8_t* payload, size_t payload_size) {
-  if (fault_.mode == FaultSpec::Mode::kNone || frames_written_ != fault_.frame) {
+  if (fault_.mode == FaultSpec::Mode::kNone ||
+      !fault_.MatchesFrame(frames_written_)) {
     return false;
   }
   switch (fault_.mode) {
@@ -242,7 +283,10 @@ bool FrameWriter::MaybeInjectFault(const uint8_t* header, size_t header_size,
       return true;
     }
     case FaultSpec::Mode::kNone:
-      break;
+    case FaultSpec::Mode::kSpillEnospc:
+    case FaultSpec::Mode::kSpillShortWrite:
+    case FaultSpec::Mode::kSpillCorrupt:
+      break;  // disk faults; never armed on a pipe writer (FaultSpecFromEnv)
   }
   return false;
 }

@@ -113,31 +113,67 @@ void SleepMs(long ms);
 
 // --- Fault injection ---------------------------------------------------------
 //
-// SYMPLE_FAULT_SPEC selects one deterministic fault in forked workers:
+// SYMPLE_FAULT_SPEC selects deterministic faults; one or more specs joined
+// by ';', each of the form
 //
-//   <mode>:worker=<n|*>:frame=<k>
+//   <mode>:worker=<n|*>:frame=<k|*>
 //
-// where <mode> is crash | hang | truncate | corrupt, <n> is the worker's
-// spawn sequence number within the run (`*` matches every spawn, including
-// retry respawns), and <k> is the 0-based index of the frame whose write
-// triggers the fault. crash: _exit(42) before writing the frame; hang: block
+// where <mode> is crash | hang | truncate | corrupt (pipe faults, injected
+// by forked workers' FrameWriter) or spill-enospc | spill-short-write |
+// spill-corrupt (disk faults, injected by the spill writer — runtime/spill.h),
+// <n> is the worker's spawn sequence number within the run (`*` matches
+// every spawn, including retry respawns; spill faults ignore the worker
+// field), and <k> is the 0-based index of the frame — pipe frame for pipe
+// faults, spill block write for spill faults — that triggers the fault
+// (`*` = every frame).
+//
+// Pipe faults: crash: _exit(42) before writing the frame; hang: block
 // forever (the parent's worker_timeout_ms watchdog must fire); truncate:
 // write half the frame, then _exit(0) — a silently truncated stream with a
 // clean exit status; corrupt: write the frame with one bit flipped in the
 // last payload byte and keep running — the parent's checksum validation
 // must catch it and degrade the worker's segments to concrete replay.
+//
+// Spill faults (docs/spill.md): spill-enospc: the block write fails with
+// ENOSPC; spill-short-write: half the block is written, then the write
+// fails; spill-corrupt: the block is written with one bit flipped (caught
+// by the spill writer's post-write checksum verification). A failed spill
+// retries once on a fresh file, then the run degrades gracefully — it
+// never crashes.
 struct FaultSpec {
-  enum class Mode { kNone, kCrash, kHang, kTruncate, kCorrupt };
+  enum class Mode {
+    kNone,
+    kCrash,
+    kHang,
+    kTruncate,
+    kCorrupt,
+    kSpillEnospc,
+    kSpillShortWrite,
+    kSpillCorrupt,
+  };
   Mode mode = Mode::kNone;
   bool all_workers = false;
   uint32_t worker = 0;
+  bool all_frames = false;
   uint64_t frame = 0;
+
+  bool is_spill_mode() const {
+    return mode == Mode::kSpillEnospc || mode == Mode::kSpillShortWrite ||
+           mode == Mode::kSpillCorrupt;
+  }
+  bool MatchesFrame(uint64_t frame_index) const {
+    return all_frames || frame == frame_index;
+  }
 };
 
-// Parses a spec string; nullopt for null/empty. Throws SympleError on a
+// Parses one spec string; nullopt for null/empty. Throws SympleError on a
 // malformed spec (misconfiguration is a programmer error, not recoverable).
 std::optional<FaultSpec> ParseFaultSpec(const char* spec);
-// Reads SYMPLE_FAULT_SPEC from the environment.
+// Parses a ';'-joined spec list (empty for null/empty input).
+std::vector<FaultSpec> ParseFaultSpecList(const char* spec);
+// Reads SYMPLE_FAULT_SPEC from the environment and returns the first
+// *pipe-mode* spec (crash/hang/truncate/corrupt) — the FrameWriter hook.
+// Spill faults are picked up separately by SpillFaultFromEnv (spill.h).
 std::optional<FaultSpec> FaultSpecFromEnv();
 
 // Worker-side frame writer: [u32 LE size][payload], with the fault hook

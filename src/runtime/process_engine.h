@@ -128,33 +128,8 @@ inline BinaryReader ValidateWorkerFrame(const std::vector<uint8_t>& frame,
                       frame.size() - kFrameEnvelopeBytes);
 }
 
-template <typename Key>
-void SerializePacketFrame(const ShufflePacket<Key>& p, BinaryWriter& w) {
-  ValueCodec<Key>::Write(w, p.key);
-  w.WriteVarUint(p.mapper_id);
-  w.WriteVarUint(p.record_id);
-  w.WriteVarUint(p.blob.size());
-  w.WriteBytes(p.blob.data(), p.blob.size());
-}
-
-template <typename Key>
-ShufflePacket<Key> DeserializePacketFrame(BinaryReader& r) {
-  ShufflePacket<Key> p;
-  p.key = ValueCodec<Key>::Read(r);
-  p.mapper_id = r.ReadVarUint32();
-  p.record_id = r.ReadVarUint();
-  const uint64_t blob_size = r.ReadVarUint();
-  if (blob_size > r.remaining()) {
-    // A length claiming more than the u32-framed payload holds is corrupt
-    // wire data (SympleIoError taxonomy), never a silent truncation.
-    throw SympleWireError("packet blob size exceeds frame (" +
-                          std::to_string(blob_size) + " > " +
-                          std::to_string(r.remaining()) + " bytes)");
-  }
-  p.blob.resize(blob_size);
-  r.ReadBytes(p.blob.data(), p.blob.size());
-  return p;
-}
+// SerializePacketFrame / DeserializePacketFrame live in runtime/engine.h:
+// the same packet layout rides both the forked pipe and spill-file blocks.
 
 // Forks workers over the dataset's segments (worker w initially owns
 // s ≡ w (mod num_processes)), drains all pipes concurrently, and recovers
@@ -539,7 +514,16 @@ RunResult<Query> RunSympleForked(const Dataset& data, const EngineOptions& optio
         segment, segment_id, DegradeReason::kWireCorrupt,
         "corrupt summary frame from worker");
   };
+  // Memory-budgeted execution (docs/spill.md): the children keep their own
+  // address spaces — only the parent-side shuffle buffer is tracked here, and
+  // the parent drain's Adds trigger spills while workers are still producing.
+  // Forked children always _exit without running destructors, so a child
+  // forked after the spill directory exists can never double-unlink it.
+  MemoryBudget budget(options.memory_budget_bytes);
+  internal::SpillContext<Key> spill(
+      &budget, internal::ResolveReducePartitions(options), options.spill_dir);
   internal::ShuffleBuffer<Key> shuffle(internal::ResolveReducePartitions(options));
+  shuffle.EnableSpill(&budget, &spill);
   internal::RunForkedMapPhase<Key>(data, options, map_segment, &shuffle,
                                    &result.stats, options.observer,
                                    degrade_segment);
@@ -558,8 +542,9 @@ RunResult<Query> RunSympleForked(const Dataset& data, const EngineOptions& optio
         std::lock_guard<std::mutex> lock(out_mu);
         result.outputs.emplace(key, std::move(output));
       },
-      &result.stats, options.observer);
+      &result.stats, options.observer, &spill);
   internal::FoldDegrades(degrades, &result.stats, options.observer);
+  result.stats.peak_tracked_bytes = budget.peak_bytes();
   result.stats.total_wall_ms = internal::MsSince(t0);
   resources.Fold(&result.stats);
   return result;
@@ -588,7 +573,12 @@ RunResult<Query> RunBaselineForked(const Dataset& data,
     internal::TaskStats ts;
     return internal::BaselineMapSegment<Query>(segment, mapper_id, &ts, seg_hint);
   };
+  // Parent-side memory budget + shuffle spill, as in RunSympleForked.
+  MemoryBudget budget(options.memory_budget_bytes);
+  internal::SpillContext<Key> spill(
+      &budget, internal::ResolveReducePartitions(options), options.spill_dir);
   internal::ShuffleBuffer<Key> shuffle(internal::ResolveReducePartitions(options));
+  shuffle.EnableSpill(&budget, &spill);
   internal::RunForkedMapPhase<Key>(data, options, map_segment, &shuffle,
                                    &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
@@ -611,7 +601,8 @@ RunResult<Query> RunBaselineForked(const Dataset& data,
         std::lock_guard<std::mutex> lock(out_mu);
         result.outputs.emplace(key, std::move(output));
       },
-      &result.stats, options.observer);
+      &result.stats, options.observer, &spill);
+  result.stats.peak_tracked_bytes = budget.peak_bytes();
   result.stats.total_wall_ms = internal::MsSince(t0);
   resources.Fold(&result.stats);
   return result;
