@@ -138,6 +138,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // A zero/near-zero noise floor lets a 0 ms baseline gate walls: any nonzero
+  // candidate would be "infinitely" slower and sub-millisecond smoke runs
+  // would pass or fail on scheduler jitter. Clamp the floor so a wall must
+  // actually have been measured before it can be compared.
+  if (min_wall_ms < 0.01) {
+    min_wall_ms = 0.01;
+  }
   if (baseline_path == nullptr || candidate_path == nullptr) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline.json> <candidate.json>\n"

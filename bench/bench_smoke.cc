@@ -67,7 +67,9 @@ void CheckRunReport(const obs::JsonValue& report, bool expect_exploration) {
           "map_cpu_ms", "reduce_cpu_ms", "input_bytes", "input_records",
           "parsed_records", "shuffle_bytes", "groups", "reduce_partitions",
           "partition_skew", "summaries", "summary_paths",
-          "throughput_mbps", "worker_retries", "worker_timeouts", "worker_crashes",
+          "throughput_mbps", "map_morsels", "morsel_steals",
+          "morsel_target_records",
+          "worker_retries", "worker_timeouts", "worker_crashes",
           "fallback_segments", "degraded_segments", "replayed_records",
           "wire_corrupt_frames", "arena_bytes", "rehashes", "avg_probe_len",
           "spill_runs", "spill_bytes", "spill_merge_ms",
@@ -91,6 +93,9 @@ void CheckRunReport(const obs::JsonValue& report, bool expect_exploration) {
     RequireNumberKey(*map_tasks, "count");
     CheckHistogram(map_tasks->Find("wall_us"), "map_tasks.wall_us");
     CheckHistogram(map_tasks->Find("cpu_us"), "map_tasks.cpu_us");
+    CheckHistogram(map_tasks->Find("morsels"), "map_tasks.morsels");
+    CheckHistogram(map_tasks->Find("morsel_queue_wait_us"),
+                   "map_tasks.morsel_queue_wait_us");
   }
   const obs::JsonValue* reduce_tasks = RequireKey(report, "reduce_tasks");
   if (reduce_tasks != nullptr) {

@@ -63,6 +63,8 @@ struct Options {
   std::string reduce_schedule = "largest-first";  // or "static"
   // Expected groups per map segment (docs/group_map.md); 0 = auto.
   size_t group_capacity_hint = 0;
+  // Records per map morsel (docs/scheduling.md); 0 = auto.
+  size_t morsel_records = 0;
   // Memory-budgeted execution (docs/spill.md). 0 = untracked, never spill.
   uint64_t memory_budget_bytes = 0;
   std::string spill_dir;  // empty = TMPDIR or /tmp
@@ -201,6 +203,7 @@ int RunQuery(const Options& options, symple::Dataset data) {
     engine_options.budgets.force_degrade = options.force_degrade;
     engine_options.reduce_partitions = options.reduce_partitions;
     engine_options.group_capacity_hint = options.group_capacity_hint;
+    engine_options.morsel_records = options.morsel_records;
     engine_options.memory_budget_bytes = options.memory_budget_bytes;
     engine_options.spill_dir = options.spill_dir;
     engine_options.reduce_schedule = options.reduce_schedule == "static"
@@ -368,6 +371,8 @@ int main(int argc, char** argv) {
       options.reduce_schedule = value;
     } else if (FlagValue(argc, argv, i, "--group-capacity-hint", &value)) {
       options.group_capacity_hint = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argc, argv, i, "--morsel-records", &value)) {
+      options.morsel_records = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (FlagValue(argc, argv, i, "--memory-budget", &value)) {
       if (!ParseByteSize(value, &options.memory_budget_bytes)) {
         std::printf("bad --memory-budget '%s' (expected e.g. 500000, 64m, 2g)\n",
@@ -415,7 +420,8 @@ int main(int argc, char** argv) {
                 "                 [--reduce-partitions N] "
                 "[--reduce-schedule largest-first|static] "
                 "[--group-capacity-hint N]\n"
-                "                 [--memory-budget N[k|m|g]] [--spill-dir DIR]\n"
+                "                 [--morsel-records N] "
+                "[--memory-budget N[k|m|g]] [--spill-dir DIR]\n"
                 "                 [--fault crash|hang|truncate|corrupt|"
                 "spill-enospc|spill-short-write|spill-corrupt:"
                 "worker=<n|*>:frame=<k|*>]"

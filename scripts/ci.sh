@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Full per-PR gate: the tier-1 suite (default preset), the sanitized build
-# running the fault-injection / wire-hardening / degradation / shuffle suites
-# under ASan+UBSan (filter lives in CMakePresets.json), then the smoke-mode
+# Full per-PR gate: the tier-1 suite (default preset), the sanitized builds —
+# fault-injection / wire-hardening / degradation / shuffle suites under
+# ASan+UBSan, and the threaded-engine / shuffle / spill / morsel suites under
+# TSan (filters live in CMakePresets.json) — then the smoke-mode
 # perf gate (bench_compare over two bench_smoke runs + checked-in fixtures)
 # and one --explain bottleneck report as a human-readable tail.
 set -eu
@@ -14,6 +15,10 @@ ctest --preset default -j "${CI_JOBS:-$(nproc)}"
 cmake --preset asan
 cmake --build --preset asan -j "${CI_JOBS:-$(nproc)}"
 ctest --preset asan -j "${CI_JOBS:-$(nproc)}"
+
+cmake --preset tsan
+cmake --build --preset tsan -j "${CI_JOBS:-$(nproc)}"
+ctest --preset tsan -j "${CI_JOBS:-$(nproc)}"
 
 # --- perf-regression gate (smoke mode) ---------------------------------------
 # Two back-to-back bench_smoke runs diffed with a loose threshold: on shared CI
@@ -66,6 +71,12 @@ if build/bench/bench_compare bench/fixtures/BENCH_spill_base.json \
   echo "ci.sh: bench_compare failed to flag the spill regression fixture" >&2
   exit 1
 fi
+
+# --- morsel map-scheduling gate ----------------------------------------------
+# Full-size zipf-skewed segment layout; the binary itself enforces >= 1.3x
+# modeled map makespan over static per-segment dispatch and byte-identical
+# outputs across morsel granularities, exiting nonzero otherwise.
+(cd "$gate_dir" && ../../build/bench/bench_morsel)
 
 # --- bottleneck report -------------------------------------------------------
 # One skewed shuffle run with --explain so every CI log carries a current

@@ -70,4 +70,59 @@ void RunParallel(size_t num_threads, std::vector<std::function<void()>> tasks) {
   pool.Wait();
 }
 
+StealingIndexQueues::StealingIndexQueues(size_t num_queues) {
+  if (num_queues == 0) {
+    num_queues = 1;
+  }
+  queues_.reserve(num_queues);
+  for (size_t i = 0; i < num_queues; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+}
+
+void StealingIndexQueues::Push(size_t queue, size_t item) {
+  Queue& q = *queues_[queue % queues_.size()];
+  std::lock_guard<std::mutex> lock(q.mu);
+  q.items.push_back(item);
+}
+
+bool StealingIndexQueues::PopLocal(size_t queue, size_t* item) {
+  Queue& q = *queues_[queue % queues_.size()];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.items.empty()) {
+    return false;
+  }
+  *item = q.items.front();
+  q.items.pop_front();
+  return true;
+}
+
+bool StealingIndexQueues::Steal(size_t thief, size_t* item) {
+  const size_t n = queues_.size();
+  for (size_t off = 1; off <= n; ++off) {
+    Queue& q = *queues_[(thief + off) % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.items.empty()) {
+      continue;
+    }
+    *item = q.items.back();
+    q.items.pop_back();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool StealingIndexQueues::Next(size_t worker, size_t* item, bool* stolen) {
+  if (PopLocal(worker, item)) {
+    *stolen = false;
+    return true;
+  }
+  if (Steal(worker, item)) {
+    *stolen = true;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace symple

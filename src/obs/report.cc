@@ -64,6 +64,9 @@ void RunReport::AppendJson(JsonWriter& w) const {
   w.KV("summaries", totals.summaries);
   w.KV("summary_paths", totals.summary_paths);
   w.KV("throughput_mbps", totals.throughput_mbps);
+  w.KV("map_morsels", totals.map_morsels);
+  w.KV("morsel_steals", totals.morsel_steals);
+  w.KV("morsel_target_records", totals.morsel_target_records);
   w.KV("worker_retries", totals.worker_retries);
   w.KV("worker_timeouts", totals.worker_timeouts);
   w.KV("worker_crashes", totals.worker_crashes);
@@ -97,6 +100,10 @@ void RunReport::AppendJson(JsonWriter& w) const {
   AppendHistogramJson(w, map_shuffle_bytes);
   w.Key("summary_paths");
   AppendHistogramJson(w, map_summary_paths);
+  w.Key("morsels");
+  AppendHistogramJson(w, map_morsels_per_task);
+  w.Key("morsel_queue_wait_us");
+  AppendHistogramJson(w, map_morsel_queue_wait_us);
   w.EndObject();
 
   w.Key("reduce_tasks").BeginObject();
@@ -259,6 +266,12 @@ void RunObserver::OnMapTask(const MapTaskObs& t) {
   if (t.maxrss_kb > 0) {
     worker_maxrss_kb_.Record(t.maxrss_kb);
   }
+  if (t.morsels > 0) {
+    // Only morsel-scheduled tasks contribute: forked children run segments
+    // whole, and mixing their zeros in would flatten the distribution.
+    map_morsels_per_task_.Record(t.morsels);
+    map_morsel_queue_wait_us_.Merge(t.queue_wait_us);
+  }
   paths_per_group_.Merge(t.paths_per_group);
   summaries_per_group_.Merge(t.summaries_per_group);
 
@@ -286,6 +299,10 @@ void RunObserver::OnMapTask(const MapTaskObs& t) {
     span.args.emplace_back("bytes", t.bytes);
     if (t.maxrss_kb > 0) {
       span.args.emplace_back("maxrss_kb", t.maxrss_kb);
+    }
+    if (t.morsels > 0) {
+      span.args.emplace_back("morsels", t.morsels);
+      span.args.emplace_back("stolen", t.stolen_morsels);
     }
     if (t.summaries > 0) {
       span.args.emplace_back("summaries", t.summaries);
@@ -435,6 +452,8 @@ void RunObserver::FillReport(RunReport* report) const {
   report->map_packets = map_packets_;
   report->map_shuffle_bytes = map_shuffle_bytes_;
   report->map_summary_paths = map_summary_paths_;
+  report->map_morsels_per_task = map_morsels_per_task_;
+  report->map_morsel_queue_wait_us = map_morsel_queue_wait_us_;
   report->reduce_task_count = reduce_task_count_;
   report->reduce_wall_us = reduce_wall_us_;
   report->reduce_cpu_us = reduce_cpu_us_;

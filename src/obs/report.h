@@ -55,6 +55,10 @@ struct RunTotals {
   uint64_t summaries = 0;
   uint64_t summary_paths = 0;
   double throughput_mbps = 0;
+  // Morsel-driven map scheduling (docs/scheduling.md; see EngineStats).
+  uint64_t map_morsels = 0;
+  uint64_t morsel_steals = 0;
+  uint64_t morsel_target_records = 0;
   // Forked-mode fault tolerance (see EngineStats).
   uint64_t worker_retries = 0;
   uint64_t worker_timeouts = 0;
@@ -90,6 +94,14 @@ struct MapTaskObs {
   // Peak resident set of the forked worker that ran this task (from wait4 at
   // reap time); 0 for in-process tasks.
   uint64_t maxrss_kb = 0;
+  // Morsel-driven scheduling (docs/scheduling.md): how many morsels this
+  // segment was executed as, how many of them ran on a worker other than the
+  // segment's seeded owner, and the per-morsel wait between map-phase start
+  // and the morsel being pulled off a deque. All zero/empty when the segment
+  // ran as one static task (forked children, single-slot runs).
+  uint64_t morsels = 0;
+  uint64_t stolen_morsels = 0;
+  HistogramSnapshot queue_wait_us;
   ExplorationTotals exploration;
   // Per-group distributions within this task (SYMPLE engine only).
   HistogramSnapshot paths_per_group;
@@ -150,6 +162,10 @@ struct RunReport {
   HistogramSnapshot map_packets;
   HistogramSnapshot map_shuffle_bytes;
   HistogramSnapshot map_summary_paths;
+  // Morsel scheduling: morsels-per-segment distribution and per-morsel queue
+  // wait (docs/scheduling.md). Empty when the run used static dispatch.
+  HistogramSnapshot map_morsels_per_task;
+  HistogramSnapshot map_morsel_queue_wait_us;
 
   uint64_t reduce_task_count = 0;
   HistogramSnapshot reduce_wall_us;
@@ -266,6 +282,8 @@ class RunObserver {
   HistogramSnapshot map_packets_;
   HistogramSnapshot map_shuffle_bytes_;
   HistogramSnapshot map_summary_paths_;
+  HistogramSnapshot map_morsels_per_task_;
+  HistogramSnapshot map_morsel_queue_wait_us_;
 
   uint64_t reduce_task_count_ = 0;
   HistogramSnapshot reduce_wall_us_;

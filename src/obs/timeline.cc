@@ -179,9 +179,24 @@ void DetectStragglers(const StageScan& scan, const char* stage,
             static_cast<unsigned long long>(bytes), in.partition_skew);
       }
     } else if (FindArg(*s, "records", &records)) {
-      str.attribution =
-          Format("scanned %llu records vs stage median task",
-                 static_cast<unsigned long long>(records));
+      uint64_t morsels = 0;
+      uint64_t stolen = 0;
+      if (FindArg(*s, "morsels", &morsels) && morsels > 0) {
+        // Morsel-scheduled map task: the scheduler already let other workers
+        // steal from this segment, so a remaining straggle is data cost, not
+        // dispatch granularity.
+        FindArg(*s, "stolen", &stolen);
+        str.attribution = Format(
+            "scanned %llu records vs stage median task "
+            "(%llu morsels, %llu stolen by other workers)",
+            static_cast<unsigned long long>(records),
+            static_cast<unsigned long long>(morsels),
+            static_cast<unsigned long long>(stolen));
+      } else {
+        str.attribution =
+            Format("scanned %llu records vs stage median task",
+                   static_cast<unsigned long long>(records));
+      }
     }
     out->push_back(std::move(str));
   }

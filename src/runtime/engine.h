@@ -39,8 +39,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <ctime>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -131,6 +133,16 @@ struct EngineOptions {
   // 0 = auto: derived from the record-count hint, capped so low-cardinality
   // workloads do not over-reserve (internal::ResolveGroupCapacityHint).
   size_t group_capacity_hint = 0;
+  // Records per map morsel (docs/scheduling.md). Map segments are subdivided
+  // into record-aligned morsels pulled from per-worker stealing deques, so a
+  // skewed segment layout no longer strands every core behind the largest
+  // segment. Each morsel's packets compose left-to-right into its segment's
+  // output at the reducer (Section 5.4 order), so results stay byte-identical
+  // to sequential at any morsel size. 0 = auto: sized so each map slot sees
+  // roughly kMorselsPerSlotTarget morsels, floored high enough that
+  // composition overhead stays negligible and small inputs keep one morsel
+  // per segment.
+  size_t morsel_records = 0;
   // Symbolic exploration knobs (SYMPLE engine only).
   AggregatorOptions aggregator;
   // Symbolic→concrete degradation budgets (SYMPLE engines only).
@@ -183,6 +195,7 @@ inline obs::RunReport MakeRunReport(const std::string& query,
        options.reduce_schedule == ReduceSchedule::kStatic ? "static"
                                                           : "largest-first"},
       {"group_capacity_hint", std::to_string(options.group_capacity_hint)},
+      {"morsel_records", std::to_string(options.morsel_records)},
       {"max_live_paths", std::to_string(options.aggregator.max_live_paths)},
       {"max_paths_per_record",
        std::to_string(options.aggregator.max_paths_per_record)},
@@ -681,6 +694,9 @@ class ShuffleBuffer {
       part.bytes += bytes;
       part.mem_bytes += bytes;
       part.packets.push_back(std::move(p));
+      // Single-packet appends carry no run structure; SortPartition falls
+      // back to a full sort for this partition.
+      part.unsorted_appends = true;
     }
     if (budget_ != nullptr) {
       budget_->Charge(bytes);
@@ -698,6 +714,14 @@ class ShuffleBuffer {
   // batch worth a sizable fraction of the whole budget, and charging it in
   // one step right at the watermark would spike the tracked peak past the
   // budget before any spiller could react.
+  //
+  // Pipelined map→shuffle handoff (docs/scheduling.md): each per-partition
+  // sub-bucket is sorted *here*, on the producing map worker, before it is
+  // appended under the stripe lock, and the [start, end) of the appended
+  // range is recorded as a sorted run. The post-barrier SortPartition then
+  // merges the recorded runs (pairwise inplace_merge cascade) instead of
+  // sorting the whole partition from scratch — the O(n log n) comparison
+  // work moves off the shuffle barrier and overlaps the map phase.
   uint64_t AddBatch(std::vector<Packet>&& batch) {
     const size_t num_parts = parts_.size();
     const uint64_t slice_limit =
@@ -721,6 +745,11 @@ class ShuffleBuffer {
         if (local[part].empty()) {
           continue;
         }
+        // Sort this sub-bucket outside the stripe lock. Indexes, not
+        // packets: the packets move exactly once, straight into the
+        // partition vector, already in run order.
+        std::sort(local[part].begin(), local[part].end(),
+                  [&batch](size_t a, size_t b) { return batch[a] < batch[b]; });
         Partition& target = *parts_[part];
         std::lock_guard<std::mutex> lock(target.mu);
         target.bytes += local_bytes[part];
@@ -728,6 +757,7 @@ class ShuffleBuffer {
         for (const size_t idx : local[part]) {
           target.packets.push_back(std::move(batch[idx]));
         }
+        target.run_ends.push_back(target.packets.size());
       }
       batch_bytes += slice_bytes;
       if (budget_ != nullptr) {
@@ -736,6 +766,42 @@ class ShuffleBuffer {
       }
     }
     return batch_bytes;
+  }
+
+  // Post-barrier: brings partition `i` into full (key, mapper, record)
+  // order. When the partition was built purely from AddBatch runs, a
+  // pairwise inplace_merge cascade over the recorded run boundaries does
+  // O(n log k) merge work (k = runs) on already-sorted pieces; single-packet
+  // Adds or a spill put-back void the run structure and fall back to a full
+  // sort. Callers must have quiesced all producers.
+  void SortPartition(size_t i) {
+    Partition& part = *parts_[i];
+    std::vector<Packet>& v = part.packets;
+    if (part.unsorted_appends || part.run_ends.empty() ||
+        part.run_ends.back() != v.size()) {
+      std::sort(v.begin(), v.end());
+      return;
+    }
+    std::vector<size_t> ends = std::move(part.run_ends);
+    while (ends.size() > 1) {
+      std::vector<size_t> merged;
+      merged.reserve((ends.size() + 1) / 2);
+      size_t begin = 0;
+      for (size_t k = 0; k < ends.size(); k += 2) {
+        if (k + 1 < ends.size()) {
+          std::inplace_merge(v.begin() + static_cast<ptrdiff_t>(begin),
+                             v.begin() + static_cast<ptrdiff_t>(ends[k]),
+                             v.begin() + static_cast<ptrdiff_t>(ends[k + 1]));
+          merged.push_back(ends[k + 1]);
+          begin = ends[k + 1];
+        } else {
+          merged.push_back(ends[k]);
+          begin = ends[k];
+        }
+      }
+      ends = std::move(merged);
+    }
+    part.run_ends.clear();
   }
 
   // Post-barrier accessors; callers must have quiesced all producers.
@@ -753,6 +819,11 @@ class ShuffleBuffer {
   struct Partition {
     std::mutex mu;
     std::vector<Packet> packets;
+    // Ends of the sorted runs AddBatch appended ([0, run_ends[0]) is run 0,
+    // [run_ends[0], run_ends[1]) run 1, ...). Valid for SortPartition's
+    // merge cascade only while unsorted_appends is false.
+    std::vector<size_t> run_ends;
+    bool unsorted_appends = false;
     uint64_t bytes = 0;      // cumulative serialized bytes routed here
     uint64_t mem_bytes = 0;  // bytes currently buffered (drops on spill)
   };
@@ -800,6 +871,10 @@ class ShuffleBuffer {
         local.swap(part.packets);
         victim_bytes = part.mem_bytes;  // resample under the stripe lock
         part.mem_bytes = 0;
+        // The swapped-out runs leave with the packets; whatever lands in the
+        // emptied partition afterwards starts a fresh run sequence.
+        part.run_ends.clear();
+        part.unsorted_appends = false;
       }
       std::sort(local.begin(), local.end());
       if (spill_->SpillSortedRun(victim, local)) {
@@ -816,6 +891,9 @@ class ShuffleBuffer {
             part.packets.push_back(std::move(p));
           }
         }
+        // The returned packets are one big sorted blob spliced over whatever
+        // arrived meanwhile; cheaper to re-sort than to track.
+        part.unsorted_appends = true;
         return;
       }
     }
@@ -1174,39 +1252,230 @@ inline obs::ExplorationTotals ToObsExploration(const ExplorationStats& e) {
   return t;
 }
 
-template <typename Key, typename MapTaskFn>
-void RunMapPhase(size_t num_segments, size_t slots, MapTaskFn map_task,
+// --- morsel-driven map scheduling (docs/scheduling.md) --------------------------
+
+// One record-aligned byte range of a segment: the unit of map scheduling.
+// Splitting a segment at record boundaries is free for SYMPLE because
+// summaries compose in input order (Section 3.6/5.4): each morsel's packets
+// carry the morsel's global record ids, so the reducer's (key, mapper,
+// record) sort composes them left-to-right exactly like the memory budget's
+// mid-segment flush incarnations already do.
+struct Morsel {
+  uint32_t segment = 0;
+  size_t byte_begin = 0;
+  size_t byte_end = 0;
+  uint64_t first_record = 0;  // global-in-segment id of the first record
+};
+
+// Auto-sizing: enough morsels that stealing can level a skewed layout
+// (~kMorselsPerSlotTarget per slot), floored high enough that per-morsel
+// costs (steal, sub-bucket sort, one summary per touched group) stay
+// negligible — the floor also keeps small test datasets at one morsel per
+// segment, so segment-granular semantics (degrade budgets, per-segment
+// tables) are unchanged where morsels buy nothing.
+inline constexpr size_t kMorselsPerSlotTarget = 8;
+inline constexpr size_t kMorselMinRecords = 2048;
+inline constexpr size_t kMorselMaxRecords = size_t{1} << 20;
+
+inline size_t ResolveMorselRecords(size_t option, uint64_t total_records,
+                                   size_t slots) {
+  if (option > 0) {
+    return option;
+  }
+  if (slots <= 1 || total_records == 0) {
+    // Nothing to balance across: whole segments, zero chunking overhead.
+    return std::numeric_limits<size_t>::max();
+  }
+  const uint64_t target = total_records / (slots * kMorselsPerSlotTarget);
+  return static_cast<size_t>(std::clamp<uint64_t>(target, kMorselMinRecords,
+                                                  kMorselMaxRecords));
+}
+
+// Splits one segment into morsels of ~target_records records each, scanning
+// for newlines so every boundary is record-aligned. An empty segment still
+// yields one (empty) morsel: the map function runs once per segment
+// regardless, preserving per-segment task observations. A record is a line;
+// a trailing chunk without '\n' counts as one record, matching LineCursor.
+inline void AppendSegmentMorsels(std::string_view seg, uint32_t segment_id,
+                                 size_t target_records,
+                                 std::vector<Morsel>* out) {
+  // A segment cannot hold more records than bytes, so a target at or above
+  // the byte count means one morsel — skip the newline scan entirely.
+  if (target_records >= seg.size()) {
+    out->push_back(Morsel{segment_id, 0, seg.size(), 0});
+    return;
+  }
+  size_t begin = 0;
+  uint64_t first_record = 0;
+  uint64_t records = 0;
+  size_t pos = 0;
+  while (pos < seg.size()) {
+    const void* nl = memchr(seg.data() + pos, '\n', seg.size() - pos);
+    pos = nl != nullptr
+              ? static_cast<size_t>(static_cast<const char*>(nl) - seg.data()) + 1
+              : seg.size();
+    ++records;
+    if (records - first_record >= target_records) {
+      out->push_back(Morsel{segment_id, begin, pos, first_record});
+      begin = pos;
+      first_record = records;
+    }
+  }
+  if (begin < seg.size() || out->empty() ||
+      out->back().segment != segment_id) {
+    out->push_back(Morsel{segment_id, begin, seg.size(), first_record});
+  }
+}
+
+// The morsel-driven map phase. MorselFn:
+//   (segment_id, chunk, first_record, TaskStats*) -> vector<ShufflePacket>
+// and MorselDegradeFn (nullable std::function):
+//   (segment_id, chunk, first_record, SympleError) -> vector<ShufflePacket>
+//
+// Segments are chunked into record-aligned morsels seeded round-robin into
+// per-worker stealing deques (segment s's morsels on worker s % slots, in
+// order, so the common case processes each segment contiguously and
+// front-to-back); an idle worker steals from the back of a loaded peer, so
+// one giant segment no longer strands the other cores. Each completed
+// morsel hands its packets to the shuffle immediately (AddBatch sorts and
+// appends them as a run — the pipelined map→shuffle overlap), so the
+// post-barrier sort is a cheap run merge.
+//
+// Exception safety (the ThreadPool "tasks must not throw" contract): a
+// SympleError escaping the map body — e.g. a throwing user Parse — is
+// caught per morsel. When `degrade` is set (SYMPLE engines) the morsel is
+// re-emitted as DeferredConcrete markers and the run continues; otherwise
+// (or when degrading itself fails) the first error is captured and rethrown
+// as a typed SympleIoError from the coordinator after quiesce, mirroring
+// the reduce stage — never std::terminate.
+template <typename Key, typename MorselFn>
+void RunMapPhase(const std::vector<std::string>& segments, size_t slots,
+                 size_t morsel_records, MorselFn map_morsel,
+                 const std::function<std::vector<ShufflePacket<Key>>(
+                     uint32_t, std::string_view, uint64_t, const SympleError&)>&
+                     degrade,
                  ShuffleBuffer<Key>* shuffle, EngineStats* stats,
                  obs::RunObserver* observer = nullptr) {
-  std::vector<TaskStats> task_stats(num_segments);
+  const size_t num_segments = segments.size();
+  const size_t workers = slots == 0 ? 1 : slots;
+  std::vector<Morsel> morsels;
+  morsels.reserve(num_segments);
+  for (size_t s = 0; s < num_segments; ++s) {
+    AppendSegmentMorsels(segments[s], static_cast<uint32_t>(s), morsel_records,
+                         &morsels);
+  }
+  stats->morsel_target_records =
+      morsel_records == std::numeric_limits<size_t>::max() ? 0 : morsel_records;
+
+  // Per-segment fold state: many morsels, one MapTaskObs per segment — the
+  // timeline keeps its per-segment task semantics, with morsel counts and
+  // queue waits layered on top.
+  struct SegmentAgg {
+    std::mutex mu;
+    TaskStats ts;
+    uint64_t morsel_count = 0;
+    uint64_t stolen = 0;
+    obs::HistogramSnapshot queue_wait_us;
+  };
+  std::vector<SegmentAgg> seg_aggs(num_segments);
+  StealingIndexQueues queues(workers);
+  for (size_t i = 0; i < morsels.size(); ++i) {
+    queues.Push(morsels[i].segment % workers, i);
+  }
+  std::mutex map_err_mu;
+  std::string map_error;
+  const double obs_map_start = observer != nullptr ? observer->NowUs() : 0;
   {
-    ThreadPool pool(slots);
-    for (size_t m = 0; m < num_segments; ++m) {
-      pool.Submit([m, shuffle, &task_stats, &map_task, observer] {
-        TaskStats& ts = task_stats[m];
-        if (observer != nullptr) {
-          ts.start_us = observer->NowUs();
-        }
-        const double cpu0 = ThreadCpuMs();
-        std::vector<ShufflePacket<Key>> packets =
-            map_task(static_cast<uint32_t>(m), &ts);
-        // += not =: a budget-flushed task already accounted its mid-segment
-        // packets through the sink (docs/spill.md).
-        ts.packets += packets.size();
-        // Route this mapper's packets into the hash partitions as they are
-        // emitted (per-mapper sub-buckets merged at the stripe locks); byte
-        // accounting happens here, in parallel, not on the coordinator.
-        ts.bytes += shuffle->AddBatch(std::move(packets));
-        ts.cpu_ms = ThreadCpuMs() - cpu0;
-        if (observer != nullptr) {
-          ts.end_us = observer->NowUs();
+    ThreadPool pool(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.Submit([w, &queues, &morsels, &segments, &seg_aggs, &map_morsel,
+                   &degrade, shuffle, observer, obs_map_start, &map_err_mu,
+                   &map_error] {
+        size_t idx = 0;
+        bool stolen = false;
+        while (queues.Next(w, &idx, &stolen)) {
+          const Morsel& m = morsels[idx];
+          const std::string_view chunk =
+              std::string_view(segments[m.segment])
+                  .substr(m.byte_begin, m.byte_end - m.byte_begin);
+          TaskStats mts;
+          double pop_us = 0;
+          if (observer != nullptr) {
+            pop_us = observer->NowUs();
+            mts.start_us = pop_us;
+          }
+          const double cpu0 = ThreadCpuMs();
+          std::vector<ShufflePacket<Key>> packets;
+          try {
+            packets = map_morsel(m.segment, chunk, m.first_record, &mts);
+          } catch (const SympleError& e) {
+            bool degraded = false;
+            if (degrade != nullptr) {
+              try {
+                packets = degrade(m.segment, chunk, m.first_record, e);
+                degraded = true;
+              } catch (const SympleError&) {
+                // fall through to the captured original error
+              }
+            }
+            if (!degraded) {
+              std::lock_guard<std::mutex> lock(map_err_mu);
+              if (map_error.empty()) {
+                map_error = e.what();
+              }
+            }
+          }
+          // += not =: a budget-flushed morsel already accounted its
+          // mid-morsel packets through the sink (docs/spill.md).
+          mts.packets += packets.size();
+          // Eager handoff: this morsel's packets enter the shuffle (sorted,
+          // as a run) while other morsels are still mapping.
+          mts.bytes += shuffle->AddBatch(std::move(packets));
+          mts.cpu_ms = ThreadCpuMs() - cpu0;
+          if (observer != nullptr) {
+            mts.end_us = observer->NowUs();
+          }
+          SegmentAgg& agg = seg_aggs[m.segment];
+          std::lock_guard<std::mutex> lock(agg.mu);
+          TaskStats& ts = agg.ts;
+          ts.cpu_ms += mts.cpu_ms;
+          ts.records += mts.records;
+          ts.parsed += mts.parsed;
+          ts.packets += mts.packets;
+          ts.bytes += mts.bytes;
+          ts.exploration += mts.exploration;
+          ts.summaries += mts.summaries;
+          ts.summary_paths += mts.summary_paths;
+          ts.group_map += mts.group_map;
+          ts.paths_per_group.Merge(mts.paths_per_group);
+          ts.summaries_per_group.Merge(mts.summaries_per_group);
+          if (observer != nullptr) {
+            // The segment's span covers its first morsel start to its last
+            // morsel end (morsels of one segment may interleave with steals).
+            ts.start_us = ts.start_us == 0 ? mts.start_us
+                                           : std::min(ts.start_us, mts.start_us);
+            ts.end_us = std::max(ts.end_us, mts.end_us);
+            const double wait = pop_us - obs_map_start;
+            agg.queue_wait_us.Record(
+                wait > 0 ? static_cast<uint64_t>(wait) : 0);
+          }
+          ++agg.morsel_count;
+          if (stolen) {
+            ++agg.stolen;
+          }
         }
       });
     }
     pool.Wait();
   }
+  if (!map_error.empty()) {
+    throw SympleIoError("map stage failed: " + map_error);
+  }
+  stats->map_morsels += morsels.size();
+  stats->morsel_steals += queues.steals();
   for (size_t m = 0; m < num_segments; ++m) {
-    const TaskStats& ts = task_stats[m];
+    SegmentAgg& agg = seg_aggs[m];
+    const TaskStats& ts = agg.ts;
     stats->map_cpu_ms += ts.cpu_ms;
     stats->parsed_records += ts.parsed;
     stats->exploration += ts.exploration;
@@ -1226,6 +1495,9 @@ void RunMapPhase(size_t num_segments, size_t slots, MapTaskFn map_task,
       t.bytes = ts.bytes;
       t.summaries = ts.summaries;
       t.summary_paths = ts.summary_paths;
+      t.morsels = agg.morsel_count;
+      t.stolen_morsels = agg.stolen;
+      t.queue_wait_us = agg.queue_wait_us;
       t.exploration = ToObsExploration(ts.exploration);
       t.paths_per_group = ts.paths_per_group;
       t.summaries_per_group = ts.summaries_per_group;
@@ -1279,8 +1551,11 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
     ThreadPool pool(std::min(slots == 0 ? 1 : slots, num_parts));
     for (size_t part = 0; part < num_parts; ++part) {
       pool.Submit([part, &shuffle, &part_runs, spill] {
+        // Merge the sorted runs the map workers appended (pipelined handoff)
+        // rather than re-sorting from scratch; falls back to a full sort
+        // when the run structure was voided (single Adds, spill put-back).
+        shuffle.SortPartition(part);
         std::vector<ShufflePacket<Key>>& packets = shuffle.partition(part);
-        std::sort(packets.begin(), packets.end());
         if (spill != nullptr && spill->has_runs(part)) {
           return;
         }
@@ -1462,11 +1737,14 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
   }
 }
 
-// One baseline map task: parse + groupby one segment, emitting textual
-// per-record rows batched per (mapper, key). Shared by the threaded and the
-// forked-process engines. Packets are emitted in the group table's
-// first-seen order (deterministic; docs/group_map.md), and the rows inside a
-// group buffer are in record order.
+// One baseline map task: parse + groupby one segment — or one record-aligned
+// morsel of it (docs/scheduling.md): `segment` is the chunk to scan and
+// `first_record` the chunk's first global record id within its segment, so
+// packet record ids stay globally ordered and morsels compose at the reducer
+// like whole segments. Emits textual per-record rows batched per
+// (mapper, key). Shared by the threaded and the forked-process engines.
+// Packets are emitted in the group table's first-seen order (deterministic;
+// docs/group_map.md), and the rows inside a group buffer are in record order.
 //
 // With a `budget` and `sink` attached (threaded engine under a memory
 // budget, docs/spill.md), the task charges its table's bytes — arena, index
@@ -1477,8 +1755,8 @@ void RunShuffleAndReduce(ShuffleBuffer<Key>&& shuffle, size_t slots,
 // record order at the reducer.
 template <typename Query>
 std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
-    const std::string& segment, uint32_t mapper_id, TaskStats* ts,
-    size_t capacity_hint = 0, MemoryBudget* budget = nullptr,
+    std::string_view segment, uint32_t mapper_id, uint64_t first_record,
+    TaskStats* ts, size_t capacity_hint = 0, MemoryBudget* budget = nullptr,
     const PacketSink<typename Query::Key>& sink = {}) {
   using Key = typename Query::Key;
   struct GroupBuffer {
@@ -1537,7 +1815,7 @@ std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
   };
 
   LineCursor cursor(segment);
-  uint64_t rid = 0;
+  uint64_t rid = first_record;
   while (const auto line = cursor.Next()) {
     const uint64_t record_id = rid++;
     ++ts->records;
@@ -1587,8 +1865,11 @@ std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
   return out;
 }
 
-// One SYMPLE map task: parse + groupby + symbolic UDA over one segment,
-// emitting one SegmentResult packet per (mapper, key) — ordered serialized
+// One SYMPLE map task: parse + groupby + symbolic UDA over one segment — or
+// one record-aligned morsel of it, with `first_record` the chunk's offset in
+// global record ids (docs/scheduling.md); summaries compose in record order
+// at the reducer, so morsels are indistinguishable from budget-flush
+// incarnations there. Emits one SegmentResult packet per (mapper, key) — ordered serialized
 // summaries, or a DeferredConcrete marker when the group's symbolic
 // execution hit a budget or a declared limitation. Degradation is segment-
 // granular: other groups in the same chunk keep their symbolic summaries.
@@ -1603,9 +1884,9 @@ std::vector<ShufflePacket<typename Query::Key>> BaselineMapSegment(
 // emitted once at segment end.
 template <typename Query>
 std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
-    const std::string& segment, uint32_t mapper_id, const AggregatorOptions& options,
-    const DegradeBudgets& budgets, TaskStats* ts, size_t capacity_hint = 0,
-    MemoryBudget* budget = nullptr,
+    std::string_view segment, uint32_t mapper_id, uint64_t first_record,
+    const AggregatorOptions& options, const DegradeBudgets& budgets,
+    TaskStats* ts, size_t capacity_hint = 0, MemoryBudget* budget = nullptr,
     const PacketSink<typename Query::Key>& sink = {}) {
   using Key = typename Query::Key;
   using State = typename Query::State;
@@ -1722,7 +2003,7 @@ std::vector<ShufflePacket<typename Query::Key>> SympleMapSegment(
   };
 
   LineCursor cursor(segment);
-  uint64_t rid = 0;
+  uint64_t rid = first_record;
   while (const auto line = cursor.Next()) {
     const uint64_t record_id = rid++;
     ++ts->records;
@@ -1937,19 +2218,22 @@ void SympleReduceKey(const Dataset& data, ReduceMode mode,
   }
 }
 
-// Expands one raw input segment into per-key DeferredConcrete packets: one
-// marker per distinct key, ordered at that key's first record. Used by the
-// forked engines when a worker's frames fail validation — the pipe content
-// is untrusted, so the whole pending segment degrades to concrete replay.
+// Expands one raw input segment — or one record-aligned morsel of it, with
+// `start_record` the chunk's first global record id — into per-key
+// DeferredConcrete packets: one marker per distinct key, ordered at that
+// key's first record. Used by the forked engines when a worker's frames fail
+// validation (the pipe content is untrusted, so the whole pending segment
+// degrades to concrete replay) and by the morsel scheduler when a SympleError
+// escapes a SYMPLE map body (docs/scheduling.md).
 template <typename Query>
 std::vector<ShufflePacket<typename Query::Key>> DeferSegmentPackets(
-    const std::string& segment, uint32_t segment_id, DegradeReason reason,
-    std::string_view message) {
+    std::string_view segment, uint32_t segment_id, DegradeReason reason,
+    std::string_view message, uint64_t start_record = 0) {
   using Key = typename Query::Key;
   FlatGroupMap<Key, uint64_t> first_record(
       ResolveGroupCapacityHint(0, segment.size() / 64));
   LineCursor cursor(segment);
-  uint64_t rid = 0;
+  uint64_t rid = start_record;
   while (const auto line = cursor.Next()) {
     const uint64_t record_id = rid++;
     auto rec = Query::Parse(*line);
@@ -1966,7 +2250,11 @@ std::vector<ShufflePacket<typename Query::Key>> DeferSegmentPackets(
     p.key = entry.key;
     p.mapper_id = segment_id;
     p.record_id = entry.value;
-    p.blob = MakeDeferredBlob(segment_id, reason, message);
+    // The blob's start_record mirrors the packet header's record id: the
+    // reducer cross-checks them before trusting the marker's reason/message
+    // (SympleReduceKey), and replay starts at the key's first record either
+    // way.
+    p.blob = MakeDeferredBlob(segment_id, reason, message, entry.value);
     out.push_back(std::move(p));
   }
   return out;
@@ -2014,14 +2302,20 @@ RunResult<Query> RunBaselineMapReduce(const Dataset& data,
   const internal::PacketSink<Key> sink = [&shuffle](std::vector<Packet>&& batch) {
     return shuffle.AddBatch(std::move(batch));
   };
-  auto map_task = [&data, seg_hint, &budget, &sink](
-                      uint32_t mapper_id,
-                      internal::TaskStats* ts) -> std::vector<Packet> {
-    return internal::BaselineMapSegment<Query>(data.segments[mapper_id], mapper_id,
+  auto map_morsel = [seg_hint, &budget, &sink](
+                        uint32_t mapper_id, std::string_view chunk,
+                        uint64_t first_record,
+                        internal::TaskStats* ts) -> std::vector<Packet> {
+    return internal::BaselineMapSegment<Query>(chunk, mapper_id, first_record,
                                                ts, seg_hint, &budget, sink);
   };
-  internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
-                             &shuffle, &result.stats, options.observer);
+  internal::RunMapPhase<Key>(
+      data.segments, options.map_slots,
+      internal::ResolveMorselRecords(options.morsel_records,
+                                     result.stats.input_records,
+                                     options.map_slots),
+      map_morsel, /*degrade=*/nullptr, &shuffle, &result.stats,
+      options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   // Reduce: deserialize the ordered events and run the UDA concretely.
@@ -2083,15 +2377,30 @@ RunResult<Query> RunSymple(const Dataset& data, const EngineOptions& options = {
   const internal::PacketSink<Key> sink = [&shuffle](std::vector<Packet>&& batch) {
     return shuffle.AddBatch(std::move(batch));
   };
-  auto map_task = [&data, &options, seg_hint, &budget, &sink](
-                      uint32_t mapper_id,
-                      internal::TaskStats* ts) -> std::vector<Packet> {
-    return internal::SympleMapSegment<Query>(data.segments[mapper_id], mapper_id,
+  auto map_morsel = [&options, seg_hint, &budget, &sink](
+                        uint32_t mapper_id, std::string_view chunk,
+                        uint64_t first_record,
+                        internal::TaskStats* ts) -> std::vector<Packet> {
+    return internal::SympleMapSegment<Query>(chunk, mapper_id, first_record,
                                              options.aggregator, options.budgets,
                                              ts, seg_hint, &budget, sink);
   };
-  internal::RunMapPhase<Key>(data.segments.size(), options.map_slots, map_task,
-                             &shuffle, &result.stats, options.observer);
+  // A SympleError escaping the map body (e.g. a throwing user Parse) demotes
+  // the morsel to DeferredConcrete markers — the reducer replays those
+  // records concretely and does the degrade accounting then, exactly like
+  // every other marker (docs/degradation.md) — instead of failing the run.
+  const auto degrade_morsel =
+      [](uint32_t segment_id, std::string_view chunk, uint64_t first_record,
+         const SympleError& e) -> std::vector<Packet> {
+    return internal::DeferSegmentPackets<Query>(
+        chunk, segment_id, ClassifyDegradeError(e), e.what(), first_record);
+  };
+  internal::RunMapPhase<Key>(
+      data.segments, options.map_slots,
+      internal::ResolveMorselRecords(options.morsel_records,
+                                     result.stats.input_records,
+                                     options.map_slots),
+      map_morsel, degrade_morsel, &shuffle, &result.stats, options.observer);
   result.stats.map_wall_ms = internal::MsSince(t0);
 
   // Reduce: combine summaries in (mapper_id, record_id) order, either by

@@ -86,6 +86,14 @@ struct EngineStats {
   double spill_merge_ms = 0;
   uint64_t peak_tracked_bytes = 0;
 
+  // Morsel-driven map scheduling (docs/scheduling.md): record-aligned morsels
+  // executed by the map phase, how many of them a worker stole from another
+  // worker's deque, and the resolved morsel size in records (0 when the run
+  // used one morsel per segment — single-slot runs and the forked children).
+  uint64_t map_morsels = 0;
+  uint64_t morsel_steals = 0;
+  uint64_t morsel_target_records = 0;
+
   // Forked-mode fault tolerance (process_engine.h): worker respawns after a
   // failure, hang-watchdog kills, crash/truncation/protocol failures, and
   // segments executed in-process after the retry budget was spent. All zero
@@ -138,6 +146,10 @@ struct EngineStats {
                       " skew=" + internal::FormatFixed(partition_skew, 2) +
                       " summaries=" + std::to_string(summaries) +
                       " summary_paths=" + std::to_string(summary_paths);
+    if (map_morsels > 0) {
+      out += " morsels=" + std::to_string(map_morsels) +
+             " steals=" + std::to_string(morsel_steals);
+    }
     if (worker_retries + worker_timeouts + worker_crashes + fallback_segments > 0) {
       out += " worker_retries=" + std::to_string(worker_retries) +
              " worker_timeouts=" + std::to_string(worker_timeouts) +
@@ -195,6 +207,9 @@ struct EngineStats {
     t.summaries = summaries;
     t.summary_paths = summary_paths;
     t.throughput_mbps = ThroughputMBps();
+    t.map_morsels = map_morsels;
+    t.morsel_steals = morsel_steals;
+    t.morsel_target_records = morsel_target_records;
     t.worker_retries = worker_retries;
     t.worker_timeouts = worker_timeouts;
     t.worker_crashes = worker_crashes;
@@ -243,6 +258,9 @@ struct EngineStats {
     w.KV("summaries", summaries);
     w.KV("summary_paths", summary_paths);
     w.KV("throughput_mbps", ThroughputMBps());
+    w.KV("map_morsels", map_morsels);
+    w.KV("morsel_steals", morsel_steals);
+    w.KV("morsel_target_records", morsel_target_records);
     w.KV("worker_retries", worker_retries);
     w.KV("worker_timeouts", worker_timeouts);
     w.KV("worker_crashes", worker_crashes);

@@ -141,6 +141,32 @@ void SleepMs(long ms) {
   }
 }
 
+int PollWithDeadline(struct pollfd* fds, size_t nfds,
+                     const std::optional<std::chrono::steady_clock::time_point>&
+                         deadline) {
+  using std::chrono::milliseconds;
+  using std::chrono::steady_clock;
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline.has_value()) {
+      const auto remaining = *deadline - steady_clock::now();
+      const auto ms = std::chrono::duration_cast<milliseconds>(remaining).count();
+      // +1 rounds the truncated duration up so we never wake a hair *before*
+      // the deadline and spin; a wake just past it is fine (the caller checks
+      // elapsed time, not our return value, for its timeout decisions).
+      timeout_ms = ms <= 0 ? 0 : static_cast<int>(ms + 1);
+    }
+    const int rc = ::poll(fds, static_cast<nfds_t>(nfds), timeout_ms);
+    if (rc >= 0) {
+      return rc;
+    }
+    if (errno != EINTR) {
+      throw SympleIoError(std::string("poll() failed: ") + std::strerror(errno));
+    }
+    // EINTR: loop, recomputing the remaining wait from the absolute deadline.
+  }
+}
+
 namespace {
 
 bool ConsumePrefix(std::string* s, const char* prefix) {

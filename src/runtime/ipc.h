@@ -11,9 +11,11 @@
 #ifndef SYMPLE_RUNTIME_IPC_H_
 #define SYMPLE_RUNTIME_IPC_H_
 
+#include <poll.h>
 #include <sys/resource.h>
 #include <sys/types.h>
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -110,6 +112,15 @@ IoStatus ReadAll(int fd, void* data, size_t size);
 
 // nanosleep-based sleep (usleep caps at 1s on some platforms); EINTR resumes.
 void SleepMs(long ms);
+
+// poll(2) against an ABSOLUTE deadline (nullopt = block indefinitely). On
+// EINTR the remaining wait is recomputed from the deadline rather than the
+// relative timeout being restarted, so a stream of signals cannot stretch a
+// watchdog wait arbitrarily. Returns poll's result: >0 ready fds, 0 on
+// deadline expiry. Throws SympleIoError on any other poll failure.
+int PollWithDeadline(struct pollfd* fds, size_t nfds,
+                     const std::optional<std::chrono::steady_clock::time_point>&
+                         deadline);
 
 // --- Fault injection ---------------------------------------------------------
 //

@@ -146,12 +146,22 @@ inline BinaryReader ValidateWorkerFrame(const std::vector<uint8_t>& frame,
 // the corruption is deterministic — each uncommitted segment is replaced by
 // the packets this callback returns (deferred-replay markers in the SYMPLE
 // engine). Without it, corruption falls back to the crash/retry path.
+//
+// MapSegmentFn is the morsel-shaped map contract shared with the threaded
+// engines: (chunk, segment_id, first_record) -> packets. The children keep
+// whole-segment granularity (chunk = the full segment, first_record = 0):
+// a child is already one core, so intra-child morsels buy nothing, and
+// commit/retry bookkeeping stays per segment. The parent's in-process
+// fallback, by contrast, is morsel-driven (docs/scheduling.md): it owns all
+// the surviving cores, and the segments that land there are by definition
+// the ones that already stalled a worker lineage.
 template <typename Key, typename MapSegmentFn>
 void RunForkedMapPhase(
     const Dataset& data, const EngineOptions& options, MapSegmentFn map_segment,
     ShuffleBuffer<Key>* shuffle, EngineStats* stats,
     obs::RunObserver* observer = nullptr,
-    std::function<std::vector<ShufflePacket<Key>>(const std::string&, uint32_t)>
+    std::function<std::vector<ShufflePacket<Key>>(std::string_view, uint32_t,
+                                                  uint64_t)>
         degrade_segment = nullptr) {
   using Packet = ShufflePacket<Key>;
   using Clock = std::chrono::steady_clock;
@@ -210,7 +220,8 @@ void RunForkedMapPhase(
         BinaryWriter payload;
         for (const uint32_t s : w->pending) {
           std::vector<Packet> packets =
-              map_segment(data.segments[s], static_cast<uint32_t>(s));
+              map_segment(data.segments[s], static_cast<uint32_t>(s),
+                          /*first_record=*/0);
           for (const Packet& p : packets) {
             body.Clear();
             body.WriteVarUint(s);
@@ -346,8 +357,8 @@ void RunForkedMapPhase(
       // every uncommitted segment is replaced by the caller's degrade packets
       // (deferred-replay markers), which the reducer resolves concretely.
       for (const uint32_t s : pending) {
-        std::vector<Packet> packets =
-            degrade_segment(data.segments[s], static_cast<uint32_t>(s));
+        std::vector<Packet> packets = degrade_segment(
+            data.segments[s], static_cast<uint32_t>(s), /*first_record=*/0);
         for (Packet& p : packets) {
           const uint64_t bytes = PacketBytes(p);
           stats->shuffle_bytes += bytes;
@@ -364,29 +375,93 @@ void RunForkedMapPhase(
       slot = spawn(std::move(pending), attempt + 1);
       return;
     }
-    // Final fallback: in-process execution, which cannot crash-loop.
+    // Final fallback: in-process execution, which cannot crash-loop. The
+    // fallback is morsel-driven (docs/scheduling.md): the pending segments —
+    // often one straggler worker's whole share — are chunked into
+    // record-aligned morsels and pulled from stealing deques by map_slots
+    // threads, so the recovery runs wide instead of serially re-walking
+    // segments on the drain thread. Morsel packets carry global record ids,
+    // so they compose at the reducer exactly like a whole segment's would.
     stats->fallback_segments += pending.size();
     const double fb_start = observer != nullptr ? observer->NowUs() : 0;
-    uint64_t fb_packets = 0;
-    uint64_t fb_bytes = 0;
+    uint64_t total_records = 0;
     for (const uint32_t s : pending) {
-      std::vector<Packet> packets =
-          map_segment(data.segments[s], static_cast<uint32_t>(s));
-      for (Packet& p : packets) {
-        const uint64_t bytes = PacketBytes(p);
-        stats->shuffle_bytes += bytes;
-        fb_bytes += bytes;
-        ++fb_packets;
-        shuffle->Add(std::move(p), bytes);
-      }
+      total_records += data.segments[s].size() / 64 + 1;  // bytes-derived hint
     }
+    const size_t morsel_records = ResolveMorselRecords(
+        options.morsel_records, total_records, num_processes);
+    std::vector<Morsel> morsels;
+    for (const uint32_t s : pending) {
+      AppendSegmentMorsels(data.segments[s], s, morsel_records, &morsels);
+    }
+    const size_t fb_workers = std::min(num_processes, morsels.size());
+    StealingIndexQueues queues(fb_workers);
+    for (size_t i = 0; i < morsels.size(); ++i) {
+      queues.Push(morsels[i].segment % fb_workers, i);
+    }
+    std::atomic<uint64_t> fb_packets{0};
+    std::atomic<uint64_t> fb_bytes{0};
+    std::mutex fb_err_mu;
+    std::string fb_error;
+    {
+      ThreadPool pool(fb_workers);
+      for (size_t fw = 0; fw < fb_workers; ++fw) {
+        pool.Submit([fw, &queues, &morsels, &data, &map_segment,
+                     &degrade_segment, shuffle, &fb_packets, &fb_bytes,
+                     &fb_err_mu, &fb_error] {
+          size_t idx = 0;
+          bool stolen = false;
+          while (queues.Next(fw, &idx, &stolen)) {
+            const Morsel& m = morsels[idx];
+            const std::string_view chunk =
+                std::string_view(data.segments[m.segment])
+                    .substr(m.byte_begin, m.byte_end - m.byte_begin);
+            std::vector<Packet> packets;
+            try {
+              packets = map_segment(chunk, m.segment, m.first_record);
+            } catch (const SympleError& e) {
+              bool degraded = false;
+              if (degrade_segment != nullptr) {
+                try {
+                  packets = degrade_segment(chunk, m.segment, m.first_record);
+                  degraded = true;
+                } catch (const SympleError&) {
+                }
+              }
+              if (!degraded) {
+                std::lock_guard<std::mutex> lock(fb_err_mu);
+                if (fb_error.empty()) {
+                  fb_error = e.what();
+                }
+              }
+            }
+            uint64_t batch_bytes = 0;
+            for (Packet& p : packets) {
+              const uint64_t bytes = PacketBytes(p);
+              batch_bytes += bytes;
+              shuffle->Add(std::move(p), bytes);
+            }
+            fb_packets.fetch_add(packets.size(), std::memory_order_relaxed);
+            fb_bytes.fetch_add(batch_bytes, std::memory_order_relaxed);
+          }
+        });
+      }
+      pool.Wait();
+    }
+    if (!fb_error.empty()) {
+      throw SympleIoError("map stage failed: " + fb_error);
+    }
+    stats->shuffle_bytes += fb_bytes.load();
+    stats->map_morsels += morsels.size();
+    stats->morsel_steals += queues.steals();
     if (observer != nullptr) {
       obs::MapTaskObs t;
       t.mapper_id = failed_seq;
       t.start_us = fb_start;
       t.end_us = observer->NowUs();
-      t.packets = fb_packets;
-      t.bytes = fb_bytes;
+      t.packets = fb_packets.load();
+      t.bytes = fb_bytes.load();
+      t.morsels = morsels.size();
       observer->OnMapTask(t);
     }
     slot.reset();
@@ -414,26 +489,20 @@ void RunForkedMapPhase(
     for (const auto& w : workers) {
       pfds.push_back({w->read_fd.get(), POLLIN, 0});
     }
-    int poll_timeout_ms = -1;
+    std::optional<Clock::time_point> deadline;
     if (options.worker_timeout_ms > 0) {
-      const auto now = Clock::now();
-      auto min_left = std::chrono::milliseconds::max();
+      // The earliest per-worker watchdog deadline, as an absolute time point:
+      // PollWithDeadline (runtime/ipc.h) recomputes the remaining wait from
+      // it after every EINTR, so signal storms cannot drift the watchdog —
+      // a restarted relative timeout would push the deadline back on every
+      // interruption and a hung worker might never be declared hung.
+      auto min_deadline = Clock::time_point::max();
       for (const auto& w : workers) {
-        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-            w->last_progress + timeout - now);
-        min_left = std::min(min_left, left);
+        min_deadline = std::min(min_deadline, w->last_progress + timeout);
       }
-      // +1 so poll() sleeps past the deadline instead of spinning on a
-      // sub-millisecond remainder.
-      poll_timeout_ms = static_cast<int>(std::max<int64_t>(min_left.count(), 0)) + 1;
+      deadline = min_deadline;
     }
-    const int rc = ::poll(pfds.data(), pfds.size(), poll_timeout_ms);
-    if (rc < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      throw SympleIoError("poll() failed in forked-map drain");
-    }
+    PollWithDeadline(pfds.data(), pfds.size(), deadline);
     const auto now = Clock::now();
     for (size_t i = 0; i < workers.size(); ++i) {
       std::unique_ptr<WorkerState>& slot = workers[i];
@@ -500,19 +569,21 @@ RunResult<Query> RunSympleForked(const Dataset& data, const EngineOptions& optio
   const size_t seg_hint = internal::ResolveGroupCapacityHint(
       options.group_capacity_hint,
       data.segment_count() > 0 ? result.stats.input_records / data.segment_count() : 0);
-  auto map_segment = [&options, seg_hint](const std::string& segment,
-                                          uint32_t mapper_id) -> std::vector<Packet> {
+  auto map_segment = [&options, seg_hint](
+                         std::string_view segment, uint32_t mapper_id,
+                         uint64_t first_record) -> std::vector<Packet> {
     internal::TaskStats ts;  // per-process stats die with the worker
-    return internal::SympleMapSegment<Query>(segment, mapper_id, options.aggregator,
-                                             options.budgets, &ts, seg_hint);
+    return internal::SympleMapSegment<Query>(segment, mapper_id, first_record,
+                                             options.aggregator, options.budgets,
+                                             &ts, seg_hint);
   };
   // Replacement packets for a segment whose worker produced a corrupt
   // stream: deferred-replay markers, resolved concretely at the reducer.
-  auto degrade_segment = [](const std::string& segment,
-                            uint32_t segment_id) -> std::vector<Packet> {
+  auto degrade_segment = [](std::string_view segment, uint32_t segment_id,
+                            uint64_t first_record) -> std::vector<Packet> {
     return internal::DeferSegmentPackets<Query>(
         segment, segment_id, DegradeReason::kWireCorrupt,
-        "corrupt summary frame from worker");
+        "corrupt summary frame from worker", first_record);
   };
   // Memory-budgeted execution (docs/spill.md): the children keep their own
   // address spaces — only the parent-side shuffle buffer is tracked here, and
@@ -568,10 +639,11 @@ RunResult<Query> RunBaselineForked(const Dataset& data,
   const size_t seg_hint = internal::ResolveGroupCapacityHint(
       options.group_capacity_hint,
       data.segment_count() > 0 ? result.stats.input_records / data.segment_count() : 0);
-  auto map_segment = [seg_hint](const std::string& segment,
-                                uint32_t mapper_id) -> std::vector<Packet> {
+  auto map_segment = [seg_hint](std::string_view segment, uint32_t mapper_id,
+                                uint64_t first_record) -> std::vector<Packet> {
     internal::TaskStats ts;
-    return internal::BaselineMapSegment<Query>(segment, mapper_id, &ts, seg_hint);
+    return internal::BaselineMapSegment<Query>(segment, mapper_id, first_record,
+                                               &ts, seg_hint);
   };
   // Parent-side memory budget + shuffle spill, as in RunSympleForked.
   MemoryBudget budget(options.memory_budget_bytes);

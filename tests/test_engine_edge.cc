@@ -6,6 +6,7 @@
 
 #include "queries/all_queries.h"
 #include "runtime/engine.h"
+#include "runtime/process_engine.h"
 
 namespace symple {
 namespace {
@@ -48,6 +49,51 @@ TEST(EngineEdge, EmptyDataset) {
   EXPECT_TRUE(RunSequential<B1GlobalOutages>(empty).outputs.empty());
   EXPECT_TRUE(RunBaselineMapReduce<B1GlobalOutages>(empty).outputs.empty());
   EXPECT_TRUE(RunSymple<B1GlobalOutages>(empty).outputs.empty());
+}
+
+TEST(EngineEdge, EmptyDatasetForkedEngines) {
+  // Zero segments means zero child processes: the fork/drain/waitpid loop
+  // must come up, do nothing, and tear down cleanly.
+  Dataset empty;
+  EngineOptions options;
+  options.map_slots = 2;
+  EXPECT_TRUE(RunSympleForked<B1GlobalOutages>(empty, options).outputs.empty());
+  EXPECT_TRUE(RunBaselineForked<B1GlobalOutages>(empty, options).outputs.empty());
+}
+
+TEST(EngineEdge, OnlyEmptySegmentsAllFiveEngines) {
+  // Segments exist but hold zero records: every map task runs and emits
+  // nothing, and each engine must agree on the empty result.
+  const Dataset ds = DatasetFromLines({{}, {}, {}});
+  EngineOptions options;
+  options.map_slots = 2;
+  options.reduce_slots = 2;
+  EXPECT_TRUE(RunSequential<R1Impressions>(ds).outputs.empty());
+  EXPECT_TRUE(RunBaselineMapReduce<R1Impressions>(ds, options).outputs.empty());
+  EXPECT_TRUE(RunSymple<R1Impressions>(ds, options).outputs.empty());
+  EXPECT_TRUE(RunSympleForked<R1Impressions>(ds, options).outputs.empty());
+  EXPECT_TRUE(RunBaselineForked<R1Impressions>(ds, options).outputs.empty());
+}
+
+TEST(EngineEdge, MoreSegmentsThanRecordsAllFiveEngines) {
+  // More map tasks than records (and morsel chunking requested finer than a
+  // record): degenerate splits must not duplicate or drop the lone record.
+  const Dataset ds = DatasetFromLines(
+      {{}, {"2014-01-01 00:00:00\t7\t0\tC0"}, {}, {}, {}});
+  EngineOptions options;
+  options.map_slots = 4;
+  options.reduce_slots = 4;
+  options.morsel_records = 1;
+  const auto seq = RunSequential<R1Impressions>(ds);
+  ASSERT_EQ(seq.outputs.size(), 1u);
+  EXPECT_EQ(seq.outputs.at(7), 1);
+  EXPECT_TRUE(RunBaselineMapReduce<R1Impressions>(ds, options).outputs ==
+              seq.outputs);
+  EXPECT_TRUE(RunSymple<R1Impressions>(ds, options).outputs == seq.outputs);
+  EXPECT_TRUE(RunSympleForked<R1Impressions>(ds, options).outputs ==
+              seq.outputs);
+  EXPECT_TRUE(RunBaselineForked<R1Impressions>(ds, options).outputs ==
+              seq.outputs);
 }
 
 TEST(EngineEdge, EmptySegmentsAmongNonEmpty) {

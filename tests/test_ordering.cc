@@ -136,8 +136,8 @@ TEST(GroupOrdering, BaselineMapSegmentEmitsFirstSeenOrder) {
   const auto expected = FirstSeenKeys<G1OnlyPushes>(segment);
   ASSERT_GT(expected.size(), 10u);
   internal::TaskStats ts;
-  const auto packets =
-      internal::BaselineMapSegment<G1OnlyPushes>(segment, 0, &ts);
+  const auto packets = internal::BaselineMapSegment<G1OnlyPushes>(
+      segment, 0, /*first_record=*/0, &ts);
   ASSERT_EQ(packets.size(), expected.size());
   for (size_t i = 0; i < packets.size(); ++i) {
     EXPECT_EQ(packets[i].key, expected[i]) << "packet " << i << " out of order";
@@ -150,7 +150,8 @@ TEST(GroupOrdering, SympleMapSegmentEmitsFirstSeenOrder) {
   const auto expected = FirstSeenKeys<G1OnlyPushes>(segment);
   internal::TaskStats ts;
   const auto packets = internal::SympleMapSegment<G1OnlyPushes>(
-      segment, 0, AggregatorOptions{}, DegradeBudgets{}, &ts);
+      segment, 0, /*first_record=*/0, AggregatorOptions{}, DegradeBudgets{},
+      &ts);
   ASSERT_EQ(packets.size(), expected.size());
   for (size_t i = 0; i < packets.size(); ++i) {
     EXPECT_EQ(packets[i].key, expected[i]) << "packet " << i << " out of order";

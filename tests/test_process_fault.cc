@@ -6,13 +6,19 @@
 
 #include <dirent.h>
 #include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/time.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <gtest/gtest.h>
 
 #include "obs/json.h"
 #include "queries/all_queries.h"
+#include "runtime/ipc.h"
 #include "workloads/github_gen.h"
 
 namespace symple {
@@ -23,6 +29,34 @@ class FaultGuard {
  public:
   explicit FaultGuard(const char* spec) { ::setenv("SYMPLE_FAULT_SPEC", spec, 1); }
   ~FaultGuard() { ::unsetenv("SYMPLE_FAULT_SPEC"); }
+};
+
+// Peppers the current process with SIGALRM every 5ms, installed WITHOUT
+// SA_RESTART so every blocking syscall keeps returning EINTR — the hostile
+// environment the ipc.cc EINTR audit defends against. Forked children are
+// unaffected (interval timers are not inherited across fork). Restores the
+// previous timer and disposition on scope exit.
+class AlarmStorm {
+ public:
+  AlarmStorm() {
+    struct sigaction sa = {};
+    sa.sa_handler = +[](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // deliberately no SA_RESTART
+    ::sigaction(SIGALRM, &sa, &old_action_);
+    struct itimerval timer = {};
+    timer.it_interval.tv_usec = 5000;
+    timer.it_value.tv_usec = 5000;
+    ::setitimer(ITIMER_REAL, &timer, &old_timer_);
+  }
+  ~AlarmStorm() {
+    ::setitimer(ITIMER_REAL, &old_timer_, nullptr);
+    ::sigaction(SIGALRM, &old_action_, nullptr);
+  }
+
+ private:
+  struct sigaction old_action_ = {};
+  struct itimerval old_timer_ = {};
 };
 
 size_t CountOpenFds() {
@@ -108,6 +142,46 @@ TEST(ProcessFault, WorkerHangRecoversViaTimeout) {
   EXPECT_TRUE(forked.outputs == seq.outputs);
   EXPECT_GE(forked.stats.worker_timeouts, 1u);
   EXPECT_GE(forked.stats.worker_retries, 1u);
+}
+
+TEST(ProcessFault, PollWithDeadlineSurvivesEintrStorm) {
+  // A 5ms EINTR cadence against an 80ms deadline: recomputing the remaining
+  // wait from the absolute deadline expires on time, while restarting the
+  // relative timeout after each EINTR (the old bug) never expires at all.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  AlarmStorm storm;
+  struct pollfd pfd = {};
+  pfd.fd = fds[0];
+  pfd.events = POLLIN;
+  const auto start = std::chrono::steady_clock::now();
+  const int rc =
+      internal::PollWithDeadline(&pfd, 1, start + std::chrono::milliseconds(80));
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  EXPECT_EQ(rc, 0);
+  EXPECT_GE(elapsed_ms, 78);    // genuinely waited out the deadline
+  EXPECT_LT(elapsed_ms, 5000);  // and EINTR never restarted the full wait
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ProcessFault, DrainLoopSurvivesEintrStorm) {
+  // The whole forked pipeline — poll drain, frame reads, waitpid reaping,
+  // retry backoff sleeps — under constant signal interruption, with a hung
+  // worker forcing the timeout path to actually fire. The timeout must still
+  // trigger (a restarted relative wait would push it out forever).
+  const Dataset data = SmallGithub();
+  const auto seq = RunSequential<G3PullWindowOps>(data);
+
+  FaultGuard fault("hang:worker=0:frame=1");
+  AlarmStorm storm;
+  EngineOptions options = FastRetryOptions(3);
+  options.worker_timeout_ms = 250;
+  const auto forked = RunSympleForked<G3PullWindowOps>(data, options);
+  EXPECT_TRUE(forked.outputs == seq.outputs);
+  EXPECT_GE(forked.stats.worker_timeouts, 1u);
 }
 
 TEST(ProcessFault, TruncatedStreamRecovers) {

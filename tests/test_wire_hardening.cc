@@ -233,7 +233,8 @@ GoldenSegment MakeGoldenSegment() {
   g.data = DatasetFromLines({{"1\t5", "1\t-3", "1\t7"}});
   internal::TaskStats ts;
   auto packets = internal::SympleMapSegment<LedgerQuery>(
-      g.data.segments[0], 0, AggregatorOptions{}, DegradeBudgets{}, &ts);
+      g.data.segments[0], 0, /*first_record=*/0, AggregatorOptions{},
+      DegradeBudgets{}, &ts);
   EXPECT_EQ(packets.size(), 1u);
   g.packet = std::move(packets[0]);
   return g;
